@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation — shift-fault exposure vs bus pulse length, with and
+ * without the guard-domain realignment (Secs. III-D and VI).
+ *
+ * The segmented bus bounds each current pulse to one segment, which
+ * (a) keeps the per-pulse fault probability low and (b) makes every
+ * fault a correctable +-1 misalignment. This bench quantifies both
+ * effects by Monte-Carlo over the fault model.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "rm/fault.hh"
+#include "rm/params.hh"
+#include "rm/redundancy.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+int
+main()
+{
+    std::printf("Ablation: shift faults vs pulse length "
+                "(p_step = 4.5e-5 per domain step)\n\n");
+
+    RmParams rm;
+    ShiftFaultModel faults;
+    SegmentGuard guard(2, 0.999);
+    Rng rng(2026);
+
+    // A transfer of one full bus length per trial, many trials.
+    const std::uint64_t total_steps = rm.busLengthDomains;
+    const int trials = 4000;
+
+    Table t({"pulse length", "P(pulse fault)",
+             "corrupted transfers (no guard)",
+             "corrupted (guarded)", "guard overhead"});
+
+    for (unsigned pulse : {64u, 256u, 1024u, 4096u}) {
+        const std::uint64_t pulses = total_steps / pulse;
+        int corrupted_raw = 0;
+        int corrupted_guarded = 0;
+        for (int i = 0; i < trials; ++i) {
+            if (faults.sampleTransferError(rng, pulses, pulse) != 0)
+                corrupted_raw++;
+            auto stats = guard.run(rng, faults, pulses, pulse);
+            if (!stats.dataIntact())
+                corrupted_guarded++;
+        }
+        t.addRow({std::to_string(pulse),
+                  fmt(faults.pulseFaultProbability(pulse), 4),
+                  fmt(100.0 * corrupted_raw / trials, 2) + "%",
+                  fmt(100.0 * corrupted_guarded / trials, 3) + "%",
+                  fmt(guard.overheadFraction(pulse) * 100, 2) + "%"});
+    }
+    t.print();
+
+    std::printf("\nSegmentation keeps every fault a correctable "
+                "single-step misalignment; the guard check\nafter "
+                "each pulse then removes nearly all corruption at "
+                "sub-percent capacity overhead.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 4 — execution time and energy breakdown of the supported
+ * operations (add, multiply, dot product) in CORUSCANT.
+ *
+ * Paper shape: the RM write accounts for ~51% of execution time and
+ * the arithmetic units only ~30%; for energy, arithmetic is ~29%
+ * and RM writes dominate the rest. Data transfer between array and
+ * units totals ~69% time / ~70% energy.
+ */
+
+#include <cstdio>
+
+#include "baselines/coruscant.hh"
+#include "bench_util.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+namespace
+{
+
+void
+printBreakdown(const char *title, const char *unit,
+               const std::vector<std::pair<std::string,
+                                           CoruscantBreakdown>> &ops,
+               bool energy)
+{
+    std::printf("%s\n\n", title);
+    Table t({"operation", "read%", "write%", "shift%",
+             std::string("arith%") + " (" + unit + ")"});
+    double sum_write = 0, sum_arith = 0, sum_xfer = 0;
+    for (const auto &[name, b] : ops) {
+        double total = energy ? b.totalPj() : b.totalNs();
+        double rd = (energy ? b.readPj : b.readNs) / total * 100;
+        double wr = (energy ? b.writePj : b.writeNs) / total * 100;
+        double sh = (energy ? b.shiftPj : b.shiftNs) / total * 100;
+        double ar = (energy ? b.computePj : b.computeNs) / total * 100;
+        sum_write += wr;
+        sum_arith += ar;
+        sum_xfer += rd + wr + sh;
+        t.addRow({name, fmt(rd, 1), fmt(wr, 1), fmt(sh, 1),
+                  fmt(ar, 1)});
+    }
+    t.print();
+    double n = double(ops.size());
+    std::printf("\naverage: write %.1f%%, arithmetic %.1f%%, "
+                "transfer(total) %.1f%%\n",
+                sum_write / n, sum_arith / n, sum_xfer / n);
+}
+
+} // namespace
+
+int
+main()
+{
+    CoruscantPlatform coruscant;
+
+    std::vector<std::pair<std::string, CoruscantBreakdown>> ops = {
+        {"add", coruscant.addCost()},
+        {"multiply", coruscant.multiplyCost()},
+        {"dot-mac", coruscant.dotMacCost()},
+    };
+
+    printBreakdown("Fig. 4a: CORUSCANT execution time breakdown",
+                   "time", ops, false);
+    std::printf("paper: write 51.0%%, arithmetic 30.1%%, "
+                "transfer 69%%\n\n");
+
+    printBreakdown("Fig. 4b: CORUSCANT energy breakdown", "energy",
+                   ops, true);
+    std::printf("paper: arithmetic 29.1%%, transfer 70%%\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 17 — overall performance: speedup of every platform over the
+ * CPU-RM baseline across the nine polybench workloads.
+ *
+ * Paper averages: CPU-DRAM 1.5x, ELP2IM 3.6x, FELIX 8.7x,
+ * StPIM-e 12.7x, CORUSCANT 15.6x, StPIM 39.1x.
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "baselines/bitwise_pim.hh"
+#include "baselines/coruscant.hh"
+#include "baselines/cpu_model.hh"
+#include "baselines/stream_pim_platform.hh"
+#include "bench_util.hh"
+#include "workloads/polybench.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+int
+main()
+{
+    const unsigned dim = runDim();
+    std::printf("Fig. 17: speedup vs CPU-RM (dim=%u%s)\n\n", dim,
+                dim == 2000 ? ", paper configuration" : "");
+
+    CpuPlatform cpu_rm(HostMemKind::Rm);
+    CpuPlatform cpu_dram(HostMemKind::Dram);
+    BitwisePimPlatform elp2im(BitwisePimParams::elp2im());
+    BitwisePimPlatform felix(BitwisePimParams::felix());
+    CoruscantPlatform coruscant;
+
+    SystemConfig st_cfg = SystemConfig::paperDefault();
+    StreamPimPlatform stpim(st_cfg);
+    SystemConfig e_cfg = st_cfg;
+    e_cfg.busType = BusType::Electrical;
+    StreamPimPlatform stpim_e(e_cfg);
+
+    struct Entry
+    {
+        Platform *platform;
+        double paperMean;
+    };
+    std::vector<std::pair<std::string, Entry>> platforms = {
+        {"CPU-DRAM", {&cpu_dram, 1.5}},
+        {"ELP2IM", {&elp2im, 3.6}},
+        {"FELIX", {&felix, 8.7}},
+        {"StPIM-e", {&stpim_e, 12.7}},
+        {"CORUSCANT", {&coruscant, 15.6}},
+        {"StPIM", {&stpim, 39.1}},
+    };
+
+    std::vector<std::string> headers = {"workload"};
+    for (auto &p : platforms)
+        headers.push_back(p.first);
+    Table table(headers);
+
+    std::map<std::string, std::vector<double>> speedups;
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        TaskGraph g = makePolybench(k, dim);
+        double base_s = cpu_rm.run(g).seconds;
+        std::vector<std::string> row = {polybenchName(k)};
+        for (auto &p : platforms) {
+            double s = base_s / p.second.platform->run(g).seconds;
+            speedups[p.first].push_back(s);
+            row.push_back(fmt(s, 1) + "x");
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> mean_row = {"geo-mean"};
+    std::vector<std::string> paper_row = {"paper-mean"};
+    for (auto &p : platforms) {
+        mean_row.push_back(fmt(geoMean(speedups[p.first]), 1) + "x");
+        paper_row.push_back(fmt(p.second.paperMean, 1) + "x");
+    }
+    table.addRow(mean_row);
+    table.addRow(paper_row);
+    table.print();
+
+    std::printf("\nShape target: StPIM > CORUSCANT > StPIM-e > FELIX"
+                " > ELP2IM > CPU-DRAM > CPU-RM.\n");
+    return 0;
+}

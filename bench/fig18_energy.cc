@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 18 — average energy consumption of every platform,
+ * normalized to StPIM.
+ *
+ * Paper averages (x StPIM): CPU-DRAM 58.4, ELP2IM 11.7, FELIX 3.5,
+ * CORUSCANT 2.8, StPIM-e 1.6; CPU-RM is "close to" CPU-DRAM.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/bitwise_pim.hh"
+#include "baselines/coruscant.hh"
+#include "baselines/cpu_model.hh"
+#include "baselines/stream_pim_platform.hh"
+#include "bench_util.hh"
+#include "workloads/polybench.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+int
+main()
+{
+    const unsigned dim = runDim();
+    std::printf("Fig. 18: energy normalized to StPIM (dim=%u)\n\n",
+                dim);
+
+    CpuPlatform cpu_rm(HostMemKind::Rm);
+    CpuPlatform cpu_dram(HostMemKind::Dram);
+    BitwisePimPlatform elp2im(BitwisePimParams::elp2im());
+    BitwisePimPlatform felix(BitwisePimParams::felix());
+    CoruscantPlatform coruscant;
+    StreamPimPlatform stpim(SystemConfig::paperDefault());
+    SystemConfig e_cfg = SystemConfig::paperDefault();
+    e_cfg.busType = BusType::Electrical;
+    StreamPimPlatform stpim_e(e_cfg);
+
+    struct Entry
+    {
+        Platform *platform;
+        double paper;
+    };
+    std::vector<std::pair<std::string, Entry>> platforms = {
+        {"CPU-RM", {&cpu_rm, 58.0}},
+        {"CPU-DRAM", {&cpu_dram, 58.4}},
+        {"ELP2IM", {&elp2im, 11.7}},
+        {"FELIX", {&felix, 3.5}},
+        {"CORUSCANT", {&coruscant, 2.8}},
+        {"StPIM-e", {&stpim_e, 1.6}},
+        {"StPIM", {&stpim, 1.0}},
+    };
+
+    std::map<std::string, std::vector<double>> ratios;
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        TaskGraph g = makePolybench(k, dim);
+        double stpim_j = stpim.run(g).joules;
+        for (auto &p : platforms)
+            ratios[p.first].push_back(
+                p.second.platform->run(g).joules / stpim_j);
+    }
+
+    Table t({"platform", "energy (x StPIM)", "paper"});
+    for (auto &p : platforms)
+        t.addRow({p.first, fmt(geoMean(ratios[p.first]), 1) + "x",
+                  fmt(p.second.paper, 1) + "x"});
+    t.print();
+
+    std::printf("\nShape target: CPU >> ELP2IM > FELIX ~ CORUSCANT "
+                "> StPIM-e > StPIM.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 20 — energy breakdown of CORUSCANT vs StPIM.
+ *
+ * Paper shape: data transfer is ~86% of CORUSCANT's energy
+ * (electromagnetic conversion) but only ~30% of StPIM's (shifts).
+ */
+
+#include <cstdio>
+
+#include "baselines/coruscant.hh"
+#include "baselines/stream_pim_platform.hh"
+#include "bench_util.hh"
+#include "workloads/polybench.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+int
+main()
+{
+    const unsigned dim = runDim();
+    std::printf("Fig. 20: energy breakdown (dim=%u)\n\n", dim);
+
+    CoruscantPlatform coruscant;
+    StreamPimPlatform stpim(SystemConfig::paperDefault());
+
+    Table t({"workload", "platform", "transfer%", "process%"});
+    double cor_sum = 0, st_sum = 0;
+    unsigned n = 0;
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        TaskGraph g = makePolybench(k, dim);
+
+        PlatformResult sp = stpim.run(g);
+        double st_xfer = sp.energyCategory("rm_read") +
+                         sp.energyCategory("rm_write") +
+                         sp.energyCategory("rm_shift") +
+                         sp.energyCategory("bus_shift") +
+                         sp.energyCategory("bus_electrical");
+        double st_frac = st_xfer / sp.joules * 100;
+        st_sum += st_frac;
+
+        PlatformResult cr = coruscant.run(g);
+        double cr_xfer = cr.energyCategory("read") +
+                         cr.energyCategory("write") +
+                         cr.energyCategory("shift");
+        double cr_frac = cr_xfer / cr.joules * 100;
+        cor_sum += cr_frac;
+        n++;
+
+        t.addRow({polybenchName(k), "CORUSCANT", fmt(cr_frac, 1),
+                  fmt(100 - cr_frac, 1)});
+        t.addRow({"", "StPIM", fmt(st_frac, 1),
+                  fmt(100 - st_frac, 1)});
+    }
+    t.print();
+
+    std::printf("\naverage transfer energy: CORUSCANT %.1f%% "
+                "(paper ~86%%), StPIM %.1f%% (paper ~30%%)\n",
+                cor_sum / n, st_sum / n);
+    return 0;
+}

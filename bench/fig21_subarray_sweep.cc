@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 21 — performance sensitivity to the PIM subarray count.
+ *
+ * The paper adjusts subarrays per bank and capacity per subarray
+ * and reports 128/256/512/1024 PIM subarrays at 1 / 1.74 / 3.0 /
+ * 3.2x the 128-subarray performance: scaling saturates as data
+ * dependencies (and the shared broadcast path) limit parallelism.
+ */
+
+#include <cstdio>
+
+#include "baselines/stream_pim_platform.hh"
+#include "bench_util.hh"
+#include "workloads/polybench.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+int
+main()
+{
+    const unsigned dim = runDim();
+    std::printf("Fig. 21: performance vs PIM subarray count "
+                "(dim=%u), normalized to 128\n\n", dim);
+
+    const std::vector<unsigned> counts = {128, 256, 512, 1024};
+    const std::vector<double> paper = {1.0, 1.74, 3.0, 3.2};
+
+    // Per-config mean time across workloads.
+    std::vector<double> mean_time;
+    for (unsigned subarrays : counts) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        // Keep 8 PIM banks; scale subarrays per bank and capacity
+        // per subarray to hold total capacity (as the paper does).
+        cfg.rm.subarraysPerBank = subarrays / cfg.rm.pimBanks;
+        cfg.rm.matsPerSubarray =
+            16 * 64 / cfg.rm.subarraysPerBank;
+        StreamPimPlatform stpim(cfg);
+
+        std::vector<double> times;
+        for (PolybenchKernel k : allPolybenchKernels())
+            times.push_back(stpim.run(makePolybench(k, dim)).seconds);
+        mean_time.push_back(geoMean(times));
+    }
+
+    Table t({"PIM subarrays", "speedup vs 128", "paper"});
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        t.addRow({std::to_string(counts[i]),
+                  fmt(mean_time[0] / mean_time[i], 2) + "x",
+                  fmt(paper[i], 2) + "x"});
+    t.print();
+
+    std::printf("\nShape target: near-linear to 512, saturating at "
+                "1024.\n");
+    return 0;
+}

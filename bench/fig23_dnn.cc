@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 23 — end-to-end DNN inference (MLP and BERT) speedup over
+ * CPU-DRAM.
+ *
+ * Paper: MLP 54.77x vs CPU-DRAM and 1.86x vs CORUSCANT (nonlinear
+ * layers are a small fraction); BERT 4.49x vs CPU-DRAM and 1.97x
+ * vs CORUSCANT (more nonlinear work stays on the host).
+ */
+
+#include <cstdio>
+
+#include "baselines/coruscant.hh"
+#include "baselines/cpu_model.hh"
+#include "baselines/stream_pim_platform.hh"
+#include "bench_util.hh"
+#include "workloads/dnn.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+int
+main()
+{
+    std::printf("Fig. 23: DNN inference speedup vs CPU-DRAM\n\n");
+
+    CpuPlatform cpu_dram(HostMemKind::Dram);
+    CoruscantPlatform coruscant;
+    StreamPimPlatform stpim(SystemConfig::paperDefault());
+
+    struct Row
+    {
+        const char *name;
+        TaskGraph graph;
+        double paperVsCpu;
+        double paperVsCoruscant;
+    };
+    // The DNN configurations are the paper-scale ones by default
+    // (they are cheap to simulate relative to the dense kernels);
+    // BERT's layer count shrinks in quick mode only.
+    MlpConfig mlp_cfg;
+    BertConfig bert_cfg;
+    if (!fullRun() && runDim() < 2000)
+        bert_cfg.layers = 4;
+    std::vector<Row> rows;
+    rows.push_back({"MLP", makeMlp(mlp_cfg), 54.77, 1.86});
+    rows.push_back({"BERT", makeBert(bert_cfg), 4.49, 1.97});
+
+    Table t({"workload", "StPIM vs CPU-DRAM", "paper",
+             "StPIM vs CORUSCANT", "paper", "host-nonlinear%"});
+    for (auto &row : rows) {
+        double cpu_s = cpu_dram.run(row.graph).seconds;
+        double cor_s = coruscant.run(row.graph).seconds;
+        PlatformResult sp = stpim.run(row.graph);
+        double host_frac =
+            sp.timeCategory("host") / sp.seconds * 100;
+        t.addRow({row.name, fmt(cpu_s / sp.seconds, 2) + "x",
+                  fmt(row.paperVsCpu, 2) + "x",
+                  fmt(cor_s / sp.seconds, 2) + "x",
+                  fmt(row.paperVsCoruscant, 2) + "x",
+                  fmt(host_frac, 1)});
+    }
+    t.print();
+
+    std::printf("\nShape target: MLP gains an order more than BERT "
+                "(BERT's nonlinear layers stay on the host).\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot
+ * components: the event queue, the bit-accurate domain-wall logic,
+ * the functional bus stepping, and schedule execution. These are
+ * engineering numbers for simulator developers, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/executor.hh"
+#include "dwlogic/multiplier.hh"
+#include "bus/rm_bus.hh"
+#include "runtime/planner.hh"
+#include "sim/event_queue.hh"
+#include "workloads/polybench.hh"
+
+using namespace streampim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int events = int(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < events; ++i)
+            eq.schedule(Tick(i * 7 % 1000), [&sum] { sum++; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_BitAccurateMultiply(benchmark::State &state)
+{
+    LogicCounters c;
+    DwMultiplier mul(8, c);
+    Rng rng(7);
+    for (auto _ : state) {
+        auto a = unsigned(rng.below(256));
+        auto b = unsigned(rng.below(256));
+        benchmark::DoNotOptimize(mul.multiplyWords(a, b));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitAccurateMultiply);
+
+void
+BM_BusFunctionalTransfer(benchmark::State &state)
+{
+    const unsigned words = unsigned(state.range(0));
+    std::vector<std::uint64_t> payload(words, 0xA5);
+    for (auto _ : state) {
+        RmBus bus(64, 8);
+        Cycle cycles = 0;
+        benchmark::DoNotOptimize(bus.transferAll(payload, cycles));
+    }
+    state.SetItemsProcessed(state.iterations() * words);
+}
+BENCHMARK(BM_BusFunctionalTransfer)->Arg(256)->Arg(4096);
+
+void
+BM_PlanAndExecuteGemm(benchmark::State &state)
+{
+    const unsigned dim = unsigned(state.range(0));
+    SystemConfig cfg = SystemConfig::paperDefault();
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, dim);
+    Planner planner(cfg);
+    Executor executor(cfg);
+    for (auto _ : state) {
+        VpcSchedule sched = planner.plan(g);
+        benchmark::DoNotOptimize(executor.run(sched).makespan);
+    }
+}
+BENCHMARK(BM_PlanAndExecuteGemm)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

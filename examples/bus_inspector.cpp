@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bus inspector: watch the segmented RM bus move data, cycle by
+ * cycle (Fig. 12).
+ *
+ * Renders one lane of the domain-wall bus as a strip of segments
+ * ('[ab]' = data segment carrying byte 0xab, '[..]' = empty) while
+ * words are injected and shifted, illustrating the data/empty
+ * couple rule and the pipelined transfer. Also demonstrates the
+ * shift-fault argument: expected fault counts for the same payload
+ * under different pulse lengths.
+ *
+ * Build & run:  ./build/examples/example_bus_inspector
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bus/rm_bus.hh"
+#include "rm/fault.hh"
+#include "rm/params.hh"
+
+using namespace streampim;
+
+int
+main()
+{
+    std::printf("Segmented RM bus, one lane, 8 segments "
+                "(Fig. 12):\n\n");
+
+    RmBusLane lane(8);
+    const std::vector<std::uint8_t> payload = {0xA1, 0xB2, 0xC3,
+                                               0xD4};
+    std::size_t next = 0;
+    std::size_t received = 0;
+    Cycle cycle = 0;
+
+    // Track occupancy manually for the visualization.
+    std::vector<int> strip(8, -1);
+    auto draw = [&] {
+        std::printf("cycle %2llu  |", (unsigned long long)cycle);
+        for (int s : strip) {
+            if (s < 0)
+                std::printf("[..]");
+            else
+                std::printf("[%02X]", unsigned(s));
+        }
+        std::printf("|\n");
+    };
+
+    draw();
+    while (received < payload.size()) {
+        // Inject when both the entry segment and its successor are
+        // empty (the data/empty couple rule), which limits
+        // injection to every other cycle in steady state.
+        if (next < payload.size()) {
+            bool ok = lane.inject(payload[next]);
+            if (ok)
+                strip[0] = payload[next++];
+        }
+        // Shift every data/empty couple by one segment.
+        lane.step();
+        for (int i = 7; i-- > 0;) {
+            if (strip[i] >= 0 && strip[i + 1] < 0) {
+                strip[i + 1] = strip[i];
+                strip[i] = -1;
+            }
+        }
+        cycle++;
+        // Drain the output end.
+        if (auto out = lane.takeOutput()) {
+            std::printf("           -> word %02X arrived\n",
+                        unsigned(*out));
+            strip[7] = -1;
+            received++;
+        }
+        draw();
+    }
+    std::printf("\n%zu words delivered in %llu cycles "
+                "(pipelined injection).\n\n",
+                payload.size(), (unsigned long long)cycle);
+
+    // The shift-fault argument for segmentation (Sec. III-D).
+    RmParams rm;
+    ShiftFaultModel faults;
+    std::printf("shift-fault exposure for moving one word across "
+                "%u domains:\n", rm.busLengthDomains);
+    for (unsigned seg : {64u, 256u, 1024u, 4096u}) {
+        double expected = faults.expectedFaults(rm.busLengthDomains,
+                                                seg);
+        std::printf("  pulse length %4u domains: P(pulse fault) = "
+                    "%.5f, expected faults/transfer = %.5f\n",
+                    seg, faults.pulseFaultProbability(seg),
+                    expected);
+    }
+    std::printf("\nEvery pulse covers one segment, so the per-pulse "
+                "fault probability is bounded by the\nsegment size "
+                "regardless of total bus length — the Sec. III-D "
+                "design argument.\n");
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * stpim_sim — command-line driver for the timed simulator.
+ *
+ * Runs any workload on any platform/configuration and prints the
+ * execution report; the scriptable front end for exploring the
+ * design space beyond the canned figure benches.
+ *
+ * Usage:
+ *   example_stpim_sim [options]
+ *     --kernel <2mm|3mm|gemm|syrk|syr2k|atax|bicg|gesu|mvt|mlp|bert>
+ *     --dim <n>            base dimension (default 256)
+ *     --opt <base|distribute|unblock>
+ *     --bus <rm|electrical>
+ *     --subarrays <n>      PIM subarrays (default 512)
+ *     --segment <domains>  bus segment size (default 1024)
+ *     --duplicators <n>    per-processor duplicators (default 2)
+ *     --trace <path>       also dump the VPC trace
+ *     --stats              dump the full stat group
+ *
+ * Example:
+ *   ./build/examples/example_stpim_sim --kernel gemm --dim 512 \
+ *       --opt distribute --bus electrical
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baselines/stream_pim_platform.hh"
+#include "core/report.hh"
+#include "runtime/trace.hh"
+#include "workloads/dnn.hh"
+#include "workloads/polybench.hh"
+
+using namespace streampim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--kernel K] [--dim N] [--opt L] "
+                 "[--bus B]\n"
+                 "          [--subarrays N] [--segment N] "
+                 "[--duplicators N]\n"
+                 "          [--trace PATH] [--stats]\n",
+                 argv0);
+    std::exit(2);
+}
+
+TaskGraph
+buildWorkload(const std::string &kernel, unsigned dim)
+{
+    if (kernel == "mlp")
+        return makeMlp();
+    if (kernel == "bert")
+        return makeBert();
+    for (PolybenchKernel k : allPolybenchKernels())
+        if (kernel == polybenchName(k))
+            return makePolybench(k, dim);
+    std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel = "gemm";
+    std::string trace_path;
+    unsigned dim = 256;
+    bool dump_stats = false;
+    SystemConfig cfg = SystemConfig::paperDefault();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernel = next();
+        } else if (arg == "--dim") {
+            dim = unsigned(std::atoi(next().c_str()));
+        } else if (arg == "--opt") {
+            std::string v = next();
+            if (v == "base")
+                cfg.optLevel = OptLevel::Base;
+            else if (v == "distribute")
+                cfg.optLevel = OptLevel::Distribute;
+            else if (v == "unblock")
+                cfg.optLevel = OptLevel::Unblock;
+            else
+                usage(argv[0]);
+        } else if (arg == "--bus") {
+            std::string v = next();
+            if (v == "rm")
+                cfg.busType = BusType::RmBus;
+            else if (v == "electrical")
+                cfg.busType = BusType::Electrical;
+            else
+                usage(argv[0]);
+        } else if (arg == "--subarrays") {
+            unsigned n = unsigned(std::atoi(next().c_str()));
+            if (n == 0 || n % cfg.rm.pimBanks != 0) {
+                std::fprintf(stderr,
+                             "--subarrays must be a positive "
+                             "multiple of %u\n",
+                             cfg.rm.pimBanks);
+                return 2;
+            }
+            cfg.rm.subarraysPerBank = n / cfg.rm.pimBanks;
+            cfg.rm.matsPerSubarray =
+                16 * 64 / cfg.rm.subarraysPerBank;
+        } else if (arg == "--segment") {
+            cfg.rm.busSegmentSize =
+                unsigned(std::atoi(next().c_str()));
+        } else if (arg == "--duplicators") {
+            cfg.rm.duplicators =
+                unsigned(std::atoi(next().c_str()));
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    cfg.validate();
+
+    TaskGraph graph = buildWorkload(kernel, dim);
+    std::printf("workload %s: %llu MACs, %llu B working set\n",
+                graph.name.c_str(),
+                (unsigned long long)graph.totalMacs(),
+                (unsigned long long)graph.workingSetBytes());
+    std::printf("config: %s, %s bus, %u PIM subarrays, segment %u, "
+                "%u duplicators\n\n",
+                optLevelName(cfg.optLevel),
+                cfg.busType == BusType::RmBus ? "RM" : "electrical",
+                cfg.rm.pimSubarrays(), cfg.rm.busSegmentSize,
+                cfg.rm.duplicators);
+
+    StreamPimPlatform platform(cfg);
+    PlatformResult result = platform.run(graph);
+    const ExecutionReport &report = platform.lastReport();
+
+    std::printf("%s\n", summarizeReport(report).c_str());
+    std::printf("end-to-end (incl. host nonlinear): %.3e s, "
+                "%.3e J\n",
+                result.seconds, result.joules);
+
+    if (!trace_path.empty()) {
+        Planner planner(cfg);
+        VpcTrace trace;
+        trace.workload = graph.name;
+        trace.schedule = planner.plan(graph);
+        saveTraceFile(trace, trace_path);
+        std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (dump_stats) {
+        std::printf("\n");
+        dumpReport(report, std::cout, graph.name);
+    }
+    return 0;
+}

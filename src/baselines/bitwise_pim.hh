@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bit-serial processing-in-memory baselines: ELP2IM (process-in-
+ * DRAM, HPCA'20) and FELIX (process-in-NVM, ICCAD'18).
+ *
+ * Both compute arithmetic from serialized bit-level logical row
+ * operations: every row operation applies one bulk boolean step to
+ * entire memory rows, so many elements proceed in parallel, but an
+ * 8-bit add needs tens of row ops and an 8-bit multiply needs
+ * hundreds (shift-and-add over partial products). The platforms
+ * differ in the row-op latency/energy: ELP2IM pays DRAM
+ * activate/precharge cycles (tRC); FELIX's in-cell NVM logic
+ * executes a fused op per access without precharge.
+ *
+ * Following Sec. V-A, inter-subarray and inter-bank data movement is
+ * ignored (ideal case) and the memory core frequency matches
+ * Table III.
+ */
+
+#ifndef STREAMPIM_BASELINES_BITWISE_PIM_HH_
+#define STREAMPIM_BASELINES_BITWISE_PIM_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/platform.hh"
+
+namespace streampim
+{
+
+/** Parameters of one bit-serial row-op PIM platform. */
+struct BitwisePimParams
+{
+    std::string name;
+
+    double rowOpNs = 47.0;      //!< one bulk boolean row operation
+    double rowOpPj = 3000.0;    //!< energy of one row operation
+
+    /** Elements processed in parallel by one row op: row width in
+     * elements times the subarrays usable concurrently. */
+    std::uint64_t rowElements = 1024;
+    unsigned parallelSubarrays = 4;
+
+    /** Row ops per 8-bit addition (bit-serial majority/XOR chain). */
+    unsigned rowOpsPerAdd = 48;
+    /** Row ops per 8-bit multiplication (shift-and-add). */
+    unsigned rowOpsPerMul = 440;
+
+    /** Host-side cost of nonlinear elements (same host as CPU-RM). */
+    double hostNsPerNonlinearElement = 8.0;
+    double hostPjPerNonlinearElement = 80.0;
+
+    /** Background refresh power (DRAM-based platforms only). */
+    double backgroundRefreshMw = 0.0;
+
+    /** ELP2IM with the defaults above. */
+    static BitwisePimParams elp2im();
+    /** FELIX: no precharge phases, fused ops, fewer steps. */
+    static BitwisePimParams felix();
+};
+
+/** Bit-serial PIM platform model. */
+class BitwisePimPlatform : public Platform
+{
+  public:
+    explicit BitwisePimPlatform(BitwisePimParams params)
+        : params_(std::move(params))
+    {}
+
+    std::string name() const override { return params_.name; }
+    PlatformResult run(const TaskGraph &graph) override;
+
+    const BitwisePimParams &params() const { return params_; }
+
+  private:
+    BitwisePimParams params_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_BASELINES_BITWISE_PIM_HH_

@@ -1,0 +1,129 @@
+#include "baselines/coruscant.hh"
+
+namespace streampim
+{
+
+namespace
+{
+
+/** Accumulate n steps of {tr, wr, sh, cmos} into a breakdown. */
+void
+addSteps(CoruscantBreakdown &b, const CoruscantParams &p,
+         double steps, double tr_per, double wr_per, double sh_per,
+         double cmos_ns, double cmos_pj)
+{
+    const RmParams &rm = p.rm;
+    const double es = p.accessEnergyScale;
+    b.readNs += steps * tr_per * rm.readNs;
+    b.writeNs += steps * wr_per * rm.writeNs;
+    b.shiftNs += steps * sh_per * rm.shiftNs;
+    b.computeNs += steps * cmos_ns;
+    b.readPj += steps * tr_per * rm.readPj * es;
+    b.writePj += steps * wr_per * rm.writePj * es;
+    b.shiftPj += steps * sh_per * rm.shiftPj * es;
+    b.computePj += steps * cmos_pj;
+}
+
+} // namespace
+
+CoruscantBreakdown
+CoruscantPlatform::multiplyCost() const
+{
+    CoruscantBreakdown b;
+    const auto &p = params_;
+    addSteps(b, p, p.stepsPerMul, p.trReadsPerStep,
+             p.writesPerStep, p.shiftsPerStep, p.cmosNsPerStep,
+             p.cmosPjPerStep);
+    // Final product write-back.
+    b.writeNs += p.rm.writeNs;
+    b.writePj += p.rm.writePj * p.accessEnergyScale;
+    return b;
+}
+
+CoruscantBreakdown
+CoruscantPlatform::addCost() const
+{
+    CoruscantBreakdown b;
+    const auto &p = params_;
+    addSteps(b, p, 1.0, p.trReadsPerAdd, p.writesPerAdd,
+             p.shiftsPerAdd, p.cmosNsPerAdd, p.cmosPjPerAdd);
+    return b;
+}
+
+CoruscantBreakdown
+CoruscantPlatform::dotMacCost() const
+{
+    // Accumulation folds into the carry-save partial-product steps:
+    // a MAC costs one multiply procedure (no separate add pass).
+    return multiplyCost();
+}
+
+PlatformResult
+CoruscantPlatform::run(const TaskGraph &graph)
+{
+    CoruscantBreakdown total;
+    std::uint64_t nonlinear = 0;
+
+    for (const auto &op : graph.ops) {
+        const auto &a = graph.matrices[op.a];
+        std::uint64_t n = 0;
+        CoruscantBreakdown per;
+        switch (op.kind) {
+          case MatOpKind::MatMul:
+            n = std::uint64_t(a.rows) * a.cols *
+                graph.matrices[op.b].cols;
+            per = dotMacCost();
+            break;
+          case MatOpKind::MatVec:
+          case MatOpKind::MatVecT:
+            n = a.elements();
+            per = dotMacCost();
+            break;
+          case MatOpKind::MatAdd:
+            n = a.elements();
+            per = addCost();
+            break;
+          case MatOpKind::Scale:
+            n = a.elements();
+            per = multiplyCost();
+            break;
+          case MatOpKind::Nonlinear:
+            nonlinear += a.elements();
+            continue;
+        }
+        const double k = double(n);
+        total.readNs += per.readNs * k;
+        total.writeNs += per.writeNs * k;
+        total.shiftNs += per.shiftNs * k;
+        total.computeNs += per.computeNs * k;
+        total.readPj += per.readPj * k;
+        total.writePj += per.writePj * k;
+        total.shiftPj += per.shiftPj * k;
+        total.computePj += per.computePj * k;
+    }
+
+    // Ideal parallel execution across every PIM subarray; energy is
+    // the total across subarrays (work-invariant).
+    const double subarrays = double(params_.rm.pimSubarrays());
+    const double host_s =
+        double(nonlinear) * params_.hostNsPerNonlinearElement * 1e-9;
+    const double host_j =
+        double(nonlinear) * params_.hostPjPerNonlinearElement * 1e-12;
+
+    PlatformResult r;
+    r.seconds = total.totalNs() * 1e-9 / subarrays + host_s;
+    r.timeBreakdown["read"] = total.readNs * 1e-9 / subarrays;
+    r.timeBreakdown["write"] = total.writeNs * 1e-9 / subarrays;
+    r.timeBreakdown["shift"] = total.shiftNs * 1e-9 / subarrays;
+    r.timeBreakdown["process"] = total.computeNs * 1e-9 / subarrays;
+    r.timeBreakdown["host"] = host_s;
+    r.joules = total.totalPj() * 1e-12 + host_j;
+    r.energyBreakdown["read"] = total.readPj * 1e-12;
+    r.energyBreakdown["write"] = total.writePj * 1e-12;
+    r.energyBreakdown["shift"] = total.shiftPj * 1e-12;
+    r.energyBreakdown["process"] = total.computePj * 1e-12;
+    r.energyBreakdown["host"] = host_j;
+    return r;
+}
+
+} // namespace streampim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * CORUSCANT baseline: the state-of-the-art process-in-racetrack
+ * work (MICRO'22) that StreamPIM compares against (Secs. II-B, V).
+ *
+ * CORUSCANT places a CMOS arithmetic unit per subarray and
+ * accelerates operand fetch with Transverse Read (TR): one TR op
+ * senses a run of consecutive domains at once. Each arithmetic step
+ * still converts between the magnetic and electric domains:
+ * operands are TR-read into the CMOS unit, and intermediate results
+ * are written back into the racetracks (carry-save rows), which is
+ * the electromagnetic conversion overhead Figs. 4/19/20 break down.
+ *
+ * Per 8-bit operation procedure (derived from the TR multiplication
+ * algorithm; see DESIGN.md):
+ *   multiply: 8 partial-product steps, each {1 TR read, 1
+ *     intermediate write, 2 alignment shifts, CMOS carry logic},
+ *     plus one final result write.
+ *   add: {2 TR reads, 1 result write, 2 shifts, CMOS add}.
+ *   dot-product MAC: multiply with the accumulation folded into the
+ *     carry-save steps (no separate add).
+ *
+ * Following Sec. V-A this is the ideal case: one arithmetic unit per
+ * PIM subarray, all PIM subarrays busy, inter-subarray movement
+ * ignored.
+ */
+
+#ifndef STREAMPIM_BASELINES_CORUSCANT_HH_
+#define STREAMPIM_BASELINES_CORUSCANT_HH_
+
+#include <cstdint>
+
+#include "baselines/platform.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** CORUSCANT per-step procedure constants. */
+struct CoruscantParams
+{
+    RmParams rm; //!< shared device configuration (Table III)
+
+    unsigned stepsPerMul = 8;      //!< partial-product iterations
+    double trReadsPerStep = 0.5;
+    /** Carry-save keeps sum+carry in the unit across steps, so on
+     * average one row writeback covers more than one step. */
+    double writesPerStep = 0.65;
+    double shiftsPerStep = 0.48;   //!< operand/result alignment
+    double cmosNsPerStep = 4.69;   //!< CMOS carry logic per step
+    double cmosPjPerStep = 0.04;  //!< CMOS energy per step
+
+    /**
+     * CORUSCANT accesses are word-width (its CMOS unit is
+     * word-serial; TR senses domains of one track group), so its
+     * per-access energy is the Table III row energy scaled by the
+     * width ratio of a word group to the full row drivers.
+     */
+    double accessEnergyScale = 4.0 / 512.0;
+
+    double trReadsPerAdd = 2.0;
+    double writesPerAdd = 1.0;
+    double shiftsPerAdd = 1.0;
+    double cmosNsPerAdd = 4.0;
+    double cmosPjPerAdd = 0.03;
+
+    /** Host-side nonlinear cost (same host as CPU-RM). */
+    double hostNsPerNonlinearElement = 8.0;
+    double hostPjPerNonlinearElement = 80.0;
+};
+
+/** Per-category totals of one op mix (drives Figs. 4, 19, 20). */
+struct CoruscantBreakdown
+{
+    double readNs = 0, writeNs = 0, shiftNs = 0, computeNs = 0;
+    double readPj = 0, writePj = 0, shiftPj = 0, computePj = 0;
+
+    double totalNs() const
+    { return readNs + writeNs + shiftNs + computeNs; }
+    double totalPj() const
+    { return readPj + writePj + shiftPj + computePj; }
+};
+
+/** The CORUSCANT platform model. */
+class CoruscantPlatform : public Platform
+{
+  public:
+    explicit CoruscantPlatform(CoruscantParams params =
+                                   CoruscantParams{})
+        : params_(params)
+    {}
+
+    std::string name() const override { return "CORUSCANT"; }
+    PlatformResult run(const TaskGraph &graph) override;
+
+    /** Per-operation serial cost/energy in one subarray. @{ */
+    CoruscantBreakdown multiplyCost() const;
+    CoruscantBreakdown addCost() const;
+    CoruscantBreakdown dotMacCost() const;
+    /** @} */
+
+    const CoruscantParams &params() const { return params_; }
+
+  private:
+    CoruscantParams params_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_BASELINES_CORUSCANT_HH_

@@ -1,0 +1,61 @@
+#include "baselines/gpu_model.hh"
+
+#include <algorithm>
+
+namespace streampim
+{
+
+PlatformResult
+GpuPlatform::run(const TaskGraph &graph)
+{
+    // Data transfer: the whole working set crosses PCIe to the
+    // device, results come back.
+    const std::uint64_t ws =
+        graph.workingSetBytes() * params_.elementBytes;
+    const double transfer_s =
+        double(ws) * 2.0 / params_.pcieBandwidth;
+
+    // Kernel time: bandwidth-bound for these low-intensity kernels,
+    // compute-bound ceiling for the dense ones; one launch per op.
+    double kernel_s = 0.0;
+    for (const auto &op : graph.ops) {
+        const auto &a = graph.matrices[op.a];
+        std::uint64_t macs = 0;
+        std::uint64_t bytes = 0;
+        switch (op.kind) {
+          case MatOpKind::MatMul:
+            macs = std::uint64_t(a.rows) * a.cols *
+                   graph.matrices[op.b].cols;
+            bytes = (a.elements() + graph.matrices[op.b].elements() +
+                     graph.matrices[op.c].elements()) *
+                    params_.elementBytes;
+            break;
+          case MatOpKind::MatVec:
+          case MatOpKind::MatVecT:
+            macs = a.elements();
+            bytes = a.elements() * params_.elementBytes;
+            break;
+          case MatOpKind::MatAdd:
+          case MatOpKind::Scale:
+          case MatOpKind::Nonlinear:
+            macs = a.elements();
+            bytes = 3 * a.elements() * params_.elementBytes;
+            break;
+        }
+        const double compute_s =
+            double(macs) / params_.peakMacsPerSec;
+        const double mem_s = double(bytes) / params_.memBandwidth;
+        kernel_s += std::max(compute_s, mem_s) +
+                    params_.kernelLaunchUs * 1e-6;
+    }
+
+    PlatformResult r;
+    r.seconds = transfer_s + kernel_s;
+    r.timeBreakdown["transfer"] = transfer_s;
+    r.timeBreakdown["kernel"] = kernel_s;
+    r.joules = params_.boardWatts * r.seconds;
+    r.energyBreakdown["board"] = r.joules;
+    return r;
+}
+
+} // namespace streampim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * GPU platform model for the Fig. 3b breakdown.
+ *
+ * Substitution note: the paper measures an RTX 3080. What Fig. 3b
+ * establishes is that for the small matrix-vector kernels the GPU
+ * spends ~90% of end-to-end time copying data between host memory
+ * and device memory. We model exactly that: PCIe transfer of the
+ * working set each way, kernel launch overheads, and a
+ * bandwidth-bound kernel time against GDDR6X.
+ */
+
+#ifndef STREAMPIM_BASELINES_GPU_MODEL_HH_
+#define STREAMPIM_BASELINES_GPU_MODEL_HH_
+
+#include "baselines/platform.hh"
+
+namespace streampim
+{
+
+/** RTX 3080-class parameters. */
+struct GpuParams
+{
+    double pcieBandwidth = 12.0e9;   //!< bytes/s effective PCIe 3 x16
+    double memBandwidth = 760.0e9;   //!< GDDR6X bytes/s
+    double peakMacsPerSec = 14.9e12; //!< FP32 FMA throughput
+    double kernelLaunchUs = 8.0;     //!< per-kernel launch latency
+    unsigned elementBytes = 4;       //!< FP32
+    double boardWatts = 220.0;       //!< average active power
+};
+
+/** GPU offload platform (Fig. 3b). */
+class GpuPlatform : public Platform
+{
+  public:
+    explicit GpuPlatform(GpuParams params = GpuParams{})
+        : params_(params)
+    {}
+
+    std::string name() const override { return "GPU"; }
+    PlatformResult run(const TaskGraph &graph) override;
+
+  private:
+    GpuParams params_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_BASELINES_GPU_MODEL_HH_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The common platform interface of the evaluation (Sec. V-A).
+ *
+ * Every computing platform — CPU-RM, CPU-DRAM, the GPU, ELP2IM,
+ * FELIX, CORUSCANT, StPIM-e and StPIM — executes the same TaskGraph
+ * and reports wall-clock time, energy, and a category breakdown.
+ * Speedups/efficiencies in the figure benches are ratios of these
+ * reports.
+ */
+
+#ifndef STREAMPIM_BASELINES_PLATFORM_HH_
+#define STREAMPIM_BASELINES_PLATFORM_HH_
+
+#include <map>
+#include <string>
+
+#include "workloads/task_graph.hh"
+
+namespace streampim
+{
+
+/** Execution outcome of one workload on one platform. */
+struct PlatformResult
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+
+    /** Wall-clock seconds per category (compute, mem, ...). */
+    std::map<std::string, double> timeBreakdown;
+
+    /** Joules per category. */
+    std::map<std::string, double> energyBreakdown;
+
+    double
+    timeCategory(const std::string &key) const
+    {
+        auto it = timeBreakdown.find(key);
+        return it == timeBreakdown.end() ? 0.0 : it->second;
+    }
+
+    double
+    energyCategory(const std::string &key) const
+    {
+        auto it = energyBreakdown.find(key);
+        return it == energyBreakdown.end() ? 0.0 : it->second;
+    }
+};
+
+/** Abstract computing platform. */
+class Platform
+{
+  public:
+    virtual ~Platform() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Execute the workload, returning time/energy estimates. */
+    virtual PlatformResult run(const TaskGraph &graph) = 0;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_BASELINES_PLATFORM_HH_

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Electrical in-subarray bus model for the StPIM-e ablation.
+ *
+ * StPIM-e (Sec. V-A) is StreamPIM with the in-subarray RM buses
+ * replaced by conventional electrical buses. Moving data between a
+ * domain-wall component and an electrical wire requires
+ * electromagnetic conversion:
+ *
+ *  - Mat egress: reading a stored word senses bits through access
+ *    ports; bits of one element lie along a track, so the track
+ *    shifts one step per bit between port reads.
+ *  - Processor ingress: the RM processor consumes operands as domain
+ *    trains on single nanowires. An electrical ingress must nucleate
+ *    that train through a write port one domain at a time, shifting
+ *    the track between writes — kOperandBits x (write + shift) per
+ *    word. This per-bit serialization is the electromagnetic
+ *    conversion overhead StreamPIM eliminates.
+ *  - Processor egress / mat ingress: symmetric.
+ *
+ * Conversion operations are read/write operations and therefore
+ * mutually exclusive with shift-based computation inside a subarray
+ * (Sec. IV-C), so the executor serializes them with compute.
+ */
+
+#ifndef STREAMPIM_BUS_ELECTRICAL_BUS_HH_
+#define STREAMPIM_BUS_ELECTRICAL_BUS_HH_
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "rm/energy.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** Timing/energy of the electrical in-subarray bus (StPIM-e). */
+class ElectricalBusTiming
+{
+  public:
+    explicit ElectricalBusTiming(const RmParams &params)
+        : params_(params)
+    {}
+
+    /**
+     * Ticks to build one operand word inside a processor input
+     * track: one write plus one alignment shift per bit. The two
+     * operand tracks of an element load in parallel (each has its
+     * own port), so this is also the per-element ingress time.
+     */
+    Tick
+    wordIngressTicks() const
+    {
+        return kOperandBits *
+               (params_.writeTicks() + params_.shiftTicks(1));
+    }
+
+    /**
+     * Ticks to sense one result word out of a processor output track
+     * and drive it onto the electrical bus: read + shift per bit.
+     */
+    Tick
+    wordEgressTicks(unsigned bits) const
+    {
+        return bits * (params_.readTicks() + params_.shiftTicks(1));
+    }
+
+    /**
+     * Fraction of the conversion time hidden by double-buffered
+     * ingress tracks: while the processor consumes buffer A, the
+     * next element nucleates into buffer B. The remaining fraction
+     * is exposed because buffer swap is a read/write-domain action
+     * and serializes with the subarray's shift work (Sec. IV-C).
+     */
+    static constexpr double kConversionOverlap = 0.2;
+
+    /**
+     * Exposed (serialized) conversion time charged per streamed
+     * element of a VPC. Ingress and egress tracks have independent
+     * ports and overlap each other, so the per-element cost is
+     * their maximum, reduced by the double-buffering overlap.
+     * @param result_bits_per_element result bits written back per
+     *        element (0 for dot products, which emit one scalar per
+     *        whole VPC).
+     */
+    Tick
+    perElementConversionTicks(unsigned result_bits_per_element) const
+    {
+        Tick ingress = wordIngressTicks();
+        Tick egress = result_bits_per_element
+            ? wordEgressTicks(result_bits_per_element)
+            : 0;
+        Tick raw = ingress > egress ? ingress : egress;
+        return Tick(double(raw) * (1.0 - kConversionOverlap));
+    }
+
+    /**
+     * Energy of one single-track local-port pulse. Access energy is
+     * driver-dominated and scales with the driven width: the mat row
+     * drivers of Table III span saveTracksPerMat tracks, while the
+     * processor-boundary nucleation pads drive a single track.
+     */
+    double
+    localPulsePj(double row_pj) const
+    {
+        return row_pj / double(params_.saveTracksPerMat);
+    }
+
+    /** Record ingress conversion energy for @p elements elements. */
+    void
+    recordIngressEnergy(RmEnergyModel &, EnergyMeter &meter,
+                        std::uint64_t elements) const
+    {
+        // Two operand words per element, one write + one shift per
+        // bit of each, on single-track local ports.
+        const std::uint64_t bits = elements * 2ULL * kOperandBits;
+        meter.record(EnergyOp::BusElectrical,
+                     localPulsePj(params_.writePj) +
+                         localPulsePj(params_.shiftPj),
+                     bits);
+    }
+
+    /** Record egress conversion energy for @p words result words. */
+    void
+    recordEgressEnergy(EnergyMeter &meter, std::uint64_t words,
+                       unsigned bits_per_word) const
+    {
+        const std::uint64_t bits =
+            words * std::uint64_t(bits_per_word);
+        meter.record(EnergyOp::BusElectrical,
+                     localPulsePj(params_.readPj) +
+                         localPulsePj(params_.shiftPj),
+                     bits);
+    }
+
+  private:
+    const RmParams &params_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_BUS_ELECTRICAL_BUS_HH_

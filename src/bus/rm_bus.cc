@@ -1,0 +1,120 @@
+#include "bus/rm_bus.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+RmBusLane::RmBusLane(unsigned segments) : slots_(segments)
+{
+    SPIM_ASSERT(segments >= 2,
+                "a lane needs at least a data and an empty segment");
+}
+
+bool
+RmBusLane::inject(std::uint64_t word)
+{
+    // A data segment must always be followed by an empty segment in
+    // the transfer direction (Fig. 12): injection requires both the
+    // entry segment and its successor to be empty, which limits
+    // injection to every other cycle in steady state.
+    if (slots_[0].has_value() || slots_[1].has_value())
+        return false;
+    slots_.front() = word;
+    return true;
+}
+
+unsigned
+RmBusLane::step()
+{
+    // Sweep from the output end so each couple moves at most once
+    // per pulse; a data segment advances only into an empty segment.
+    unsigned moved = 0;
+    for (std::size_t i = slots_.size() - 1; i-- > 0;) {
+        if (slots_[i].has_value() && !slots_[i + 1].has_value()) {
+            slots_[i + 1] = slots_[i];
+            slots_[i].reset();
+            moved++;
+        }
+    }
+    return moved;
+}
+
+std::optional<std::uint64_t>
+RmBusLane::peekOutput() const
+{
+    return slots_.back();
+}
+
+std::optional<std::uint64_t>
+RmBusLane::takeOutput()
+{
+    auto out = slots_.back();
+    slots_.back().reset();
+    return out;
+}
+
+unsigned
+RmBusLane::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &s : slots_)
+        n += s.has_value();
+    return n;
+}
+
+RmBus::RmBus(unsigned lanes, unsigned segments) : segments_(segments)
+{
+    SPIM_ASSERT(lanes > 0, "bus needs at least one lane");
+    lanes_.reserve(lanes);
+    for (unsigned i = 0; i < lanes; ++i)
+        lanes_.emplace_back(segments);
+}
+
+RmBusLane &
+RmBus::lane(unsigned i)
+{
+    SPIM_ASSERT(i < lanes_.size(), "lane index out of range");
+    return lanes_[i];
+}
+
+unsigned
+RmBus::step()
+{
+    unsigned moved = 0;
+    for (auto &l : lanes_)
+        moved += l.step();
+    return moved;
+}
+
+std::vector<std::uint64_t>
+RmBus::transferAll(const std::vector<std::uint64_t> &words,
+                   Cycle &cycles_taken)
+{
+    std::vector<std::uint64_t> arrived;
+    arrived.reserve(words.size());
+    std::size_t next = 0;
+    cycles_taken = 0;
+
+    while (arrived.size() < words.size()) {
+        // Inject as many pending words as lanes accept this cycle.
+        for (auto &l : lanes_) {
+            if (next >= words.size())
+                break;
+            if (l.inject(words[next]))
+                next++;
+        }
+        step();
+        cycles_taken++;
+        // Collect arrivals.
+        for (auto &l : lanes_) {
+            if (auto w = l.takeOutput())
+                arrived.push_back(*w);
+        }
+        SPIM_ASSERT(cycles_taken < 1'000'000'000ULL,
+                    "bus transfer failed to make progress");
+    }
+    return arrived;
+}
+
+} // namespace streampim

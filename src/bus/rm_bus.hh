@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The segmented domain-wall nanowire bus (Sec. III-D, Fig. 12).
+ *
+ * Design recap: a bus nanowire is divided into equal-length segments.
+ * A segment either carries data or is empty, and every data segment
+ * is followed by an empty segment in the transfer direction. Each
+ * cycle, every data/empty segment couple shifts by exactly one
+ * segment length, which (1) makes the shift-current duration and
+ * density constant, (2) pipelines transfers from different sources,
+ * and (3) bounds shift-fault accumulation to one segment per pulse.
+ *
+ * Two models live here:
+ *  - RmBusLane / RmBus: cycle-stepped functional model moving real
+ *    words through segments (tests + the bus_inspector example),
+ *  - RmBusTiming: closed-form cycles/energy used by the timed
+ *    architecture simulation, validated against the functional model.
+ */
+
+#ifndef STREAMPIM_BUS_RM_BUS_HH_
+#define STREAMPIM_BUS_RM_BUS_HH_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "rm/energy.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** One nanowire lane of the segmented RM bus (functional model). */
+class RmBusLane
+{
+  public:
+    /** @param segments number of segments along the lane. */
+    explicit RmBusLane(unsigned segments);
+
+    unsigned segments() const { return unsigned(slots_.size()); }
+
+    /**
+     * Inject a word into segment 0.
+     * @return false if segment 0 is still occupied (caller retries
+     * next cycle) — the "data segment must be followed by an empty
+     * segment" rule makes injection possible at most every other
+     * cycle in steady state.
+     */
+    bool inject(std::uint64_t word);
+
+    /**
+     * Advance one bus clock: every data segment whose successor is
+     * empty moves forward one segment (all couples shift with one
+     * pulse each, Fig. 12).
+     * @return number of data segments that moved.
+     */
+    unsigned step();
+
+    /** Word waiting at the output segment, if any. */
+    std::optional<std::uint64_t> peekOutput() const;
+
+    /** Remove and return the word at the output segment. */
+    std::optional<std::uint64_t> takeOutput();
+
+    /** Number of data segments currently in flight. */
+    unsigned occupancy() const;
+
+    /** True if every segment is empty. */
+    bool drained() const { return occupancy() == 0; }
+
+  private:
+    std::vector<std::optional<std::uint64_t>> slots_;
+};
+
+/** A full RM bus: several parallel lanes with shared clocking. */
+class RmBus
+{
+  public:
+    RmBus(unsigned lanes, unsigned segments);
+
+    unsigned lanes() const { return unsigned(lanes_.size()); }
+    unsigned segments() const { return segments_; }
+
+    RmBusLane &lane(unsigned i);
+
+    /** Step every lane one cycle; returns total segment moves. */
+    unsigned step();
+
+    /**
+     * Functional end-to-end transfer: push all of @p words through
+     * the bus (round-robin over lanes), collecting them at the far
+     * end in order per lane.
+     * @param[out] cycles_taken number of bus cycles consumed.
+     * @return the words in arrival order.
+     */
+    std::vector<std::uint64_t>
+    transferAll(const std::vector<std::uint64_t> &words,
+                Cycle &cycles_taken);
+
+  private:
+    unsigned segments_;
+    std::vector<RmBusLane> lanes_;
+};
+
+/**
+ * Closed-form timing/energy of the segmented bus.
+ *
+ * Element packing: one 8-bit element occupies one domain position of
+ * a group of 8 lanes (bit-parallel across lanes, elements serial
+ * along the wire), matching the mat layout. A segment of one lane
+ * group therefore carries busSegmentSize elements, and the whole bus
+ * moves (lanes/8) groups in parallel.
+ */
+class RmBusTiming
+{
+  public:
+    explicit RmBusTiming(const RmParams &params) : params_(params) {}
+
+    /** Segments along the bus = physical length / segment size. */
+    unsigned
+    segmentCount() const
+    {
+        return params_.busLengthDomains / params_.busSegmentSize;
+    }
+
+    /** Parallel lane groups (8 bit-lanes per element). */
+    unsigned
+    laneGroups() const
+    {
+        return params_.busLanes / 8;
+    }
+
+    /** Elements carried by one wave of data segments. */
+    std::uint64_t
+    elementsPerWave() const
+    {
+        return std::uint64_t(laneGroups()) * params_.busSegmentSize;
+    }
+
+    /**
+     * Cycles to move @p elements elements across the bus with
+     * pipelined injection: traversal (segmentCount) for the first
+     * wave, then a new wave every 2 cycles (each data segment needs
+     * a trailing empty segment).
+     */
+    Cycle
+    transferCycles(std::uint64_t elements) const
+    {
+        if (elements == 0)
+            return 0;
+        std::uint64_t waves =
+            (elements + elementsPerWave() - 1) / elementsPerWave();
+        return segmentCount() + 2 * (waves - 1);
+    }
+
+    /** Data segments needed to carry @p elements elements. */
+    std::uint64_t
+    dataSegments(std::uint64_t elements) const
+    {
+        return (elements + params_.busSegmentSize - 1) /
+               params_.busSegmentSize;
+    }
+
+    /**
+     * Record the shift energy of moving @p elements elements end to
+     * end: every occupied data segment is pulsed once per segment
+     * hop, on each of the segmentCount hops.
+     */
+    void
+    recordTransferEnergy(RmEnergyModel &energy,
+                         std::uint64_t elements) const
+    {
+        energy.busShift(params_.busSegmentSize,
+                        dataSegments(elements) * segmentCount());
+    }
+
+  private:
+    const RmParams &params_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_BUS_RM_BUS_HH_

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A small fixed-capacity bit vector used by the bit-accurate
+ * domain-wall logic models. Each bit corresponds to one magnetic
+ * domain; index 0 is the domain closest to the component's output in
+ * the shift direction.
+ */
+
+#ifndef STREAMPIM_COMMON_BITVEC_HH_
+#define STREAMPIM_COMMON_BITVEC_HH_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+/** Dynamic-width vector of bits with word conversion helpers. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** All-zero vector of @p n bits. */
+    explicit BitVec(std::size_t n) : bits_(n, false) {}
+
+    /** Vector initialized from a brace list, LSB first. */
+    BitVec(std::initializer_list<int> init)
+    {
+        bits_.reserve(init.size());
+        for (int b : init)
+            bits_.push_back(b != 0);
+    }
+
+    /** Build from the low @p n bits of @p word, LSB at index 0. */
+    static BitVec
+    fromWord(std::uint64_t word, std::size_t n)
+    {
+        BitVec v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v.bits_[i] = (word >> i) & 1u;
+        return v;
+    }
+
+    /** Reassemble into an integer; width must be <= 64. */
+    std::uint64_t
+    toWord() const
+    {
+        SPIM_ASSERT(bits_.size() <= 64, "BitVec too wide for toWord");
+        std::uint64_t w = 0;
+        for (std::size_t i = 0; i < bits_.size(); ++i)
+            if (bits_[i])
+                w |= std::uint64_t(1) << i;
+        return w;
+    }
+
+    std::size_t size() const { return bits_.size(); }
+    bool empty() const { return bits_.empty(); }
+
+    bool
+    get(std::size_t i) const
+    {
+        SPIM_ASSERT(i < bits_.size(), "BitVec index ", i, " out of ",
+                    bits_.size());
+        return bits_[i];
+    }
+
+    void
+    set(std::size_t i, bool v)
+    {
+        SPIM_ASSERT(i < bits_.size(), "BitVec index ", i, " out of ",
+                    bits_.size());
+        bits_[i] = v;
+    }
+
+    /** Append one bit at the MSB end. */
+    void push(bool v) { bits_.push_back(v); }
+
+    /** Widen (zero-extend) or truncate to @p n bits. */
+    void
+    resize(std::size_t n)
+    {
+        bits_.resize(n, false);
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    popcount() const
+    {
+        std::size_t c = 0;
+        for (bool b : bits_)
+            c += b;
+        return c;
+    }
+
+    /** MSB-first human-readable form, e.g. "0b0101". */
+    std::string
+    toString() const
+    {
+        std::string s = "0b";
+        for (std::size_t i = bits_.size(); i-- > 0;)
+            s += bits_[i] ? '1' : '0';
+        return s;
+    }
+
+    bool
+    operator==(const BitVec &o) const
+    {
+        return bits_ == o.bits_;
+    }
+
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+
+  private:
+    std::vector<bool> bits_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_COMMON_BITVEC_HH_

@@ -1,0 +1,95 @@
+#include "common/stats.hh"
+
+namespace streampim
+{
+
+StatHistogram::StatHistogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    SPIM_ASSERT(hi > lo, "histogram range must be non-empty");
+    SPIM_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+StatHistogram::sample(double v)
+{
+    samples_++;
+    if (v < lo_) {
+        underflow_++;
+        return;
+    }
+    if (v >= hi_) {
+        overflow_++;
+        return;
+    }
+    auto idx = static_cast<unsigned>(
+        (v - lo_) / (hi_ - lo_) * counts_.size());
+    if (idx >= counts_.size())
+        idx = unsigned(counts_.size()) - 1;
+    counts_[idx]++;
+}
+
+void
+StatHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+}
+
+std::uint64_t
+StatHistogram::bucketCount(unsigned i) const
+{
+    SPIM_ASSERT(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+StatCounter &
+StatGroup::counter(const std::string &leaf)
+{
+    return counters_[leaf];
+}
+
+StatAccumulator &
+StatGroup::accumulator(const std::string &leaf)
+{
+    return accumulators_[leaf];
+}
+
+const StatCounter &
+StatGroup::findCounter(const std::string &leaf) const
+{
+    auto it = counters_.find(leaf);
+    if (it == counters_.end())
+        SPIM_PANIC("unknown stat counter ", name_, ".", leaf);
+    return it->second;
+}
+
+bool
+StatGroup::hasCounter(const std::string &leaf) const
+{
+    return counters_.count(leaf) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : accumulators_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : accumulators_) {
+        os << name_ << '.' << kv.first << ".sum " << kv.second.sum()
+           << '\n';
+        os << name_ << '.' << kv.first << ".mean " << kv.second.mean()
+           << '\n';
+    }
+}
+
+} // namespace streampim

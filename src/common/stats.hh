@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lightweight statistics: named scalar counters, accumulators and
+ * histograms, collected in per-component StatGroup objects.
+ *
+ * Every device operation in the simulator (RM read/write/shift, gate
+ * add/mul, DRAM activate, bus conversions, ...) increments one of these
+ * stats; the figure benches aggregate them per category, which is how
+ * the energy/time breakdowns of Figs. 18-20 and Table V are produced.
+ */
+
+#ifndef STREAMPIM_COMMON_STATS_HH_
+#define STREAMPIM_COMMON_STATS_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+/** A named monotonically increasing counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A named accumulator of double samples (sum/min/max/mean). */
+class StatAccumulator
+{
+  public:
+    StatAccumulator() = default;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** A fixed-bucket histogram over [lo, hi) with overflow buckets. */
+class StatHistogram
+{
+  public:
+    StatHistogram(double lo, double hi, unsigned buckets);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t bucketCount(unsigned i) const;
+    unsigned buckets() const { return unsigned(counts_.size()); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * A group of named stats belonging to one component. Stats are owned
+ * by the group and referenced by stable pointers; groups can be dumped
+ * to a stream in "name value" format.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register (or fetch) a counter with the given leaf name. */
+    StatCounter &counter(const std::string &leaf);
+
+    /** Register (or fetch) an accumulator with the given leaf name. */
+    StatAccumulator &accumulator(const std::string &leaf);
+
+    /** Look up a counter; panics if it was never registered. */
+    const StatCounter &findCounter(const std::string &leaf) const;
+
+    bool hasCounter(const std::string &leaf) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+    /** Write all stats as "group.leaf value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+    const std::map<std::string, StatCounter> &counters() const
+    { return counters_; }
+    const std::map<std::string, StatAccumulator> &accumulators() const
+    { return accumulators_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, StatCounter> counters_;
+    std::map<std::string, StatAccumulator> accumulators_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_COMMON_STATS_HH_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Event-driven reference executor.
+ *
+ * An independent implementation of the VpcSchedule execution
+ * semantics on the discrete-event kernel (sim/event_queue.hh): each
+ * batch becomes a chain of events that wait for dependencies,
+ * acquire the same resources (subarray exclusivity, per-bank
+ * in-order issue, duplex buses, host link) and schedule their
+ * completions on the EventQueue.
+ *
+ * Its purpose is verification: the fast Executor computes the
+ * schedule with a single busy-until sweep, which is only correct if
+ * resource grants in issue order coincide with the event-driven
+ * timeline. The cross-validation tests run both executors on the
+ * planner's schedules and on randomly generated ones and require
+ * tick-identical makespans and batch completion times.
+ */
+
+#ifndef STREAMPIM_CORE_EVENT_EXECUTOR_HH_
+#define STREAMPIM_CORE_EVENT_EXECUTOR_HH_
+
+#include <vector>
+
+#include "core/executor.hh"
+#include "sim/event_queue.hh"
+
+namespace streampim
+{
+
+/** Minimal result of an event-driven replay. */
+struct EventExecutionResult
+{
+    Tick makespan = 0;
+    std::vector<Tick> batchDone; //!< completion tick per batch
+};
+
+/** Replays a schedule on the EventQueue. */
+class EventExecutor
+{
+  public:
+    explicit EventExecutor(const SystemConfig &config);
+
+    EventExecutionResult run(const VpcSchedule &schedule);
+
+  private:
+    SystemConfig cfg_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_CORE_EVENT_EXECUTOR_HH_

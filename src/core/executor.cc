@@ -1,0 +1,335 @@
+#include "core/executor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+Executor::Executor(const SystemConfig &config)
+    : cfg_(config), clock_(cfg_.rm.coreFreqHz),
+      procTiming_(cfg_.rm), busTiming_(cfg_.rm),
+      eBusTiming_(cfg_.rm), energy_(cfg_.rm, meter_),
+      subarrays_(cfg_.rm.totalSubarrays()),
+      bankIssueFree_(cfg_.rm.banks, 0),
+      bankBusFwd_(cfg_.rm.banks), bankBusRet_(cfg_.rm.banks)
+{
+    cfg_.validate();
+}
+
+unsigned
+Executor::bankOf(std::uint32_t subarray) const
+{
+    SPIM_ASSERT(subarray < subarrays_.size(),
+                "subarray ", subarray, " out of range");
+    return subarray / cfg_.rm.subarraysPerBank;
+}
+
+std::uint64_t
+Executor::resultElementsPerVpc(const VpcBatch &batch) const
+{
+    switch (batch.kind) {
+      case VpcKind::Mul:
+        return 1; // dot product emits one scalar
+      case VpcKind::Smul:
+      case VpcKind::Add:
+        return batch.vectorLen;
+      case VpcKind::Tran:
+        return 0;
+    }
+    return 0;
+}
+
+Cycle
+Executor::computeCycles(const VpcBatch &batch) const
+{
+    const std::uint64_t n = batch.vectorLen;
+    const std::uint64_t count = batch.vpcCount;
+    switch (batch.kind) {
+      case VpcKind::Mul:
+        return procTiming_.batchCycles(
+            count, n, procTiming_.dotProductCycles(n),
+            procTiming_.multiplyII());
+      case VpcKind::Smul:
+        return procTiming_.batchCycles(
+            count, n, procTiming_.scalarVectorMulCycles(n),
+            procTiming_.multiplyII());
+      case VpcKind::Add:
+        return procTiming_.batchCycles(
+            count, n, procTiming_.vectorAddCycles(n),
+            procTiming_.addII());
+      case VpcKind::Tran:
+        break;
+    }
+    SPIM_PANIC("computeCycles on a TRAN batch");
+}
+
+Tick
+Executor::runTransfer(const VpcBatch &batch, Tick ready)
+{
+    const std::uint64_t bytes = batch.elements();
+    const unsigned row_bytes = cfg_.rowBytes();
+    const std::uint64_t rows = (bytes + row_bytes - 1) / row_bytes;
+
+    const unsigned src_bank = bankOf(batch.subarray);
+    const unsigned dst_bank = bankOf(batch.dstSubarray);
+
+    // In-order issue with head-of-line blocking at the source bank:
+    // the command occupies the issue slot until its source subarray
+    // grants the read. Under unblock, issue is effectively
+    // per-subarray (Sec. IV-C) and the queue never blocks.
+    const bool hol = cfg_.headOfLineBlocking();
+    Tick issue = hol ? std::max(ready, bankIssueFree_[src_bank])
+                     : ready;
+
+    // Source read: electromagnetic conversion, one row op per row.
+    const Tick read_time = rows * cfg_.rm.readTicks();
+    TickSpan rd = subarrays_[batch.subarray].acquire(issue, read_time);
+    if (hol)
+        bankIssueFree_[src_bank] = rd.start;
+
+    // Bus hop(s): bank-internal bus for same-bank transfers, the
+    // shared device bus across banks; results heading to the
+    // memory/staging banks ride the return channel.
+    const bool returning = dst_bank >= cfg_.rm.pimBanks;
+    TickResource &bus = (src_bank == dst_bank)
+        ? (returning ? bankBusRet_[src_bank] : bankBusFwd_[src_bank])
+        : (returning ? deviceBusRet_ : deviceBusFwd_);
+    const unsigned bus_bpc = (src_bank == dst_bank)
+        ? cfg_.bankBusBytesPerCycle
+        : cfg_.deviceBusBytesPerCycle;
+    const Cycle bus_cycles = (bytes + bus_bpc - 1) / bus_bpc;
+    TickSpan bs = bus.acquire(rd.end, clock_.cyclesToTicks(bus_cycles));
+
+    // Destination write: conversion again, one row op per row.
+    const Tick write_time = rows * cfg_.rm.writeTicks();
+    TickSpan wr = subarrays_[batch.dstSubarray].acquire(bs.end,
+                                                        write_time);
+
+    // Accounting. Row operations are driver-dominated: one
+    // read/write energy quantum per row op regardless of width.
+    energy_.read(rows);
+    energy_.write(rows);
+    breakdown_.readTicks += read_time;
+    breakdown_.writeTicks += write_time;
+    transferSpans_.push_back({rd.start, rd.end});
+    transferSpans_.push_back({wr.start, wr.end});
+    return wr.end;
+}
+
+Tick
+Executor::runCompute(const VpcBatch &batch, Tick ready)
+{
+    const unsigned bank = bankOf(batch.subarray);
+    const std::uint64_t elements = batch.elements();
+    const std::uint64_t operand_streams =
+        batch.kind == VpcKind::Add || batch.kind == VpcKind::Mul ? 2
+                                                                 : 1;
+    const std::uint64_t in_elements = elements * operand_streams;
+    const std::uint64_t out_elements =
+        std::uint64_t(batch.vpcCount) * resultElementsPerVpc(batch);
+
+    const Cycle pipe_cycles = computeCycles(batch);
+    const Tick process_time = clock_.cyclesToTicks(pipe_cycles);
+
+    Tick transfer_time = 0; //!< serialized (non-overlapped) part
+    Tick fill_time = 0;     //!< RM-bus first-wave fill latency
+
+    if (cfg_.busType == BusType::RmBus) {
+        // The segmented bus streams operands concurrently with
+        // processing; only the first-wave traversal is exposed.
+        fill_time = clock_.cyclesToTicks(busTiming_.segmentCount());
+        busTiming_.recordTransferEnergy(energy_,
+                                        in_elements + out_elements);
+        // Mat streaming shifts: the subarray's shift driver pulses
+        // all active mats together, so one row pulse advances every
+        // operand/result stream by one row of rowBytes elements.
+        const std::uint64_t pulses =
+            (elements + cfg_.rowBytes() - 1) / cfg_.rowBytes();
+        energy_.matStreamShift(pulses);
+        breakdown_.shiftTicks +=
+            fill_time +
+            clock_.cyclesToTicks(busTiming_.transferCycles(
+                in_elements + out_elements));
+    } else {
+        // Electrical bus: per-element electromagnetic conversion,
+        // serialized with shift-based computation (RW/shift
+        // exclusion), plus per-VPC egress of dot-product scalars.
+        const unsigned result_bits = batch.kind == VpcKind::Mul
+            ? 0
+            : (batch.kind == VpcKind::Add ? kOperandBits + 1
+                                          : kProductBits);
+        transfer_time +=
+            elements *
+            eBusTiming_.perElementConversionTicks(result_bits);
+        if (batch.kind == VpcKind::Mul)
+            transfer_time += std::uint64_t(batch.vpcCount) *
+                             eBusTiming_.wordEgressTicks(
+                                 kAccumulatorBits);
+        eBusTiming_.recordIngressEnergy(energy_, meter_, elements);
+        eBusTiming_.recordEgressEnergy(
+            meter_, out_elements == 0 ? batch.vpcCount : out_elements,
+            out_elements == 0 ? kAccumulatorBits : kProductBits);
+        breakdown_.writeTicks += transfer_time;
+    }
+
+    const Tick duration = fill_time + process_time + transfer_time;
+
+    const bool hol = cfg_.headOfLineBlocking();
+    Tick issue = hol ? std::max(ready, bankIssueFree_[bank]) : ready;
+    TickSpan span = subarrays_[batch.subarray].acquire(issue, duration);
+    if (hol)
+        bankIssueFree_[bank] = span.start;
+
+    // Per-element processor energy.
+    switch (batch.kind) {
+      case VpcKind::Mul:
+        energy_.pimMul(elements);
+        energy_.pimAdd(elements);
+        break;
+      case VpcKind::Smul:
+        energy_.pimMul(elements);
+        break;
+      case VpcKind::Add:
+        energy_.pimAdd(elements);
+        break;
+      case VpcKind::Tran:
+        SPIM_PANIC("unreachable");
+    }
+
+    breakdown_.processTicks += process_time;
+    processSpans_.push_back(
+        {span.start + fill_time, span.start + fill_time + process_time});
+    if (fill_time)
+        transferSpans_.push_back({span.start, span.start + fill_time});
+    if (transfer_time)
+        transferSpans_.push_back({span.end - transfer_time, span.end});
+    return span.end;
+}
+
+Tick
+Executor::unionTicks(std::vector<Span> &spans)
+{
+    std::sort(spans.begin(), spans.end(),
+              [](const Span &a, const Span &b) {
+                  return a.start < b.start;
+              });
+    Tick total = 0;
+    Tick cur_start = 0;
+    Tick cur_end = 0;
+    bool open = false;
+    for (const Span &s : spans) {
+        if (s.end <= s.start)
+            continue;
+        if (!open) {
+            cur_start = s.start;
+            cur_end = s.end;
+            open = true;
+        } else if (s.start <= cur_end) {
+            cur_end = std::max(cur_end, s.end);
+        } else {
+            total += cur_end - cur_start;
+            cur_start = s.start;
+            cur_end = s.end;
+        }
+    }
+    if (open)
+        total += cur_end - cur_start;
+    return total;
+}
+
+ExecutionReport
+Executor::run(const VpcSchedule &schedule)
+{
+    // Reset per-run state so an Executor can be reused.
+    meter_.reset();
+    for (auto &s : subarrays_)
+        s.reset();
+    std::fill(bankIssueFree_.begin(), bankIssueFree_.end(), 0);
+    for (auto &b : bankBusFwd_)
+        b.reset();
+    for (auto &b : bankBusRet_)
+        b.reset();
+    deviceBusFwd_.reset();
+    deviceBusRet_.reset();
+    hostLink_.reset();
+    breakdown_ = TimeBreakdown{};
+    transferSpans_.clear();
+    processSpans_.clear();
+    maxEnd_ = 0;
+
+    done_.assign(schedule.batches.size(), 0);
+    Tick all_done = 0;
+
+    for (std::size_t i = 0; i < schedule.batches.size(); ++i) {
+        const VpcBatch &b = schedule.batches[i];
+
+        // Host link: commands stream to the device asynchronously;
+        // each VPC costs a fixed serialization slot.
+        TickSpan host = hostLink_.acquire(
+            0, Tick(b.vpcCount) * cfg_.vpcIssueTicks);
+
+        Tick ready = host.end;
+        if (b.barrier)
+            ready = std::max(ready, all_done);
+        if (b.depA != kNoBatch) {
+            SPIM_ASSERT(b.depA < i, "forward dependency");
+            ready = std::max(ready, done_[b.depA]);
+        }
+        if (b.depB != kNoBatch) {
+            SPIM_ASSERT(b.depB < i, "forward dependency");
+            ready = std::max(ready, done_[b.depB]);
+        }
+
+        Tick end = (b.kind == VpcKind::Tran)
+            ? runTransfer(b, ready)
+            : runCompute(b, ready);
+        done_[i] = end;
+        all_done = std::max(all_done, end);
+    }
+
+    ExecutionReport report;
+    report.makespan = all_done;
+    report.energy = meter_;
+    report.pimVpcs = schedule.pimVpcs();
+    report.moveVpcs = schedule.moveVpcs();
+    report.batches = schedule.batches.size();
+    for (const auto &s : subarrays_)
+        report.maxSubarrayBusy =
+            std::max(report.maxSubarrayBusy, s.busyTicks());
+    for (const auto &b : bankBusFwd_)
+        report.maxBankBusBusy =
+            std::max(report.maxBankBusBusy, b.busyTicks());
+    for (const auto &b : bankBusRet_)
+        report.maxBankBusBusy =
+            std::max(report.maxBankBusBusy, b.busyTicks());
+    report.deviceBusBusy =
+        deviceBusFwd_.busyTicks() + deviceBusRet_.busyTicks();
+    report.hostLinkBusy = hostLink_.busyTicks();
+
+    // Coverage breakdown (Fig. 19): union lengths of transfer and
+    // process spans, their intersection via inclusion-exclusion.
+    Tick transfer_cover = unionTicks(transferSpans_);
+    Tick process_cover = unionTicks(processSpans_);
+    std::vector<Span> both;
+    both.reserve(transferSpans_.size() + processSpans_.size());
+    both.insert(both.end(), transferSpans_.begin(),
+                transferSpans_.end());
+    both.insert(both.end(), processSpans_.begin(),
+                processSpans_.end());
+    Tick either_cover = unionTicks(both);
+
+    breakdown_.overlapped =
+        transfer_cover + process_cover - either_cover;
+    breakdown_.exclusiveTransfer =
+        transfer_cover - breakdown_.overlapped;
+    breakdown_.exclusiveProcess =
+        process_cover - breakdown_.overlapped;
+    breakdown_.idle =
+        all_done > either_cover ? all_done - either_cover : 0;
+    report.breakdown = breakdown_;
+    return report;
+}
+
+} // namespace streampim

@@ -1,0 +1,72 @@
+#include "core/report.hh"
+
+#include <sstream>
+
+namespace streampim
+{
+
+void
+reportToStats(const ExecutionReport &report, StatGroup &group)
+{
+    group.counter("makespan_ticks").inc(report.makespan);
+    group.counter("pim_vpcs").inc(report.pimVpcs);
+    group.counter("move_vpcs").inc(report.moveVpcs);
+    group.counter("batches").inc(report.batches);
+
+    const auto &b = report.breakdown;
+    group.counter("read_ticks").inc(b.readTicks);
+    group.counter("write_ticks").inc(b.writeTicks);
+    group.counter("shift_ticks").inc(b.shiftTicks);
+    group.counter("process_ticks").inc(b.processTicks);
+    group.counter("exclusive_transfer_ticks")
+        .inc(b.exclusiveTransfer);
+    group.counter("exclusive_process_ticks").inc(b.exclusiveProcess);
+    group.counter("overlapped_ticks").inc(b.overlapped);
+    group.counter("idle_ticks").inc(b.idle);
+
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(EnergyOp::NumOps); ++i) {
+        auto op = static_cast<EnergyOp>(i);
+        if (report.energy.count(op) == 0)
+            continue;
+        group.counter(std::string("ops_") + energyOpName(op))
+            .inc(report.energy.count(op));
+        group.accumulator(std::string("energy_pj_") +
+                          energyOpName(op))
+            .sample(report.energy.energyPj(op));
+    }
+}
+
+std::string
+summarizeReport(const ExecutionReport &report)
+{
+    std::ostringstream os;
+    os << "time " << report.seconds() * 1e3 << " ms, energy "
+       << report.joules() * 1e6 << " uJ, " << report.pimVpcs
+       << " PIM VPCs + " << report.moveVpcs << " move VPCs in "
+       << report.batches << " batches";
+    const auto &b = report.breakdown;
+    if (report.makespan > 0) {
+        os << "; coverage: transfer "
+           << 100.0 * double(b.exclusiveTransfer) /
+                  double(report.makespan)
+           << "%, process "
+           << 100.0 * double(b.exclusiveProcess) /
+                  double(report.makespan)
+           << "%, overlapped "
+           << 100.0 * double(b.overlapped) / double(report.makespan)
+           << "%";
+    }
+    return os.str();
+}
+
+void
+dumpReport(const ExecutionReport &report, std::ostream &os,
+           const std::string &group_name)
+{
+    StatGroup group(group_name);
+    reportToStats(report, group);
+    group.dump(os);
+}
+
+} // namespace streampim

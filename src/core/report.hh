@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reporting glue: turn ExecutionReports into StatGroups and
+ * human-readable summaries, so external tooling (and the benches)
+ * consume one stable format.
+ */
+
+#ifndef STREAMPIM_CORE_REPORT_HH_
+#define STREAMPIM_CORE_REPORT_HH_
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "core/executor.hh"
+
+namespace streampim
+{
+
+/** Copy an execution report's figures into a named stat group. */
+void reportToStats(const ExecutionReport &report, StatGroup &group);
+
+/** Render a compact multi-line summary of a report. */
+std::string summarizeReport(const ExecutionReport &report);
+
+/** Stream a report in `stat value` form (via reportToStats). */
+void dumpReport(const ExecutionReport &report, std::ostream &os,
+                const std::string &group_name = "streampim");
+
+} // namespace streampim
+
+#endif // STREAMPIM_CORE_REPORT_HH_

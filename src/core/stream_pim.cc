@@ -1,0 +1,186 @@
+#include "core/stream_pim.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+RmParams
+smallFunctionalParams()
+{
+    RmParams p;
+    p.banks = 2;
+    p.pimBanks = 2;
+    p.subarraysPerBank = 2;
+    p.matsPerSubarray = 4;
+    p.matBytes = 4 * 1024;      // 64 tracks x 512 domains / 8
+    p.saveTracksPerMat = 64;
+    p.transferTracksPerMat = 64;
+    p.transferMatsPerSubarray = 2;
+    p.domainsPerPort = 64;
+    p.busLanes = 8;
+    p.busLengthDomains = 512;
+    p.busSegmentSize = 128;
+    p.validate();
+    return p;
+}
+
+StreamPimSystem::StreamPimSystem(RmParams params)
+    : params_(params), map_(params_), decoder_(params_, map_),
+      queue_(1024)
+{
+    params_.validate();
+    const unsigned tracks = params_.saveTracksPerMat;
+    const unsigned domains = params_.domainsPerTrack();
+    const unsigned total = params_.totalSubarrays();
+    SPIM_ASSERT(total <= 64,
+                "functional geometry too large: ", total,
+                " subarrays; use the timed executor for full-size "
+                "configurations");
+    subarrays_.reserve(total);
+    for (unsigned i = 0; i < total; ++i)
+        subarrays_.push_back(std::make_unique<FunctionalSubarray>(
+            params_, params_.matsPerSubarray, tracks, domains));
+}
+
+std::uint64_t
+StreamPimSystem::capacityBytes() const
+{
+    return params_.totalBytes();
+}
+
+FunctionalSubarray &
+StreamPimSystem::subarray(unsigned global_id)
+{
+    SPIM_ASSERT(global_id < subarrays_.size(),
+                "subarray ", global_id, " out of range");
+    return *subarrays_[global_id];
+}
+
+StreamPimSystem::AddrPlace
+StreamPimSystem::place(Addr addr) const
+{
+    SPIM_ASSERT(addr < capacityBytes(), "address out of range");
+    const std::uint64_t per = params_.bytesPerSubarray();
+    return {unsigned(addr / per), addr % per};
+}
+
+void
+StreamPimSystem::write(Addr addr, std::span<const std::uint8_t> data)
+{
+    std::size_t done = 0;
+    while (done < data.size()) {
+        AddrPlace p = place(addr + done);
+        std::uint64_t room =
+            params_.bytesPerSubarray() - p.offset;
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(room, data.size() - done);
+        subarrays_[p.globalSubarray]->hostWrite(
+            p.offset, data.subspan(done, chunk));
+        done += chunk;
+    }
+}
+
+std::vector<std::uint8_t>
+StreamPimSystem::read(Addr addr, std::uint64_t count)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        AddrPlace p = place(addr + out.size());
+        std::uint64_t room =
+            params_.bytesPerSubarray() - p.offset;
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(room, count - out.size());
+        auto part =
+            subarrays_[p.globalSubarray]->hostRead(p.offset, chunk);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+bool
+StreamPimSystem::submit(const Vpc &vpc)
+{
+    return queue_.push(vpc);
+}
+
+VpcExecutionRecord
+StreamPimSystem::executeOne(const Vpc &vpc)
+{
+    VpcExecutionRecord rec;
+    rec.vpc = vpc;
+    rec.commands = decoder_.decode(vpc);
+
+    AddrPlace src1 = place(vpc.src1);
+    FunctionalSubarray &exec = *subarrays_[src1.globalSubarray];
+
+    if (vpc.kind == VpcKind::Tran) {
+        // Read at the source, write at the destination (possibly
+        // crossing banks).
+        auto data = read(vpc.src1, vpc.size);
+        write(vpc.dst, data);
+        rec.remoteOperands = true;
+        return rec;
+    }
+
+    // Operand collection: a remote src2 is staged into the
+    // executing subarray's scratch area (its last row region) via
+    // read/write commands, per the Fig. 14 decode rules.
+    const std::uint32_t operand_len =
+        vpc.kind == VpcKind::Smul ? 1 : vpc.size;
+    AddrPlace src2 = place(vpc.src2);
+    std::uint64_t src2_local = src2.offset;
+    if (src2.globalSubarray != src1.globalSubarray) {
+        auto staged = read(vpc.src2, operand_len);
+        src2_local = exec.capacityBytes() - operand_len;
+        exec.hostWrite(src2_local, staged);
+        rec.remoteOperands = true;
+    }
+
+    // Result destination: local mats via the RM bus when possible,
+    // otherwise a store-out through read/write commands.
+    AddrPlace dst = place(vpc.dst);
+    const bool dst_local =
+        dst.globalSubarray == src1.globalSubarray;
+    const std::uint32_t result_len =
+        vpc.kind == VpcKind::Mul ? 4 : vpc.size;
+    std::uint64_t dst_local_off = dst_local
+        ? dst.offset
+        : exec.capacityBytes() - operand_len - result_len;
+
+    auto res = exec.executeVpc(vpc.kind, src1.offset, src2_local,
+                               dst_local_off, vpc.size);
+    rec.busCycles = res.busCycles;
+    rec.pipelineCycles = res.pipelineCycles;
+
+    if (!dst_local) {
+        auto out = exec.hostRead(dst_local_off, result_len);
+        write(vpc.dst, out);
+        rec.remoteOperands = true;
+    }
+    return rec;
+}
+
+std::vector<VpcExecutionRecord>
+StreamPimSystem::processQueue()
+{
+    std::vector<VpcExecutionRecord> records;
+    while (!queue_.empty()) {
+        Vpc vpc = queue_.pop();
+        records.push_back(executeOne(vpc));
+        queue_.respond();
+    }
+    return records;
+}
+
+EnergyMeter
+StreamPimSystem::totalEnergy() const
+{
+    EnergyMeter total;
+    for (const auto &s : subarrays_)
+        total.merge(s->energy());
+    return total;
+}
+
+} // namespace streampim

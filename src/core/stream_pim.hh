@@ -1,0 +1,101 @@
+/**
+ * @file
+ * StreamPimSystem: the top-level functional device (Fig. 7 + 14).
+ *
+ * A byte-addressable RM device whose PIM-bank subarrays are full
+ * FunctionalSubarray instances (mats + RM bus + domain-wall
+ * processor). The host talks to it exactly as Sec. IV describes:
+ * regular reads/writes by address, and VPCs through the
+ * asynchronous queue; the device decodes each VPC (VpcDecoder),
+ * moves remote operands with read/write commands, executes the
+ * arithmetic in the owning subarray, and responds.
+ *
+ * This is the bit-accurate sibling of the fast timed executor: it
+ * computes real values with real domain movements. Examples and
+ * integration tests use it with a scaled-down geometry; the
+ * paper-scale timing experiments use Planner + Executor instead.
+ */
+
+#ifndef STREAMPIM_CORE_STREAM_PIM_HH_
+#define STREAMPIM_CORE_STREAM_PIM_HH_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mem/address.hh"
+#include "mem/subarray.hh"
+#include "rm/params.hh"
+#include "vpc/decoder.hh"
+#include "vpc/vpc.hh"
+
+namespace streampim
+{
+
+/** A small functional geometry that is cheap to instantiate. */
+RmParams smallFunctionalParams();
+
+/** Per-VPC execution record returned by the system. */
+struct VpcExecutionRecord
+{
+    Vpc vpc;
+    std::vector<BankCommand> commands;
+    Cycle busCycles = 0;
+    Cycle pipelineCycles = 0;
+    bool remoteOperands = false; //!< operand collection was needed
+};
+
+/** Top-level functional StreamPIM device. */
+class StreamPimSystem
+{
+  public:
+    /**
+     * @param params device geometry; every subarray is instantiated
+     *        functionally, so keep it small (smallFunctionalParams).
+     */
+    explicit StreamPimSystem(RmParams params =
+                                 smallFunctionalParams());
+
+    const RmParams &params() const { return params_; }
+    std::uint64_t capacityBytes() const;
+
+    /** Host memory interface. @{ */
+    void write(Addr addr, std::span<const std::uint8_t> data);
+    std::vector<std::uint8_t> read(Addr addr, std::uint64_t count);
+    /** @} */
+
+    /** Enqueue a VPC (asynchronous send, Sec. IV-B). */
+    bool submit(const Vpc &vpc);
+
+    /** Execute every queued VPC; returns one record per VPC. */
+    std::vector<VpcExecutionRecord> processQueue();
+
+    /** Responses delivered so far (send-response protocol). */
+    std::uint64_t responses() const { return queue_.responses(); }
+
+    /** Aggregate energy across all subarrays. */
+    EnergyMeter totalEnergy() const;
+
+    FunctionalSubarray &subarray(unsigned global_id);
+
+  private:
+    struct AddrPlace
+    {
+        unsigned globalSubarray;
+        std::uint64_t offset;
+    };
+
+    AddrPlace place(Addr addr) const;
+    VpcExecutionRecord executeOne(const Vpc &vpc);
+
+    RmParams params_;
+    AddressMap map_;
+    VpcDecoder decoder_;
+    VpcQueue queue_;
+    std::vector<std::unique_ptr<FunctionalSubarray>> subarrays_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_CORE_STREAM_PIM_HH_

@@ -1,0 +1,149 @@
+#include "dwlogic/extension.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+DwSubtractor::DwSubtractor(unsigned width, LogicCounters &counters)
+    : width_(width), counters_(counters), adder_(width, counters)
+{
+    SPIM_ASSERT(width_ > 0, "zero-width subtractor");
+}
+
+DwSubtractor::Result
+DwSubtractor::sub(const BitVec &a, const BitVec &b)
+{
+    SPIM_ASSERT(a.size() <= width_ && b.size() <= width_,
+                "subtractor operands too wide");
+    // a - b = a + ~b + 1: invert b through domain-wall inverters,
+    // then reuse the NAND full-adder chain with carry-in = 1.
+    DwGate inv(DwGateType::Not, counters_);
+    BitVec nb(width_);
+    for (unsigned i = 0; i < width_; ++i)
+        nb.set(i, inv.evalNot(i < b.size() && b.get(i)));
+    auto r = adder_.add(a, nb, true);
+    Result res;
+    res.difference = std::move(r.sum);
+    // Carry-out set means no borrow (a >= b).
+    res.borrow = !r.carry;
+    return res;
+}
+
+std::uint64_t
+DwSubtractor::subWords(std::uint64_t a, std::uint64_t b)
+{
+    return sub(BitVec::fromWord(a, width_),
+               BitVec::fromWord(b, width_))
+        .difference.toWord();
+}
+
+DwDivider::DwDivider(unsigned width, LogicCounters &counters)
+    : width_(width), counters_(counters), sub_(width + 1, counters),
+      restoreDiode_(counters)
+{
+    SPIM_ASSERT(width_ > 0, "zero-width divider");
+}
+
+DwDivider::Result
+DwDivider::divide(const BitVec &dividend, const BitVec &divisor)
+{
+    SPIM_ASSERT(dividend.size() <= width_ &&
+                    divisor.size() <= width_,
+                "divider operands too wide");
+    SPIM_ASSERT(divisor.popcount() > 0, "division by zero");
+
+    // Restoring division: remainder register one bit wider than the
+    // operands; each iteration shifts in the next dividend bit,
+    // trial-subtracts the divisor, and either keeps the difference
+    // (quotient bit 1) or restores via the diode-gated path
+    // (quotient bit 0).
+    BitVec rem(width_ + 1);
+    BitVec quot(width_);
+    BitVec wide_divisor = divisor;
+    wide_divisor.resize(width_ + 1);
+
+    for (unsigned step = 0; step < width_; ++step) {
+        const unsigned bit = width_ - 1 - step;
+        // Shift the remainder left by one and bring in the bit.
+        BitVec shifted(width_ + 1);
+        for (unsigned i = width_; i-- > 0;)
+            shifted.set(i + 1, rem.get(i));
+        shifted.set(0, bit < dividend.size() && dividend.get(bit));
+        counters_.shiftSteps += width_ + 1;
+
+        auto trial = sub_.sub(shifted, wide_divisor);
+        if (trial.borrow) {
+            // Restore: the original value flows back through the
+            // enabled diode.
+            restoreDiode_.enable();
+            for (unsigned i = 0; i <= width_; ++i) {
+                bool b = shifted.get(i);
+                restoreDiode_.passForward(b);
+            }
+            restoreDiode_.disable();
+            rem = shifted;
+            quot.set(bit, false);
+        } else {
+            rem = trial.difference;
+            quot.set(bit, true);
+        }
+    }
+
+    Result res;
+    res.quotient = std::move(quot);
+    rem.resize(width_);
+    res.remainder = std::move(rem);
+    return res;
+}
+
+DwDivider::WordResult
+DwDivider::divideWords(std::uint64_t dividend, std::uint64_t divisor)
+{
+    auto r = divide(BitVec::fromWord(dividend, width_),
+                    BitVec::fromWord(divisor, width_));
+    return {r.quotient.toWord(), r.remainder.toWord()};
+}
+
+DwSqrt::DwSqrt(unsigned width, LogicCounters &counters)
+    : width_(width), counters_(counters), sub_(width + 2, counters)
+{
+    SPIM_ASSERT(width_ > 0 && width_ % 2 == 0,
+                "sqrt width must be even");
+}
+
+BitVec
+DwSqrt::sqrt(const BitVec &x)
+{
+    SPIM_ASSERT(x.size() <= width_, "sqrt operand too wide");
+    // Classic bit-by-bit method: try setting each result bit from
+    // the top; keep it if (candidate)^2 <= x, checked with the
+    // subtractor so all arithmetic stays in the domain-wall units.
+    const unsigned out_bits = width_ / 2;
+    std::uint64_t value = x.toWord();
+    std::uint64_t result = 0;
+    for (unsigned step = 0; step < out_bits; ++step) {
+        const unsigned bit = out_bits - 1 - step;
+        std::uint64_t candidate = result | (std::uint64_t(1) << bit);
+        // candidate^2 computed as repeated shifted adds would be;
+        // the comparison itself runs through the subtractor.
+        std::uint64_t square = candidate * candidate;
+        if (square >> (width_ + 2) == 0) {
+            auto trial =
+                sub_.sub(BitVec::fromWord(value, width_ + 2),
+                         BitVec::fromWord(square, width_ + 2));
+            if (!trial.borrow)
+                result = candidate;
+        }
+        counters_.shiftSteps += 2; // result register shift
+    }
+    return BitVec::fromWord(result, out_bits);
+}
+
+std::uint64_t
+DwSqrt::sqrtWord(std::uint64_t x)
+{
+    return sqrt(BitVec::fromWord(x, width_)).toWord();
+}
+
+} // namespace streampim

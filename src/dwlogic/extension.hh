@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Extension arithmetic units (Sec. VI, "Supported operations").
+ *
+ * The paper notes that StreamPIM "can be extended to support plenty
+ * of more arithmetic operations" by integrating other specified
+ * processors, naming dividers and square-root extractors, and
+ * leaves them as future work. This module implements both from the
+ * same domain-wall building blocks as the core processor:
+ *
+ *  - DwSubtractor: two's-complement subtraction = inverters on the
+ *    second operand + the NAND full-adder chain with carry-in.
+ *  - DwDivider: restoring division, one quotient bit per iteration,
+ *    each iteration a shift + trial subtraction + conditional
+ *    restore (a domain-wall diode gates the restore path).
+ *  - DwSqrt: bit-by-bit (non-restoring flavor) integer square root
+ *    using the same subtractor.
+ *
+ * Like the core units, these are bit-accurate and count every gate
+ * and shift so extension-unit costs can be compared against the
+ * paper's core operations.
+ */
+
+#ifndef STREAMPIM_DWLOGIC_EXTENSION_HH_
+#define STREAMPIM_DWLOGIC_EXTENSION_HH_
+
+#include <cstdint>
+
+#include "common/bitvec.hh"
+#include "dwlogic/adder.hh"
+#include "dwlogic/gate.hh"
+
+namespace streampim
+{
+
+/** Two's-complement subtractor built on the NAND full adder. */
+class DwSubtractor
+{
+  public:
+    DwSubtractor(unsigned width, LogicCounters &counters);
+
+    unsigned width() const { return width_; }
+
+    struct Result
+    {
+        BitVec difference; //!< width() bits, two's complement
+        bool borrow;       //!< true if a < b (unsigned compare)
+    };
+
+    /** difference = a - b (mod 2^width). */
+    Result sub(const BitVec &a, const BitVec &b);
+
+    /** Convenience on words. @return a - b mod 2^width. */
+    std::uint64_t subWords(std::uint64_t a, std::uint64_t b);
+
+  private:
+    unsigned width_;
+    LogicCounters &counters_;
+    DwRippleCarryAdder adder_;
+};
+
+/** Restoring divider: one quotient bit per shift-subtract step. */
+class DwDivider
+{
+  public:
+    DwDivider(unsigned width, LogicCounters &counters);
+
+    unsigned width() const { return width_; }
+
+    struct Result
+    {
+        BitVec quotient;
+        BitVec remainder;
+    };
+
+    /**
+     * Unsigned division. Panics on division by zero (the hardware
+     * raises a fault line; the runtime must not issue it).
+     */
+    Result divide(const BitVec &dividend, const BitVec &divisor);
+
+    struct WordResult
+    {
+        std::uint64_t quotient;
+        std::uint64_t remainder;
+    };
+    WordResult divideWords(std::uint64_t dividend,
+                           std::uint64_t divisor);
+
+    /** Shift-subtract iterations per division (= operand width). */
+    unsigned iterations() const { return width_; }
+
+  private:
+    unsigned width_;
+    LogicCounters &counters_;
+    DwSubtractor sub_;
+    DwDiode restoreDiode_;
+};
+
+/** Bit-by-bit integer square root extractor. */
+class DwSqrt
+{
+  public:
+    DwSqrt(unsigned width, LogicCounters &counters);
+
+    unsigned width() const { return width_; }
+
+    /** floor(sqrt(x)) over a width()-bit input. */
+    BitVec sqrt(const BitVec &x);
+    std::uint64_t sqrtWord(std::uint64_t x);
+
+  private:
+    unsigned width_;
+    LogicCounters &counters_;
+    DwSubtractor sub_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_DWLOGIC_EXTENSION_HH_

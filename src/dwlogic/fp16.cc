@@ -1,0 +1,211 @@
+#include "dwlogic/fp16.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+namespace
+{
+
+constexpr unsigned kManBits = 10;
+constexpr unsigned kExpMax = 31;
+constexpr std::uint32_t kHidden = 1u << kManBits;
+
+} // namespace
+
+DwFp16::DwFp16(LogicCounters &counters)
+    : counters_(counters),
+      adder_(16, counters),
+      sub_(16, counters),
+      mul_(11, counters) // 11-bit significands (hidden bit + 10)
+{
+}
+
+Fp16Parts
+DwFp16::unpack(std::uint16_t bits)
+{
+    Fp16Parts p;
+    p.sign = (bits >> 15) & 1;
+    p.exponent = (bits >> kManBits) & 0x1F;
+    p.mantissa = bits & (kHidden - 1);
+    return p;
+}
+
+std::uint16_t
+DwFp16::pack(const Fp16Parts &parts)
+{
+    SPIM_ASSERT(parts.exponent >= 0 &&
+                    parts.exponent <= int(kExpMax),
+                "exponent out of range");
+    SPIM_ASSERT(parts.mantissa < kHidden, "mantissa too wide");
+    return std::uint16_t((std::uint16_t(parts.sign) << 15) |
+                         (std::uint16_t(parts.exponent)
+                          << kManBits) |
+                         std::uint16_t(parts.mantissa));
+}
+
+std::uint16_t
+DwFp16::add(std::uint16_t a_bits, std::uint16_t b_bits)
+{
+    Fp16Parts a = unpack(a_bits);
+    Fp16Parts b = unpack(b_bits);
+
+    // Special values.
+    if (a.isNan())
+        return a_bits;
+    if (b.isNan())
+        return b_bits;
+    if (a.isInf() && b.isInf())
+        return a.sign == b.sign
+            ? a_bits
+            : pack({false, int(kExpMax), 1}); // inf - inf = NaN
+    if (a.isInf())
+        return a_bits;
+    if (b.isInf())
+        return b_bits;
+
+    // Flush-to-zero semantics for subnormal inputs.
+    auto significand = [](const Fp16Parts &p) -> std::uint32_t {
+        if (p.exponent == 0)
+            return 0; // subnormals flushed
+        return kHidden | p.mantissa;
+    };
+    std::uint32_t sa = significand(a);
+    std::uint32_t sb = significand(b);
+    if (sa == 0)
+        return sb == 0 ? pack({a.sign && b.sign, 0, 0}) : b_bits;
+    if (sb == 0)
+        return a_bits;
+
+    // Align the smaller operand's significand: a variable-distance
+    // racetrack shift.
+    int ea = a.exponent, eb = b.exponent;
+    if (ea < eb) {
+        std::swap(ea, eb);
+        std::swap(sa, sb);
+        std::swap(a, b);
+    }
+    unsigned align = unsigned(ea - eb);
+    counters_.shiftSteps += align;
+    sb = align >= 16 ? 0 : sb >> align;
+
+    int exp = ea;
+    std::uint32_t mag;
+    bool sign;
+    if (a.sign == b.sign) {
+        // Magnitude add on the NAND ripple adder.
+        mag = std::uint32_t(adder_.addWords(sa, sb));
+        sign = a.sign;
+    } else {
+        // Magnitude subtract (larger minus smaller).
+        if (sa >= sb) {
+            mag = std::uint32_t(sub_.subWords(sa, sb));
+            sign = a.sign;
+        } else {
+            mag = std::uint32_t(sub_.subWords(sb, sa));
+            sign = b.sign;
+        }
+    }
+
+    if (mag == 0)
+        return pack({false, 0, 0});
+
+    // Normalize: leading-one scan + shift.
+    while (mag >= (kHidden << 1)) {
+        mag >>= 1;
+        exp += 1;
+        counters_.shiftSteps += 1;
+    }
+    while (mag < kHidden && exp > 1) {
+        mag <<= 1;
+        exp -= 1;
+        counters_.shiftSteps += 1;
+    }
+    if (exp >= int(kExpMax))
+        return pack({sign, int(kExpMax), 0}); // overflow -> inf
+    if (mag < kHidden)
+        return pack({sign, 0, 0}); // underflow -> zero (FTZ)
+    return pack({sign, exp, mag & (kHidden - 1)});
+}
+
+std::uint16_t
+DwFp16::mul(std::uint16_t a_bits, std::uint16_t b_bits)
+{
+    Fp16Parts a = unpack(a_bits);
+    Fp16Parts b = unpack(b_bits);
+    const bool sign = a.sign != b.sign;
+
+    if (a.isNan())
+        return a_bits;
+    if (b.isNan())
+        return b_bits;
+    const bool a_zeroish = a.exponent == 0;
+    const bool b_zeroish = b.exponent == 0;
+    if (a.isInf() || b.isInf()) {
+        if (a_zeroish || b_zeroish)
+            return pack({false, int(kExpMax), 1}); // 0 * inf = NaN
+        return pack({sign, int(kExpMax), 0});
+    }
+    if (a_zeroish || b_zeroish)
+        return pack({sign, 0, 0}); // FTZ
+
+    // 11x11-bit significand product through the Fig. 8 flow.
+    const std::uint32_t sa = kHidden | a.mantissa;
+    const std::uint32_t sb = kHidden | b.mantissa;
+    std::uint32_t prod = std::uint32_t(mul_.multiplyWords(sa, sb));
+
+    // Product is in [2^20, 2^22); normalize to [2^10, 2^11).
+    int exp = a.exponent + b.exponent - 15;
+    unsigned shift = kManBits;
+    if (prod >= (1u << (2 * kManBits + 1))) {
+        shift += 1;
+        exp += 1;
+    }
+    counters_.shiftSteps += shift;
+    std::uint32_t mag = prod >> shift;
+
+    if (exp >= int(kExpMax))
+        return pack({sign, int(kExpMax), 0});
+    if (exp <= 0)
+        return pack({sign, 0, 0}); // FTZ
+    return pack({sign, exp, mag & (kHidden - 1)});
+}
+
+std::uint16_t
+DwFp16::fromInt(std::uint32_t value)
+{
+    if (value == 0)
+        return 0;
+    int msb = 31;
+    while (((value >> msb) & 1) == 0)
+        msb--;
+    int exp = 15 + msb;
+    if (exp >= int(kExpMax))
+        return pack({false, int(kExpMax), 0});
+    std::uint32_t mantissa;
+    if (msb >= int(kManBits))
+        mantissa = (value >> (msb - kManBits)) & (kHidden - 1);
+    else
+        mantissa = (value << (kManBits - msb)) & (kHidden - 1);
+    return pack({false, exp, mantissa});
+}
+
+std::uint32_t
+DwFp16::toInt(std::uint16_t bits)
+{
+    Fp16Parts p = unpack(bits);
+    if (p.sign || p.isNan() || p.exponent == 0)
+        return 0;
+    if (p.isInf())
+        return ~0u;
+    int unbiased = p.exponent - 15;
+    if (unbiased < 0)
+        return 0;
+    std::uint32_t sig = kHidden | p.mantissa;
+    if (unbiased >= int(kManBits))
+        return sig << (unbiased - kManBits);
+    return sig >> (kManBits - unbiased);
+}
+
+} // namespace streampim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Half-precision floating-point extension units (Sec. VI,
+ * "Supported operations": "by implementing and integrating other
+ * specified processors (e.g., ... floating-point processor),
+ * StreamPIM can be extended ... for a wider range of computation
+ * kernels (e.g., FFT and DNN training)").
+ *
+ * IEEE 754 binary16 (1 sign, 5 exponent, 10 mantissa bits),
+ * implemented entirely on the domain-wall integer units:
+ *
+ *  - unpack/pack are shift operations (field extraction is domain
+ *    routing, free of conversion);
+ *  - mantissa alignment is a variable shift (the racetrack's native
+ *    operation);
+ *  - mantissa add/sub uses the NAND ripple adder / subtractor;
+ *  - mantissa multiply uses the Fig. 8 duplicate-AND-reduce flow;
+ *  - normalization is a leading-one scan plus shift.
+ *
+ * Semantics: round-toward-zero (truncation), subnormals flushed to
+ * zero, +-inf and NaN propagated. These simplifications match what
+ * a first-generation in-memory FP unit would implement; the tests
+ * pin them explicitly.
+ */
+
+#ifndef STREAMPIM_DWLOGIC_FP16_HH_
+#define STREAMPIM_DWLOGIC_FP16_HH_
+
+#include <cstdint>
+
+#include "dwlogic/adder.hh"
+#include "dwlogic/extension.hh"
+#include "dwlogic/gate.hh"
+#include "dwlogic/multiplier.hh"
+
+namespace streampim
+{
+
+/** Unpacked binary16 value. */
+struct Fp16Parts
+{
+    bool sign = false;
+    int exponent = 0;        //!< biased, 0..31
+    std::uint32_t mantissa = 0; //!< 10 bits, no hidden bit
+
+    bool isZero() const { return exponent == 0 && mantissa == 0; }
+    bool isSubnormal() const
+    { return exponent == 0 && mantissa != 0; }
+    bool isInf() const { return exponent == 31 && mantissa == 0; }
+    bool isNan() const { return exponent == 31 && mantissa != 0; }
+};
+
+/** Domain-wall half-precision unit. */
+class DwFp16
+{
+  public:
+    explicit DwFp16(LogicCounters &counters);
+
+    /** Field extraction / packing (shift-domain routing). @{ */
+    static Fp16Parts unpack(std::uint16_t bits);
+    static std::uint16_t pack(const Fp16Parts &parts);
+    /** @} */
+
+    /** a + b with round-toward-zero, flush-to-zero semantics. */
+    std::uint16_t add(std::uint16_t a, std::uint16_t b);
+
+    /** a * b with the same semantics. */
+    std::uint16_t mul(std::uint16_t a, std::uint16_t b);
+
+    /** Convert a small unsigned integer to binary16 (exact when
+     * representable, truncated otherwise). */
+    static std::uint16_t fromInt(std::uint32_t value);
+
+    /** Truncate a binary16 toward zero into an unsigned integer;
+     * NaN/negative map to 0, overflow saturates. */
+    static std::uint32_t toInt(std::uint16_t bits);
+
+  private:
+    LogicCounters &counters_;
+    DwRippleCarryAdder adder_;
+    DwSubtractor sub_;
+    DwMultiplier mul_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_DWLOGIC_FP16_HH_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Domain-wall scalar multiplier (Sec. III-C, Fig. 8).
+ *
+ * An n-bit scalar multiplication A*B proceeds in three steps:
+ *   1. duplicate operand A (n replicas, one per partial product row),
+ *   2. produce partial products A * b_i with AND gates,
+ *   3. sum the shifted partial products in the adder tree.
+ *
+ * The multiplier here owns only steps 2-3; the Duplicator supplies
+ * the replicas. For convenience, multiply() drives a caller-provided
+ * duplicator through the n duplications exactly as the pipeline
+ * would.
+ */
+
+#ifndef STREAMPIM_DWLOGIC_MULTIPLIER_HH_
+#define STREAMPIM_DWLOGIC_MULTIPLIER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "dwlogic/adder.hh"
+#include "dwlogic/duplicator.hh"
+#include "dwlogic/gate.hh"
+
+namespace streampim
+{
+
+/** Bit-accurate n-bit unsigned multiplier. */
+class DwMultiplier
+{
+  public:
+    DwMultiplier(unsigned width, LogicCounters &counters);
+
+    unsigned width() const { return width_; }
+
+    /** Product width = 2n bits. */
+    unsigned productWidth() const { return 2 * width_; }
+
+    /**
+     * Generate the i-th partial product row: replica AND b_i,
+     * left-shifted by i (zero bits below).
+     */
+    BitVec partialProduct(const BitVec &replica, bool b_bit,
+                          unsigned row) const;
+
+    /**
+     * Multiply using pre-duplicated replicas (one per bit of b).
+     * @param replicas exactly width() copies of operand a
+     * @param b multiplier operand
+     */
+    BitVec multiplyReplicas(const std::vector<BitVec> &replicas,
+                            const BitVec &b);
+
+    /**
+     * Full Fig. 8 flow: drive @p dup to produce the replicas, then
+     * AND + adder-tree. @p dup must be Ready holding operand a.
+     */
+    BitVec multiply(Duplicator &dup, const BitVec &b);
+
+    /** Convenience for word inputs (width <= 32). */
+    std::uint64_t multiplyWords(std::uint64_t a, std::uint64_t b);
+
+  private:
+    unsigned width_;
+    LogicCounters &counters_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_DWLOGIC_MULTIPLIER_HH_

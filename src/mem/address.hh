@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Physical address decomposition for the RM device.
+ *
+ * Layout (matching Fig. 2/7): the byte address splits top-down into
+ * bank, subarray, mat and byte-in-mat. Inside a mat, data is laid
+ * out in "word rows": with 512 save tracks and 8-bit elements, 64
+ * consecutive bytes sit side by side across the tracks at the same
+ * domain position; the next 64 bytes use the next domain position.
+ * An element's 8 bits therefore occupy one domain position of 8
+ * adjacent tracks, and a whole vector stored contiguously lies along
+ * the track direction — which is what lets StreamPIM stream it out
+ * with shift operations.
+ */
+
+#ifndef STREAMPIM_MEM_ADDRESS_HH_
+#define STREAMPIM_MEM_ADDRESS_HH_
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** Fully decoded location of one byte in the RM device. */
+struct RmLocation
+{
+    unsigned bank;
+    unsigned subarray;   //!< within the bank
+    unsigned mat;        //!< within the subarray
+    unsigned trackGroup; //!< first of the 8 tracks holding the byte
+    unsigned domain;     //!< domain position along those tracks
+
+    bool
+    operator==(const RmLocation &o) const
+    {
+        return bank == o.bank && subarray == o.subarray &&
+               mat == o.mat && trackGroup == o.trackGroup &&
+               domain == o.domain;
+    }
+};
+
+/** Address mapping helpers bound to one device geometry. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const RmParams &params) : params_(params) {}
+
+    /** Bytes side by side in one word row of a mat. */
+    unsigned
+    bytesPerRow() const
+    {
+        return params_.saveTracksPerMat / 8;
+    }
+
+    /** Decode a byte address. */
+    RmLocation
+    decode(Addr addr) const
+    {
+        SPIM_ASSERT(addr < params_.totalBytes(),
+                    "address ", addr, " beyond device capacity");
+        RmLocation loc;
+        loc.bank = unsigned(addr / params_.bytesPerBank());
+        Addr r = addr % params_.bytesPerBank();
+        loc.subarray = unsigned(r / params_.bytesPerSubarray());
+        r %= params_.bytesPerSubarray();
+        loc.mat = unsigned(r / params_.matBytes);
+        r %= params_.matBytes;
+        loc.domain = unsigned(r / bytesPerRow());
+        loc.trackGroup = unsigned(r % bytesPerRow()) * 8;
+        return loc;
+    }
+
+    /** Re-encode a location into a byte address (inverse of decode). */
+    Addr
+    encode(const RmLocation &loc) const
+    {
+        Addr addr = Addr(loc.bank) * params_.bytesPerBank();
+        addr += Addr(loc.subarray) * params_.bytesPerSubarray();
+        addr += Addr(loc.mat) * params_.matBytes;
+        addr += Addr(loc.domain) * bytesPerRow();
+        addr += loc.trackGroup / 8;
+        return addr;
+    }
+
+    /** Flatten (bank, subarray) into a device-global subarray id. */
+    unsigned
+    globalSubarray(unsigned bank, unsigned subarray) const
+    {
+        SPIM_ASSERT(bank < params_.banks, "bank out of range");
+        SPIM_ASSERT(subarray < params_.subarraysPerBank,
+                    "subarray out of range");
+        return bank * params_.subarraysPerBank + subarray;
+    }
+
+    unsigned
+    bankOfGlobal(unsigned global_subarray) const
+    {
+        return global_subarray / params_.subarraysPerBank;
+    }
+
+    unsigned
+    subarrayOfGlobal(unsigned global_subarray) const
+    {
+        return global_subarray % params_.subarraysPerBank;
+    }
+
+    /** True if the global subarray lives in a PIM-capable bank. */
+    bool
+    isPimSubarray(unsigned global_subarray) const
+    {
+        return bankOfGlobal(global_subarray) < params_.pimBanks;
+    }
+
+    /** Global subarray holding a byte address. */
+    unsigned
+    subarrayOfAddr(Addr addr) const
+    {
+        auto loc = decode(addr);
+        return globalSubarray(loc.bank, loc.subarray);
+    }
+
+  private:
+    const RmParams &params_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_MEM_ADDRESS_HH_

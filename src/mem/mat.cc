@@ -1,0 +1,158 @@
+#include "mem/mat.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+Mat::Mat(unsigned tracks, unsigned domains_per_track,
+         unsigned domains_per_port, bool has_transfer_tracks)
+    : domainsPerTrack_(domains_per_track),
+      domainsPerPort_(domains_per_port)
+{
+    SPIM_ASSERT(tracks >= 8 && tracks % 8 == 0,
+                "a mat needs a multiple of 8 save tracks, got ",
+                tracks);
+    saveTracks_.reserve(tracks);
+    for (unsigned i = 0; i < tracks; ++i)
+        saveTracks_.emplace_back(domains_per_track, domains_per_port);
+    if (has_transfer_tracks) {
+        transferTracks_.reserve(tracks);
+        for (unsigned i = 0; i < tracks; ++i)
+            transferTracks_.emplace_back(domains_per_track,
+                                         domains_per_port);
+    }
+}
+
+Mat::BytePos
+Mat::locate(std::uint64_t offset) const
+{
+    const unsigned bytes_per_row = tracks() / 8;
+    BytePos pos;
+    pos.domain = unsigned(offset / bytes_per_row);
+    pos.trackGroup = unsigned(offset % bytes_per_row) * 8;
+    return pos;
+}
+
+void
+Mat::checkRange(std::uint64_t offset, std::uint64_t count) const
+{
+    SPIM_ASSERT(offset + count <= capacityBytes(),
+                "mat access [", offset, ", ", offset + count,
+                ") beyond capacity ", capacityBytes());
+}
+
+void
+Mat::writeBytes(std::uint64_t offset,
+                std::span<const std::uint8_t> data)
+{
+    checkRange(offset, data.size());
+    for (std::uint64_t i = 0; i < data.size(); ++i) {
+        BytePos pos = locate(offset + i);
+        for (unsigned b = 0; b < 8; ++b) {
+            Nanowire &t = saveTracks_[pos.trackGroup + b];
+            activity_.shiftSteps += t.alignToPort(pos.domain);
+            t.write(pos.domain, (data[i] >> b) & 1);
+        }
+        // The 8 tracks of a group write their bit in parallel under
+        // one port operation.
+        activity_.portWrites += 1;
+    }
+}
+
+std::vector<std::uint8_t>
+Mat::readBytes(std::uint64_t offset, std::uint64_t count)
+{
+    checkRange(offset, count);
+    std::vector<std::uint8_t> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BytePos pos = locate(offset + i);
+        std::uint8_t byte = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            Nanowire &t = saveTracks_[pos.trackGroup + b];
+            activity_.shiftSteps += t.alignToPort(pos.domain);
+            byte |= std::uint8_t(t.read(pos.domain)) << b;
+        }
+        activity_.portReads += 1;
+        out.push_back(byte);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+Mat::copyOutViaTransferTracks(std::uint64_t offset,
+                              std::uint64_t count)
+{
+    SPIM_ASSERT(hasTransferTracks(),
+                "non-destructive read on a mat without transfer "
+                "tracks");
+    checkRange(offset, count);
+
+    // The fan-out nanowires replicate each save-track domain onto
+    // the adjacent transfer track: no port access, one fan-out event
+    // plus one shift step per bit copied (the replica propagates one
+    // branch length).
+    std::vector<std::uint8_t> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BytePos pos = locate(offset + i);
+        std::uint8_t byte = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            Nanowire &save = saveTracks_[pos.trackGroup + b];
+            Nanowire &xfer = transferTracks_[pos.trackGroup + b];
+            // Inspect the save track bit without a port operation:
+            // the fan-out copy happens in the magnetic domain.
+            bool bit = save.readAll().get(pos.domain);
+            xfer.alignToPort(pos.domain);
+            xfer.write(pos.domain, bit);
+            byte |= std::uint8_t(bit) << b;
+            activity_.fanOutCopies += 1;
+            activity_.shiftSteps += 1;
+        }
+        out.push_back(byte);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+Mat::shiftOutDestructive(std::uint64_t offset, std::uint64_t count)
+{
+    checkRange(offset, count);
+    std::vector<std::uint8_t> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BytePos pos = locate(offset + i);
+        std::uint8_t byte = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            Nanowire &t = saveTracks_[pos.trackGroup + b];
+            BitVec all = t.readAll();
+            byte |= std::uint8_t(all.get(pos.domain)) << b;
+            // The domain leaves the track toward the bus.
+            all.set(pos.domain, false);
+            t.writeAll(all);
+            activity_.shiftSteps += 1;
+        }
+        out.push_back(byte);
+    }
+    return out;
+}
+
+void
+Mat::shiftInFromBus(std::uint64_t offset,
+                    std::span<const std::uint8_t> data)
+{
+    checkRange(offset, data.size());
+    for (std::uint64_t i = 0; i < data.size(); ++i) {
+        BytePos pos = locate(offset + i);
+        for (unsigned b = 0; b < 8; ++b) {
+            Nanowire &t = saveTracks_[pos.trackGroup + b];
+            BitVec all = t.readAll();
+            all.set(pos.domain, (data[i] >> b) & 1);
+            t.writeAll(all);
+            activity_.shiftSteps += 1;
+        }
+    }
+}
+
+} // namespace streampim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Functional model of one RM mat with save and transfer tracks
+ * (Sec. III-E, Fig. 7d).
+ *
+ * A mat is an array of racetracks. Save tracks hold data and carry
+ * access ports for regular reads/writes. Transfer tracks have no
+ * access ports; they connect to the save tracks through fan-out
+ * nanowires, so data can be *copied* (not moved) onto them and then
+ * shifted out to the RM bus — a non-destructive read without
+ * electromagnetic conversion.
+ *
+ * Only small geometries are instantiated functionally (tests and
+ * examples); the timed simulation uses capacity/latency parameters
+ * only.
+ */
+
+#ifndef STREAMPIM_MEM_MAT_HH_
+#define STREAMPIM_MEM_MAT_HH_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "dwlogic/gate.hh"
+#include "rm/energy.hh"
+#include "rm/nanowire.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** Activity counters of one mat (feed stats and tests). */
+struct MatActivity
+{
+    std::uint64_t portReads = 0;
+    std::uint64_t portWrites = 0;
+    std::uint64_t shiftSteps = 0;
+    std::uint64_t fanOutCopies = 0; //!< save->transfer track copies
+};
+
+/** One mat: @p tracks save tracks (+ optional transfer tracks). */
+class Mat
+{
+  public:
+    /**
+     * @param tracks number of save tracks (multiple of 8)
+     * @param domains_per_track domains per track
+     * @param domains_per_port domains sharing an access port
+     * @param has_transfer_tracks whether this mat carries transfer
+     *        tracks (only transferMatsPerSubarray mats do)
+     */
+    Mat(unsigned tracks, unsigned domains_per_track,
+        unsigned domains_per_port, bool has_transfer_tracks);
+
+    unsigned tracks() const { return unsigned(saveTracks_.size()); }
+    unsigned domainsPerTrack() const { return domainsPerTrack_; }
+    bool hasTransferTracks() const { return !transferTracks_.empty(); }
+
+    /** Capacity in bytes (8 tracks hold one byte per domain). */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return std::uint64_t(tracks()) / 8 * domainsPerTrack_;
+    }
+
+    /**
+     * Write @p data bytes starting at byte offset @p offset through
+     * the access ports (electromagnetic conversion; slow path).
+     */
+    void writeBytes(std::uint64_t offset,
+                    std::span<const std::uint8_t> data);
+
+    /** Read bytes through the access ports (destructive of nothing,
+     * but requires conversion; slow path). */
+    std::vector<std::uint8_t> readBytes(std::uint64_t offset,
+                                        std::uint64_t count);
+
+    /**
+     * Non-destructive read (Sec. III-E): copy @p count bytes at
+     * @p offset onto the transfer tracks via the fan-out nanowires,
+     * returning the replica that would shift out to the RM bus. The
+     * save tracks keep their data; no port read/write happens.
+     */
+    std::vector<std::uint8_t> copyOutViaTransferTracks(
+        std::uint64_t offset, std::uint64_t count);
+
+    /**
+     * Destructive shift-out: move bytes from the save tracks toward
+     * the RM bus; the source domains are vacated (zeroed).
+     */
+    std::vector<std::uint8_t> shiftOutDestructive(
+        std::uint64_t offset, std::uint64_t count);
+
+    /**
+     * Shift-in from the RM bus: deposit bytes into save tracks by
+     * shift operations (no conversion).
+     */
+    void shiftInFromBus(std::uint64_t offset,
+                        std::span<const std::uint8_t> data);
+
+    const MatActivity &activity() const { return activity_; }
+
+  private:
+    struct BytePos
+    {
+        unsigned trackGroup; //!< first of the 8 tracks
+        unsigned domain;
+    };
+
+    BytePos locate(std::uint64_t offset) const;
+    void checkRange(std::uint64_t offset, std::uint64_t count) const;
+
+    unsigned domainsPerTrack_;
+    unsigned domainsPerPort_;
+    std::vector<Nanowire> saveTracks_;
+    std::vector<Nanowire> transferTracks_;
+    MatActivity activity_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_MEM_MAT_HH_

@@ -1,0 +1,204 @@
+#include "mem/subarray.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+FunctionalSubarray::FunctionalSubarray(const RmParams &params,
+                                       unsigned mats,
+                                       unsigned tracks_per_mat,
+                                       unsigned domains_per_track)
+    : params_(params),
+      matBytes_(std::uint64_t(tracks_per_mat) / 8 *
+                domains_per_track),
+      energy_(params, meter_),
+      bus_(8, params.busLengthDomains / params.busSegmentSize),
+      busTiming_(params)
+{
+    SPIM_ASSERT(mats >= 1, "subarray needs at least one mat");
+    mats_.reserve(mats);
+    for (unsigned i = 0; i < mats; ++i) {
+        // The first transferMatsPerSubarray mats carry transfer
+        // tracks for non-destructive reads (Sec. III-E).
+        bool has_transfer = i < params.transferMatsPerSubarray;
+        mats_.push_back(std::make_unique<Mat>(
+            tracks_per_mat, domains_per_track, params.domainsPerPort,
+            has_transfer));
+    }
+    processor_ = std::make_unique<RmProcessor>(params_, meter_);
+}
+
+std::uint64_t
+FunctionalSubarray::capacityBytes() const
+{
+    return matBytes_ * mats_.size();
+}
+
+Mat &
+FunctionalSubarray::mat(unsigned i)
+{
+    SPIM_ASSERT(i < mats_.size(), "mat index out of range");
+    return *mats_[i];
+}
+
+FunctionalSubarray::Location
+FunctionalSubarray::locate(std::uint64_t offset) const
+{
+    SPIM_ASSERT(offset < capacityBytes(),
+                "offset ", offset, " beyond subarray capacity");
+    return {unsigned(offset / matBytes_), offset % matBytes_};
+}
+
+void
+FunctionalSubarray::hostWrite(std::uint64_t offset,
+                              std::span<const std::uint8_t> data)
+{
+    std::uint64_t pos = offset;
+    std::size_t consumed = 0;
+    while (consumed < data.size()) {
+        Location loc = locate(pos);
+        std::uint64_t room = matBytes_ - loc.offset;
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(room, data.size() - consumed);
+        mats_[loc.mat]->writeBytes(
+            loc.offset, data.subspan(consumed, chunk));
+        energy_.write(chunk);
+        pos += chunk;
+        consumed += chunk;
+    }
+}
+
+std::vector<std::uint8_t>
+FunctionalSubarray::hostRead(std::uint64_t offset,
+                             std::uint64_t count)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(count);
+    std::uint64_t pos = offset;
+    while (out.size() < count) {
+        Location loc = locate(pos);
+        std::uint64_t room = matBytes_ - loc.offset;
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(room, count - out.size());
+        auto part = mats_[loc.mat]->readBytes(loc.offset, chunk);
+        energy_.read(chunk);
+        out.insert(out.end(), part.begin(), part.end());
+        pos += chunk;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+FunctionalSubarray::streamOut(std::uint64_t offset,
+                              std::uint32_t size, Cycle &bus_cycles)
+{
+    // Steps 1-2 of Fig. 13: copy from save tracks to transfer
+    // tracks (fan-out, non-destructive), then shift onto the RM bus
+    // and through it to the processor. A mat without transfer
+    // tracks first moves its data to a transfer-capable mat via the
+    // bus (modeled as the same shift-domain cost).
+    Location loc = locate(offset);
+    Mat &src = *mats_[loc.mat];
+    std::vector<std::uint8_t> data;
+    if (src.hasTransferTracks()) {
+        data = src.copyOutViaTransferTracks(loc.offset, size);
+    } else {
+        Mat &xfer = *mats_[0];
+        SPIM_ASSERT(xfer.hasTransferTracks(),
+                    "no transfer-capable mat in subarray");
+        // Functionally: read the values through the model (shift
+        // domain), stage them on mat 0's transfer tracks.
+        data = src.shiftOutDestructive(loc.offset, size);
+        src.shiftInFromBus(loc.offset, data); // restore (model)
+    }
+
+    // Push the replica through the functional segmented bus.
+    std::vector<std::uint64_t> words(data.begin(), data.end());
+    Cycle cycles = 0;
+    auto arrived = bus_.transferAll(words, cycles);
+    SPIM_ASSERT(arrived.size() == words.size(), "bus lost data");
+    bus_cycles += cycles;
+    busTiming_.recordTransferEnergy(energy_, size);
+    return data;
+}
+
+void
+FunctionalSubarray::streamIn(std::uint64_t offset,
+                             std::span<const std::uint8_t> data,
+                             Cycle &bus_cycles)
+{
+    // Steps 4-5: results ride the bus back and shift into the
+    // destination mat (no conversion).
+    std::vector<std::uint64_t> words(data.begin(), data.end());
+    Cycle cycles = 0;
+    auto arrived = bus_.transferAll(words, cycles);
+    SPIM_ASSERT(arrived.size() == words.size(), "bus lost data");
+    bus_cycles += cycles;
+    busTiming_.recordTransferEnergy(energy_, data.size());
+
+    Location loc = locate(offset);
+    mats_[loc.mat]->shiftInFromBus(loc.offset, data);
+}
+
+SubarrayVpcResult
+FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
+                               std::uint64_t src2, std::uint64_t dst,
+                               std::uint32_t size)
+{
+    SPIM_ASSERT(size > 0, "zero-size VPC");
+    SubarrayVpcResult res;
+
+    std::vector<std::uint8_t> a =
+        streamOut(src1, size, res.busCycles);
+    std::vector<std::uint8_t> b;
+    if (kind != VpcKind::Tran)
+        b = streamOut(src2, kind == VpcKind::Smul ? 1 : size,
+                      res.busCycles);
+
+    switch (kind) {
+      case VpcKind::Mul: {
+        auto r = processor_->dotProduct(a, b);
+        res.values = r.values;
+        res.pipelineCycles = r.cycles;
+        res.overflow = r.overflow;
+        // The 32-bit accumulator streams back as 4 bytes.
+        std::vector<std::uint8_t> out(4);
+        for (int i = 0; i < 4; ++i)
+            out[i] = std::uint8_t(r.values[0] >> (8 * i));
+        streamIn(dst, out, res.busCycles);
+        break;
+      }
+      case VpcKind::Smul: {
+        auto r = processor_->scalarVectorMul(b[0], a);
+        res.values = r.values;
+        res.pipelineCycles = r.cycles;
+        std::vector<std::uint8_t> out;
+        out.reserve(size);
+        for (auto v : r.values)
+            out.push_back(std::uint8_t(v)); // low byte stored
+        streamIn(dst, out, res.busCycles);
+        break;
+      }
+      case VpcKind::Add: {
+        auto r = processor_->vectorAdd(a, b);
+        res.values = r.values;
+        res.pipelineCycles = r.cycles;
+        res.overflow = r.overflow;
+        std::vector<std::uint8_t> out;
+        out.reserve(size);
+        for (auto v : r.values)
+            out.push_back(std::uint8_t(v));
+        streamIn(dst, out, res.busCycles);
+        break;
+      }
+      case VpcKind::Tran: {
+        res.values.assign(a.begin(), a.end());
+        streamIn(dst, a, res.busCycles);
+        break;
+      }
+    }
+    return res;
+}
+
+} // namespace streampim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Functional subarray: mats + RM bus + RM processor executing the
+ * Fig. 13 PIM data flow on real data.
+ *
+ * This is the bit-level end of the two-level fidelity scheme: a
+ * (small-geometry) subarray whose VPC execution actually moves
+ * bytes from save tracks through transfer tracks onto the
+ * segmented bus, into the domain-wall processor, and back — with
+ * every shift/fan-out/gate accounted. Integration tests run VPCs
+ * here and check both the numerical results (against host
+ * arithmetic) and the cycle counts (against the closed-form
+ * ProcessorTiming / RmBusTiming models used by the fast executor).
+ */
+
+#ifndef STREAMPIM_MEM_SUBARRAY_HH_
+#define STREAMPIM_MEM_SUBARRAY_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bus/rm_bus.hh"
+#include "mem/mat.hh"
+#include "processor/rm_processor.hh"
+#include "rm/energy.hh"
+#include "rm/params.hh"
+#include "vpc/vpc.hh"
+
+namespace streampim
+{
+
+/** Result of one functionally executed VPC. */
+struct SubarrayVpcResult
+{
+    std::vector<std::uint32_t> values;
+    Cycle busCycles = 0;     //!< functional bus cycles consumed
+    Cycle pipelineCycles = 0; //!< processor pipeline cycles (model)
+    bool overflow = false;
+};
+
+/** One PIM-capable subarray with functional storage + compute. */
+class FunctionalSubarray
+{
+  public:
+    /**
+     * @param params device parameters (bus geometry, energies)
+     * @param mats number of mats
+     * @param tracks_per_mat save tracks per mat (multiple of 8)
+     * @param domains_per_track domains per save track
+     */
+    FunctionalSubarray(const RmParams &params, unsigned mats,
+                       unsigned tracks_per_mat,
+                       unsigned domains_per_track);
+
+    /** Capacity in bytes across all mats. */
+    std::uint64_t capacityBytes() const;
+
+    /** Regular (host) write through access ports. */
+    void hostWrite(std::uint64_t offset,
+                   std::span<const std::uint8_t> data);
+
+    /** Regular (host) read through access ports. */
+    std::vector<std::uint8_t> hostRead(std::uint64_t offset,
+                                       std::uint64_t count);
+
+    /**
+     * Execute a compute VPC over operand vectors stored at byte
+     * offsets @p src1 and @p src2, writing results at @p dst.
+     * Follows Fig. 13: non-destructive copy to transfer tracks,
+     * shift onto the RM bus, pipeline compute, stream back.
+     */
+    SubarrayVpcResult executeVpc(VpcKind kind, std::uint64_t src1,
+                                 std::uint64_t src2,
+                                 std::uint64_t dst,
+                                 std::uint32_t size);
+
+    const EnergyMeter &energy() const { return meter_; }
+    const RmProcessor &processor() const { return *processor_; }
+    Mat &mat(unsigned i);
+    unsigned mats() const { return unsigned(mats_.size()); }
+
+  private:
+    struct Location
+    {
+        unsigned mat;
+        std::uint64_t offset;
+    };
+
+    Location locate(std::uint64_t offset) const;
+
+    /** Fetch a vector non-destructively onto the bus (steps 1-2). */
+    std::vector<std::uint8_t> streamOut(std::uint64_t offset,
+                                        std::uint32_t size,
+                                        Cycle &bus_cycles);
+
+    /** Deposit a result vector into mats via shifts (steps 4-5). */
+    void streamIn(std::uint64_t offset,
+                  std::span<const std::uint8_t> data,
+                  Cycle &bus_cycles);
+
+    const RmParams &params_;
+    std::uint64_t matBytes_;
+    std::vector<std::unique_ptr<Mat>> mats_;
+    EnergyMeter meter_;
+    RmEnergyModel energy_;
+    std::unique_ptr<RmProcessor> processor_;
+    RmBus bus_;
+    RmBusTiming busTiming_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_MEM_SUBARRAY_HH_

@@ -1,0 +1,106 @@
+#include "processor/pipeline.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+DotPipeline::DotPipeline(const RmParams &params)
+    : params_(params), timing_(params)
+{
+}
+
+void
+DotPipeline::feed(std::uint8_t a, std::uint8_t b)
+{
+    PipelineElement e;
+    e.a = a;
+    e.b = b;
+    input_.push_back(e);
+}
+
+bool
+DotPipeline::idle() const
+{
+    return input_.empty() && inflight_.empty();
+}
+
+Cycle
+DotPipeline::lastRetireCycle() const
+{
+    SPIM_ASSERT(!retired_.empty(), "nothing retired yet");
+    return retired_.back().retiredAt;
+}
+
+void
+DotPipeline::step()
+{
+    cycle_ += 1;
+    const Cycle ii = timing_.multiplyII();
+    const Cycle levels = ProcessorTiming::adderTreeLevels();
+
+    // Admission: stage 1 accepts a new element once the duplicators
+    // can start on it — one element per initiation interval. The
+    // first admission happens on cycle 1.
+    const bool can_admit =
+        inflight_.empty() ||
+        cycle_ >= inflight_.back().elem.enteredAt + ii;
+    if (!input_.empty() && can_admit) {
+        InFlight f;
+        f.elem = input_.front();
+        input_.pop_front();
+        f.elem.enteredAt = cycle_;
+        inflight_.push_back(f);
+    }
+
+    // Advance every in-flight element through its stages. Stage
+    // residency (from entry): 1 cycle split, ii cycles duplication,
+    // 1 cycle multiply, `levels` cycles adder tree, 1 cycle circle
+    // adder; retire at entry + 1 + ii + 1 + levels + 1.
+    const Cycle depth = timing_.dotDepth();
+    while (!inflight_.empty()) {
+        InFlight &f = inflight_.front();
+        const Cycle age = cycle_ - f.elem.enteredAt;
+        // Update the observable stage for mid-flight queries.
+        if (age <= 1) {
+            f.stage = InFlight::Stage::Duplicating;
+        } else if (age <= 1 + ii) {
+            f.replicasReady = unsigned(
+                std::min<Cycle>(kOperandBits,
+                                (age - 1) * params_.duplicators));
+            f.stage = InFlight::Stage::Multiplying;
+        } else if (age <= 2 + ii + levels) {
+            f.treeLevelsDone = std::min<Cycle>(levels, age - 2 - ii);
+            f.stage = InFlight::Stage::Tree;
+        } else {
+            f.stage = InFlight::Stage::Circle;
+        }
+        if (age + 1 < depth)
+            break; // front not ready; later ones even less so
+        // Retire: compute the product and accumulate.
+        f.elem.product =
+            std::uint16_t(unsigned(f.elem.a) * unsigned(f.elem.b));
+        f.elem.retiredAt = cycle_;
+        acc_ += f.elem.product;
+        retired_.push_back(f.elem);
+        inflight_.pop_front();
+    }
+}
+
+void
+DotPipeline::drain()
+{
+    // An element retires depth cycles after entering; bound the
+    // loop generously against modeling bugs.
+    const Cycle guard =
+        cycle_ +
+        (input_.size() + inflight_.size() + 2) *
+            (timing_.dotDepth() + timing_.multiplyII()) +
+        16;
+    while (!idle()) {
+        step();
+        SPIM_ASSERT(cycle_ < guard, "pipeline failed to drain");
+    }
+}
+
+} // namespace streampim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cycle-stepped model of the four-stage RM processor pipeline
+ * (Fig. 11).
+ *
+ * Stages:
+ *   1  split   — operand pair enters; the first operand is handed
+ *                to a free duplicator, the second is split to bits.
+ *   2  dup/mul — the duplicators produce kOperandBits replicas
+ *                (one per cycle each); once all replicas exist the
+ *                multiplier forms the partial products.
+ *   3  tree    — the adder tree folds partial products, one level
+ *                per cycle.
+ *   4  circle  — the circle adder accumulates the product.
+ *
+ * step() advances one clock; elements retire in order. The model
+ * exists to validate the closed-form ProcessorTiming used by the
+ * fast executor: tests drive both with identical element streams
+ * and require matching cycle counts (tests/integration/
+ * pipeline_timing_test.cc). It also computes real values, so the
+ * validation covers function as well as timing.
+ */
+
+#ifndef STREAMPIM_PROCESSOR_PIPELINE_HH_
+#define STREAMPIM_PROCESSOR_PIPELINE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "processor/timing.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** One element travelling through the pipeline. */
+struct PipelineElement
+{
+    std::uint8_t a;
+    std::uint8_t b;
+    Cycle enteredAt = 0;
+    Cycle retiredAt = 0;
+    std::uint16_t product = 0;
+};
+
+/** Cycle-stepped dot-product pipeline. */
+class DotPipeline
+{
+  public:
+    explicit DotPipeline(const RmParams &params);
+
+    /** Enqueue an operand pair for processing. */
+    void feed(std::uint8_t a, std::uint8_t b);
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /** Run until every fed element has retired. */
+    void drain();
+
+    Cycle cycle() const { return cycle_; }
+    bool idle() const;
+
+    /** Elements retired so far, in order. */
+    const std::vector<PipelineElement> &retired() const
+    {
+        return retired_;
+    }
+
+    /** The 32-bit running accumulation of retired products. */
+    std::uint32_t accumulator() const { return acc_; }
+
+    /** Cycle at which the most recent element retired. */
+    Cycle lastRetireCycle() const;
+
+  private:
+    struct InFlight
+    {
+        PipelineElement elem;
+        unsigned replicasReady = 0;
+        Cycle treeLevelsDone = 0;
+        enum class Stage
+        {
+            Duplicating,
+            Multiplying,
+            Tree,
+            Circle,
+        } stage = Stage::Duplicating;
+    };
+
+    const RmParams &params_;
+    ProcessorTiming timing_;
+    Cycle cycle_ = 0;
+
+    std::deque<PipelineElement> input_;
+    std::deque<InFlight> inflight_;
+    std::vector<PipelineElement> retired_;
+    std::uint32_t acc_ = 0;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_PROCESSOR_PIPELINE_HH_

@@ -1,0 +1,120 @@
+#include "processor/rm_processor.hh"
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+RmProcessor::RmProcessor(const RmParams &params, EnergyMeter &meter)
+    : params_(params), timing_(params), energy_(params, meter),
+      multiplier_(kOperandBits, counters_),
+      circleAdder_(kAccumulatorBits, counters_)
+{
+    duplicators_.reserve(params_.duplicators);
+    for (unsigned i = 0; i < params_.duplicators; ++i)
+        duplicators_.emplace_back(kOperandBits, counters_);
+}
+
+Cycle
+RmProcessor::duplicationCycles() const
+{
+    return timing_.multiplyII();
+}
+
+ProcessorResult
+RmProcessor::dotProduct(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b)
+{
+    SPIM_ASSERT(a.size() == b.size(),
+                "dot product operand length mismatch: ", a.size(),
+                " vs ", b.size());
+
+    circleAdder_.clear();
+
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Stage 1+2: the first operand enters the duplicators. The
+        // hardware duplicators split the replica workload; we use
+        // round-robin objects for the bit-accurate path (the counts
+        // are identical for any assignment).
+        std::vector<BitVec> replicas;
+        replicas.reserve(kOperandBits);
+        for (unsigned r = 0; r < kOperandBits; ++r) {
+            Duplicator &dup = duplicators_[r % duplicators_.size()];
+            dup.load(BitVec::fromWord(a[i], kOperandBits));
+            replicas.push_back(dup.duplicate());
+            dup.unload();
+        }
+
+        // Stage 2: partial products, Stage 3: adder tree.
+        BitVec product = multiplier_.multiplyReplicas(
+            replicas, BitVec::fromWord(b[i], kOperandBits));
+
+        // Stage 4: circle adder accumulation.
+        circleAdder_.accumulate(product);
+
+        energy_.pimMul();
+        energy_.pimAdd();
+    }
+
+    ProcessorResult res;
+    res.values = {std::uint32_t(circleAdder_.accumulatorWord())};
+    res.cycles = timing_.dotProductCycles(a.size());
+    res.overflow = circleAdder_.overflowed();
+    return res;
+}
+
+ProcessorResult
+RmProcessor::scalarVectorMul(std::uint8_t scalar,
+                             std::span<const std::uint8_t> v)
+{
+    ProcessorResult res;
+    res.values.reserve(v.size());
+    res.overflow = false;
+
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        std::vector<BitVec> replicas;
+        replicas.reserve(kOperandBits);
+        for (unsigned r = 0; r < kOperandBits; ++r) {
+            Duplicator &dup = duplicators_[r % duplicators_.size()];
+            dup.load(BitVec::fromWord(scalar, kOperandBits));
+            replicas.push_back(dup.duplicate());
+            dup.unload();
+        }
+        BitVec product = multiplier_.multiplyReplicas(
+            replicas, BitVec::fromWord(v[i], kOperandBits));
+        res.values.push_back(std::uint32_t(product.toWord()));
+        energy_.pimMul();
+    }
+
+    res.cycles = timing_.scalarVectorMulCycles(v.size());
+    return res;
+}
+
+ProcessorResult
+RmProcessor::vectorAdd(std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b)
+{
+    SPIM_ASSERT(a.size() == b.size(),
+                "vector add operand length mismatch: ", a.size(),
+                " vs ", b.size());
+
+    ProcessorResult res;
+    res.values.reserve(a.size());
+    res.overflow = false;
+
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Scalar additions stream across the circle adder without
+        // circulating the result (Sec. III-C).
+        BitVec sum = circleAdder_.addScalars(
+            BitVec::fromWord(a[i], kOperandBits),
+            BitVec::fromWord(b[i], kOperandBits));
+        sum.resize(kOperandBits + 1);
+        res.values.push_back(std::uint32_t(sum.toWord()));
+        energy_.pimAdd();
+    }
+
+    res.cycles = timing_.vectorAddCycles(a.size());
+    return res;
+}
+
+} // namespace streampim

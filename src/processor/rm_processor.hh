@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The RM processor: a matrix processor built entirely from
+ * domain-wall nanowires (Sec. III-C, Fig. 11).
+ *
+ * This is the bit-accurate functional model, assembled from the
+ * dwlogic components exactly as the paper describes:
+ *
+ *   duplicators (Fan-Out + diode) -> multiplier (AND partial
+ *   products) -> adder tree -> circle adder.
+ *
+ * It computes real values (used by tests, the examples, and the
+ * functional mode of the runtime) and counts every gate/shift/cycle
+ * so the closed-form ProcessorTiming model can be validated against
+ * it. The timed architecture simulation uses ProcessorTiming, not
+ * this class, for speed.
+ */
+
+#ifndef STREAMPIM_PROCESSOR_RM_PROCESSOR_HH_
+#define STREAMPIM_PROCESSOR_RM_PROCESSOR_HH_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "dwlogic/circle_adder.hh"
+#include "dwlogic/duplicator.hh"
+#include "dwlogic/multiplier.hh"
+#include "processor/timing.hh"
+#include "rm/energy.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** Result of one functional processor operation. */
+struct ProcessorResult
+{
+    std::vector<std::uint32_t> values; //!< result vector (or 1 scalar)
+    Cycle cycles;                      //!< pipeline cycles consumed
+    bool overflow;                     //!< any accumulator overflow
+};
+
+/** Bit-accurate model of one in-subarray RM processor. */
+class RmProcessor
+{
+  public:
+    RmProcessor(const RmParams &params, EnergyMeter &meter);
+
+    /**
+     * Vector dot product: sum_i a[i]*b[i] (MUL VPC).
+     * Operands are 8-bit; the result is the 32-bit accumulator.
+     */
+    ProcessorResult dotProduct(std::span<const std::uint8_t> a,
+                               std::span<const std::uint8_t> b);
+
+    /**
+     * Scalar-vector multiplication: scalar * v (SMUL VPC).
+     * Products are truncated to 8 bits for storage back into mats,
+     * after the runtime's fixed-point convention; the full 16-bit
+     * products are returned.
+     */
+    ProcessorResult scalarVectorMul(std::uint8_t scalar,
+                                    std::span<const std::uint8_t> v);
+
+    /**
+     * Element-wise vector addition (ADD VPC); 9-bit sums returned.
+     */
+    ProcessorResult vectorAdd(std::span<const std::uint8_t> a,
+                              std::span<const std::uint8_t> b);
+
+    /** Cumulative logic-activity counters across all operations. */
+    const LogicCounters &counters() const { return counters_; }
+
+    const ProcessorTiming &timing() const { return timing_; }
+
+  private:
+    /** Cycles spent duplicating one operand's replicas. */
+    Cycle duplicationCycles() const;
+
+    const RmParams &params_;
+    ProcessorTiming timing_;
+    LogicCounters counters_;
+    RmEnergyModel energy_;
+
+    /** One duplicator object per hardware duplicator (Table III). */
+    std::vector<Duplicator> duplicators_;
+    DwMultiplier multiplier_;
+    CircleAdder circleAdder_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_PROCESSOR_RM_PROCESSOR_HH_

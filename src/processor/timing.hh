@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Closed-form cycle costs of the RM processor pipeline.
+ *
+ * The four pipeline stages of Fig. 11:
+ *   Stage 1 — operand split / feed into the duplicator,
+ *   Stage 2 — duplication + partial products (multiplier),
+ *   Stage 3 — adder tree,
+ *   Stage 4 — circle adder accumulation.
+ *
+ * The initiation interval (II) of a dot-product stream is set by
+ * duplication: each element's first operand needs kOperandBits
+ * replicas (one per partial-product row) and one duplication cycle
+ * yields one replica, so with d duplicators a new element can enter
+ * every ceil(kOperandBits / d) cycles (Sec. III-C: "an n-bit scalar
+ * multiplication needs to perform duplication by n times, which
+ * costs an n-cycle stall ... we employ multiple duplicators").
+ *
+ * These formulas are validated against the bit-accurate dwlogic
+ * models in tests/integration/pipeline_timing_test.cc.
+ */
+
+#ifndef STREAMPIM_PROCESSOR_TIMING_HH_
+#define STREAMPIM_PROCESSOR_TIMING_HH_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "rm/params.hh"
+
+namespace streampim
+{
+
+/** Cycle cost model of one RM processor instance. */
+class ProcessorTiming
+{
+  public:
+    explicit ProcessorTiming(const RmParams &params)
+        : duplicators_(params.duplicators)
+    {}
+
+    /** Initiation interval of multiply-bearing streams (cycles). */
+    Cycle
+    multiplyII() const
+    {
+        return (kOperandBits + duplicators_ - 1) / duplicators_;
+    }
+
+    /** Initiation interval of pure-addition streams (cycles). */
+    Cycle
+    addII() const
+    {
+        return 1;
+    }
+
+    /** Adder-tree levels for kOperandBits partial products. */
+    static Cycle
+    adderTreeLevels()
+    {
+        return std::bit_width(kOperandBits - 1);
+    }
+
+    /**
+     * Pipeline depth (first element in -> its result out) of the full
+     * dot-product path: stage 1 feed (1) + duplication of the first
+     * element (multiplyII) + multiply (1) + adder tree levels +
+     * circle adder (1).
+     */
+    Cycle
+    dotDepth() const
+    {
+        return 1 + multiplyII() + 1 + adderTreeLevels() + 1;
+    }
+
+    /** Depth of the addition-only path (stage 1 + circle adder). */
+    Cycle
+    addDepth() const
+    {
+        return 2;
+    }
+
+    /**
+     * Cycles to execute a dot product over vectors of length @p n.
+     * The stream fills the pipeline, then admits one element per II.
+     */
+    Cycle
+    dotProductCycles(std::uint64_t n) const
+    {
+        if (n == 0)
+            return 0;
+        return dotDepth() + (n - 1) * multiplyII();
+    }
+
+    /**
+     * Cycles for an element-wise vector addition of length @p n;
+     * bypasses stages 1-3 (Sec. III-C).
+     */
+    Cycle
+    vectorAddCycles(std::uint64_t n) const
+    {
+        if (n == 0)
+            return 0;
+        return addDepth() + (n - 1) * addII();
+    }
+
+    /**
+     * Cycles for a scalar-vector multiplication of length @p n: the
+     * scalar is repeatedly duplicated and the scalar-scalar
+     * multiplications are pipelined; the circle adder is bypassed.
+     */
+    Cycle
+    scalarVectorMulCycles(std::uint64_t n) const
+    {
+        if (n == 0)
+            return 0;
+        return (dotDepth() - 1) + (n - 1) * multiplyII();
+    }
+
+    /**
+     * Steady-state cycles for a batch of @p count back-to-back VPCs
+     * of the same kind over length @p n: consecutive VPCs keep the
+     * pipeline full, so only the first pays the fill latency.
+     */
+    Cycle
+    batchCycles(std::uint64_t count, std::uint64_t n, Cycle per_vpc,
+                Cycle ii) const
+    {
+        if (count == 0 || n == 0)
+            return 0;
+        return per_vpc + (count - 1) * n * ii;
+    }
+
+    unsigned duplicators() const { return duplicators_; }
+
+  private:
+    unsigned duplicators_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_PROCESSOR_TIMING_HH_

@@ -1,0 +1,107 @@
+#include "rm/nanowire.hh"
+
+#include <cmath>
+
+namespace streampim
+{
+
+Nanowire::Nanowire(unsigned data_domains, unsigned domains_per_port)
+    : dataDomains_(data_domains),
+      domainsPerPort_(domains_per_port),
+      reserved_(domains_per_port),
+      bits_(data_domains, false)
+{
+    SPIM_ASSERT(data_domains > 0, "empty nanowire");
+    SPIM_ASSERT(domains_per_port > 0, "domainsPerPort must be > 0");
+    SPIM_ASSERT(data_domains % domains_per_port == 0,
+                "track length ", data_domains,
+                " not a multiple of port group ", domains_per_port);
+}
+
+void
+Nanowire::shift(ShiftDir dir, unsigned steps)
+{
+    int delta = (dir == ShiftDir::TowardLower) ? -int(steps) : int(steps);
+    int next = offset_ + delta;
+    // The train may travel at most the reserved span in either
+    // direction; beyond that, domains fall off the wire ends.
+    if (next < -int(reserved_) || next > int(reserved_))
+        SPIM_PANIC("over-shift: offset ", next, " exceeds reserved ",
+                   reserved_);
+    offset_ = next;
+    totalShiftSteps_ += steps;
+}
+
+int
+Nanowire::physicalPos(unsigned index) const
+{
+    return int(index) + offset_ + int(reserved_);
+}
+
+int
+Nanowire::stepsToAlign(unsigned index) const
+{
+    SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+    // Port p sits at the rest position of the first domain of its
+    // group; aligning domain i requires offset = -(i mod group).
+    int target = -int(index % domainsPerPort_);
+    return target - offset_;
+}
+
+bool
+Nanowire::alignedAtPort(unsigned index) const
+{
+    return stepsToAlign(index) == 0;
+}
+
+unsigned
+Nanowire::alignToPort(unsigned index)
+{
+    int steps = stepsToAlign(index);
+    if (steps < 0)
+        shift(ShiftDir::TowardLower, unsigned(-steps));
+    else if (steps > 0)
+        shift(ShiftDir::TowardHigher, unsigned(steps));
+    return unsigned(std::abs(steps));
+}
+
+bool
+Nanowire::read(unsigned index) const
+{
+    SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+    SPIM_ASSERT(alignedAtPort(index),
+                "read of domain ", index, " while misaligned (offset ",
+                offset_, ")");
+    return bits_[index];
+}
+
+void
+Nanowire::write(unsigned index, bool value)
+{
+    SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+    SPIM_ASSERT(alignedAtPort(index),
+                "write of domain ", index, " while misaligned (offset ",
+                offset_, ")");
+    bits_[index] = value;
+}
+
+BitVec
+Nanowire::readAll() const
+{
+    BitVec v(dataDomains_);
+    for (unsigned i = 0; i < dataDomains_; ++i)
+        v.set(i, bits_[i]);
+    return v;
+}
+
+void
+Nanowire::writeAll(const BitVec &bits)
+{
+    SPIM_ASSERT(bits.size() == dataDomains_,
+                "writeAll size mismatch: ", bits.size(), " vs ",
+                dataDomains_);
+    for (unsigned i = 0; i < dataDomains_; ++i)
+        bits_[i] = bits.get(i);
+}
+
+} // namespace streampim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Functional model of a domain-wall (racetrack) nanowire.
+ *
+ * A nanowire stores one bit per magnetic domain. Domains can only be
+ * accessed through access ports; a shift operation moves the whole
+ * domain train left or right by whole positions. Extra domains are
+ * reserved at both ends so data shifted past the last port is not
+ * lost (Section II-A); the reserved count equals the span a domain
+ * may legally travel, i.e. the distance between adjacent ports.
+ *
+ * This model is used directly by the mat model and by unit tests; the
+ * timed simulator uses the latency/energy formulas of RmParams, which
+ * tests validate against step counts observed here.
+ */
+
+#ifndef STREAMPIM_RM_NANOWIRE_HH_
+#define STREAMPIM_RM_NANOWIRE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/log.hh"
+
+namespace streampim
+{
+
+/** Shift direction along a nanowire. */
+enum class ShiftDir
+{
+    TowardLower,  //!< data index i moves to i-1
+    TowardHigher, //!< data index i moves to i+1
+};
+
+/** A single racetrack: data domains + reserved overhead domains. */
+class Nanowire
+{
+  public:
+    /**
+     * @param data_domains number of addressable (regular) domains
+     * @param domains_per_port domains sharing one access port
+     */
+    Nanowire(unsigned data_domains, unsigned domains_per_port);
+
+    unsigned dataDomains() const { return dataDomains_; }
+    unsigned domainsPerPort() const { return domainsPerPort_; }
+    unsigned ports() const { return dataDomains_ / domainsPerPort_; }
+
+    /** Current shift offset relative to the rest position. */
+    int offset() const { return offset_; }
+
+    /**
+     * Shift the whole domain train by @p steps positions.
+     * Fatal travel beyond the reserved region panics: real hardware
+     * would destroy data (over-shift fault).
+     */
+    void shift(ShiftDir dir, unsigned steps = 1);
+
+    /** Shift so that logical domain @p index aligns with its port. */
+    unsigned alignToPort(unsigned index);
+
+    /**
+     * Read the bit of logical domain @p index. The domain must be
+     * aligned with its access port (call alignToPort first).
+     */
+    bool read(unsigned index) const;
+
+    /** Write the bit of logical domain @p index (must be aligned). */
+    void write(unsigned index, bool value);
+
+    /** True if logical domain @p index currently sits under a port. */
+    bool alignedAtPort(unsigned index) const;
+
+    /** Shift distance needed to align @p index with its port. */
+    int stepsToAlign(unsigned index) const;
+
+    /** Bulk helpers used by tests and the mat model. @{ */
+    BitVec readAll() const;
+    void writeAll(const BitVec &bits);
+    /** @} */
+
+    /** Total shift steps performed over the lifetime (for stats). */
+    std::uint64_t totalShiftSteps() const { return totalShiftSteps_; }
+
+  private:
+    /** Physical position of logical domain @p index. */
+    int physicalPos(unsigned index) const;
+
+    unsigned dataDomains_;
+    unsigned domainsPerPort_;
+    unsigned reserved_; //!< overhead domains on each side
+
+    /**
+     * Backing store indexed by logical domain. Shifting changes
+     * offset_ rather than moving storage; the physical position of
+     * logical domain i is i + offset_ + reserved_.
+     */
+    std::vector<bool> bits_;
+    int offset_ = 0;
+    std::uint64_t totalShiftSteps_ = 0;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_RM_NANOWIRE_HH_

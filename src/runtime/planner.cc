@@ -1,0 +1,495 @@
+#include "runtime/planner.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+Planner::Planner(const SystemConfig &config) : cfg_(config)
+{
+    cfg_.validate();
+    const auto &rm = cfg_.rm;
+
+    // Compute set: one subarray for base; every PIM subarray
+    // otherwise. PIM banks are banks [0, pimBanks), so the global
+    // ids of PIM subarrays are contiguous from 0.
+    const unsigned pim = rm.pimSubarrays();
+    if (cfg_.optLevel == OptLevel::Base) {
+        computeSet_ = {0};
+    } else {
+        computeSet_.resize(pim);
+        for (unsigned i = 0; i < pim; ++i)
+            computeSet_[i] = i;
+    }
+
+    // Staging set: disjoint subarrays in the memory banks under
+    // unblock; deliberately overlapping the compute set otherwise
+    // (that overlap is what distribute fails to avoid).
+    if (cfg_.optLevel == OptLevel::Unblock) {
+        unsigned staging = std::min<unsigned>(
+            cfg_.stagingSubarrays,
+            rm.totalSubarrays() - pim);
+        SPIM_ASSERT(staging > 0,
+                    "no memory-bank subarrays available for staging");
+        stagingSet_.resize(staging);
+        for (unsigned i = 0; i < staging; ++i)
+            stagingSet_[i] = pim + i;
+    } else {
+        stagingSet_ = {computeSet_.front()};
+    }
+}
+
+std::uint32_t
+Planner::rowsOnSlot(std::uint32_t rows, std::uint32_t slot) const
+{
+    const auto slots = std::uint32_t(computeSet_.size());
+    return rows / slots + (slot < rows % slots ? 1 : 0);
+}
+
+std::uint32_t
+Planner::vectorHome(MatrixId id) const
+{
+    return stagingSet_[id % stagingSet_.size()];
+}
+
+std::uint32_t
+Planner::streamHome(std::uint32_t j) const
+{
+    return stagingSet_[j % stagingSet_.size()];
+}
+
+void
+Planner::emitBroadcast(LowerCtx &ctx, std::uint32_t home,
+                       const std::vector<std::uint32_t> &dsts,
+                       std::uint32_t len, std::uint32_t dep,
+                       bool &barrier,
+                       std::vector<std::uint32_t> &out_idx) const
+{
+    // Group destinations by bank; the vector crosses the shared
+    // device bus once per bank (to a relay subarray), then fans out
+    // over that bank's internal bus. This keeps broadcast bandwidth
+    // scaling with the bank count instead of saturating the device
+    // bus (cf. the Fig. 21 discussion).
+    const unsigned spb = cfg_.rm.subarraysPerBank;
+    out_idx.assign(dsts.size(), kNoBatch);
+
+    std::map<std::uint32_t, std::vector<std::size_t>> by_bank;
+    for (std::size_t i = 0; i < dsts.size(); ++i)
+        if (dsts[i] != kNoBatch)
+            by_bank[dsts[i] / spb].push_back(i);
+
+    for (auto &[bank, members] : by_bank) {
+        // Inter-bank hop to the first member (the relay).
+        std::size_t relay = members.front();
+        VpcBatch hop;
+        hop.kind = VpcKind::Tran;
+        hop.subarray = home;
+        hop.dstSubarray = dsts[relay];
+        hop.vpcCount = 1;
+        hop.vectorLen = len;
+        hop.depA = dep;
+        hop.barrier = barrier;
+        barrier = false;
+        std::uint32_t relay_idx = ctx.sched->push(hop);
+        out_idx[relay] = relay_idx;
+
+        // Bank-local fan-out from the relay.
+        for (std::size_t m = 1; m < members.size(); ++m) {
+            std::size_t i = members[m];
+            VpcBatch fan;
+            fan.kind = VpcKind::Tran;
+            fan.subarray = dsts[relay];
+            fan.dstSubarray = dsts[i];
+            fan.vpcCount = 1;
+            fan.vectorLen = len;
+            fan.depA = relay_idx;
+            out_idx[i] = ctx.sched->push(fan);
+        }
+    }
+}
+
+void
+Planner::pushCollect(LowerCtx &ctx, std::uint32_t src,
+                     std::uint32_t dst, std::uint32_t results,
+                     std::uint32_t dep) const
+{
+    VpcBatch col;
+    col.kind = VpcKind::Tran;
+    col.subarray = src;
+    col.dstSubarray = dst;
+    col.vpcCount = results;
+    col.vectorLen = 1;
+    col.depA = dep;
+    ctx.sched->push(col);
+}
+
+std::uint32_t
+Planner::emitCompute(LowerCtx &ctx, VpcKind kind,
+                     std::uint32_t subarray, std::uint32_t vpc_count,
+                     std::uint64_t vector_len,
+                     std::uint32_t dep) const
+{
+    SPIM_ASSERT(isPimVpc(kind), "emitCompute on TRAN");
+    SPIM_ASSERT(vpc_count > 0 && vector_len > 0,
+                "degenerate compute batch");
+
+    const std::uint64_t max_len = cfg_.maxVpcElements;
+    if (vector_len <= max_len) {
+        VpcBatch b;
+        b.kind = kind;
+        b.subarray = subarray;
+        b.vpcCount = vpc_count;
+        b.vectorLen = std::uint32_t(vector_len);
+        b.depA = dep;
+        return ctx.sched->push(b);
+    }
+
+    // Slicing (Sec. IV-C): an oversized vector is processed as
+    // several slices whose partial results are recombined with
+    // additions.
+    const std::uint64_t slices =
+        (vector_len + max_len - 1) / max_len;
+    std::uint32_t last = dep;
+    std::uint64_t remaining = vector_len;
+    for (std::uint64_t s = 0; s < slices; ++s) {
+        std::uint64_t len = std::min(remaining, max_len);
+        remaining -= len;
+        VpcBatch b;
+        b.kind = kind;
+        b.subarray = subarray;
+        b.vpcCount = vpc_count;
+        b.vectorLen = std::uint32_t(len);
+        b.depA = last;
+        last = ctx.sched->push(b);
+        stats_.slicedVpcs += vpc_count;
+    }
+    // Combine the partial results.
+    VpcBatch combine;
+    combine.kind = VpcKind::Add;
+    combine.subarray = subarray;
+    combine.vpcCount = vpc_count;
+    combine.vectorLen = std::uint32_t(slices - 1);
+    combine.depA = last;
+    return ctx.sched->push(combine);
+}
+
+void
+Planner::lowerMatVec(LowerCtx &ctx, const TaskGraph &g,
+                     const MatrixOp &op, bool transposed) const
+{
+    const MatrixDesc &a = g.matrices[op.a];
+    const std::uint32_t out_rows = transposed ? a.cols : a.rows;
+    const std::uint32_t k = transposed ? a.rows : a.cols;
+    const std::uint32_t x_home = vectorHome(op.b);
+    const std::uint32_t y_home = vectorHome(op.c);
+    const auto slots = std::uint32_t(computeSet_.size());
+
+    bool barrier = ctx.written[op.a] || ctx.written[op.b];
+
+    // Phase 1: broadcast the operand vector to every compute slot
+    // that owns output rows (hierarchical per-bank fan-out).
+    std::vector<std::uint32_t> copy_dsts(slots, kNoBatch);
+    for (std::uint32_t i = 0; i < slots; ++i)
+        if (rowsOnSlot(out_rows, i) > 0)
+            copy_dsts[i] = computeSet_[i];
+    std::vector<std::uint32_t> copy_idx;
+    emitBroadcast(ctx, x_home, copy_dsts, k, kNoBatch, barrier,
+                  copy_idx);
+
+    // Phases 2-3: dot products and per-element result collection.
+    // distribute pairs each compute with its collect (the naive
+    // order that triggers head-of-line serialization); unblock
+    // separates the phases.
+    std::vector<std::uint32_t> comp_idx(slots, kNoBatch);
+    auto emit_comp = [&](std::uint32_t i) {
+        std::uint32_t rows = rowsOnSlot(out_rows, i);
+        comp_idx[i] = emitCompute(ctx, VpcKind::Mul, computeSet_[i],
+                                  rows, k, copy_idx[i]);
+    };
+    auto emit_collect = [&](std::uint32_t i) {
+        VpcBatch t;
+        t.kind = VpcKind::Tran;
+        t.subarray = computeSet_[i];
+        t.dstSubarray = y_home;
+        t.vpcCount = rowsOnSlot(out_rows, i);
+        t.vectorLen = 1;
+        t.depA = comp_idx[i];
+        ctx.lastWriter[op.c] = ctx.sched->push(t);
+    };
+
+    if (cfg_.optLevel == OptLevel::Unblock) {
+        for (std::uint32_t i = 0; i < slots; ++i)
+            if (rowsOnSlot(out_rows, i) > 0)
+                emit_comp(i);
+        for (std::uint32_t i = 0; i < slots; ++i)
+            if (rowsOnSlot(out_rows, i) > 0)
+                emit_collect(i);
+    } else {
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            if (rowsOnSlot(out_rows, i) == 0)
+                continue;
+            emit_comp(i);
+            emit_collect(i);
+        }
+    }
+    ctx.written[op.c] = true;
+}
+
+void
+Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
+                     const MatrixOp &op) const
+{
+    const MatrixDesc &a = g.matrices[op.a];
+    const MatrixDesc &b = g.matrices[op.b];
+    const std::uint32_t rows_i = a.rows;
+    const std::uint32_t k = a.cols;
+    const std::uint32_t cols_j = b.cols;
+    const auto slots = std::uint32_t(computeSet_.size());
+
+    // When A has fewer rows than there are compute subarrays, row
+    // distribution alone would strand parallelism. The layout
+    // optimization replicates A's rows into `groups` column groups:
+    // group g serves columns j with j % groups == g, so different
+    // columns proceed concurrently on disjoint subarray sets.
+    const std::uint32_t groups =
+        cfg_.optLevel == OptLevel::Base
+            ? 1
+            : std::max<std::uint32_t>(
+                  1, std::min(cols_j,
+                              slots / std::max(1u, rows_i)));
+    const std::uint32_t g_slots = slots / groups;
+    auto group_slot = [&](std::uint32_t grp, std::uint32_t t) {
+        return computeSet_[grp * g_slots + t];
+    };
+    auto rows_on = [&](std::uint32_t t) {
+        return rows_i / g_slots + (t < rows_i % g_slots ? 1 : 0);
+    };
+
+    // A pristine rhs matrix is pre-laid column-distributed by the
+    // task's layout optimization; a produced one is row-distributed
+    // and each column must first be assembled on its stream home.
+    const bool need_assembly = ctx.written[op.b];
+
+    bool barrier = ctx.written[op.a] || ctx.written[op.b];
+
+    // Replicate A's rows into groups 1..groups-1 (group 0 holds the
+    // primary copy). One bulk transfer per destination subarray.
+    if (groups > 1) {
+        for (std::uint32_t grp = 1; grp < groups; ++grp) {
+            for (std::uint32_t t = 0; t < g_slots; ++t) {
+                std::uint32_t rows = rows_on(t);
+                if (rows == 0)
+                    continue;
+                VpcBatch rep;
+                rep.kind = VpcKind::Tran;
+                rep.subarray = group_slot(0, t);
+                rep.dstSubarray = group_slot(grp, t);
+                rep.vpcCount = 1;
+                rep.vectorLen = rows * k;
+                rep.barrier = barrier;
+                barrier = false;
+                ctx.sched->push(rep);
+            }
+        }
+    }
+
+    const bool unblock = cfg_.optLevel == OptLevel::Unblock;
+    const std::uint32_t c_home = vectorHome(op.c);
+    std::uint32_t last_comp = kNoBatch;
+
+    for (std::uint32_t j = 0; j < cols_j; ++j) {
+        const std::uint32_t home = streamHome(j);
+        const std::uint32_t grp = j % groups;
+
+        std::uint32_t asm_idx = kNoBatch;
+        if (need_assembly) {
+            // Gather column j of B (row-distributed over group 0)
+            // to the stream home: one element per source row.
+            for (std::uint32_t t = 0; t < g_slots; ++t) {
+                std::uint32_t src_rows =
+                    k / g_slots + (t < k % g_slots ? 1 : 0);
+                if (src_rows == 0)
+                    continue;
+                VpcBatch gather;
+                gather.kind = VpcKind::Tran;
+                gather.subarray = group_slot(0, t);
+                gather.dstSubarray = home;
+                gather.vpcCount = src_rows;
+                gather.vectorLen = 1;
+                gather.barrier = barrier;
+                barrier = false;
+                asm_idx = ctx.sched->push(gather);
+            }
+        }
+
+        // Broadcast column j to every slot of its group owning rows
+        // (hierarchical: one device-bus hop per bank, then bank-
+        // local fan-out).
+        std::vector<std::uint32_t> bcast_dsts(g_slots, kNoBatch);
+        for (std::uint32_t t = 0; t < g_slots; ++t)
+            if (rows_on(t) > 0)
+                bcast_dsts[t] = group_slot(grp, t);
+        std::vector<std::uint32_t> bcast_idx;
+        emitBroadcast(ctx, home, bcast_dsts, k, asm_idx, barrier,
+                      bcast_idx);
+
+        // Dot products, then collection of the column's results to
+        // C's home. Under unblock the collects go to the disjoint
+        // staging set in a separate phase; otherwise each subarray's
+        // results are naively collected right after its compute —
+        // exactly the compute/collect pairing that head-of-line
+        // blocking serializes per bank.
+        std::vector<std::uint32_t> comp_idx(g_slots, kNoBatch);
+        for (std::uint32_t t = 0; t < g_slots; ++t) {
+            std::uint32_t rows = rows_on(t);
+            if (rows == 0)
+                continue;
+            last_comp = emitCompute(ctx, VpcKind::Mul,
+                                    group_slot(grp, t), rows, k,
+                                    bcast_idx[t]);
+            comp_idx[t] = last_comp;
+            if (!unblock)
+                pushCollect(ctx, group_slot(grp, t), c_home, rows,
+                            last_comp);
+        }
+        if (unblock) {
+            for (std::uint32_t t = 0; t < g_slots; ++t)
+                if (comp_idx[t] != kNoBatch)
+                    pushCollect(ctx, group_slot(grp, t), c_home,
+                                rows_on(t), comp_idx[t]);
+        }
+    }
+    ctx.written[op.c] = true;
+    ctx.lastWriter[op.c] = last_comp;
+}
+
+void
+Planner::lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
+                          const MatrixOp &op) const
+{
+    const MatrixDesc &a = g.matrices[op.a];
+    const bool is_add = op.kind == MatOpKind::MatAdd;
+    const VpcKind kind = is_add ? VpcKind::Add : VpcKind::Smul;
+    const auto slots = std::uint32_t(computeSet_.size());
+
+    bool barrier = ctx.written[op.a] ||
+                   (is_add && ctx.written[op.b]);
+
+    if (a.cols == 1) {
+        // Vector-shaped element-wise op: the operands live whole on
+        // their home subarrays; distribute chunks, compute, collect.
+        // Chunks are kept at a useful granularity — spreading a
+        // 2000-element add over 512 subarrays would pay one bus
+        // fill per 4 elements, so the task caps the fan-out (part
+        // of the Fig. 16 layout optimization).
+        const std::uint32_t n = a.rows;
+        const std::uint32_t min_chunk = 256;
+        const std::uint32_t used = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(
+                   slots, (n + min_chunk - 1) / min_chunk));
+        auto chunk_on = [&](std::uint32_t i) {
+            return i < used ? n / used + (i < n % used ? 1 : 0) : 0;
+        };
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            std::uint32_t chunk = chunk_on(i);
+            if (chunk == 0)
+                continue;
+            std::uint32_t dep = kNoBatch;
+            // Copy chunk of a (and b) from their vector homes.
+            VpcBatch ca;
+            ca.kind = VpcKind::Tran;
+            ca.subarray = vectorHome(op.a);
+            ca.dstSubarray = computeSet_[i];
+            ca.vpcCount = 1;
+            ca.vectorLen = chunk;
+            ca.barrier = barrier;
+            barrier = false;
+            dep = ctx.sched->push(ca);
+            if (is_add) {
+                VpcBatch cb = ca;
+                cb.subarray = vectorHome(op.b);
+                cb.barrier = false;
+                dep = ctx.sched->push(cb);
+            }
+            std::uint32_t comp =
+                emitCompute(ctx, kind, computeSet_[i], 1, chunk, dep);
+            VpcBatch out;
+            out.kind = VpcKind::Tran;
+            out.subarray = computeSet_[i];
+            out.dstSubarray = vectorHome(op.c);
+            out.vpcCount = 1;
+            out.vectorLen = chunk;
+            out.depA = comp;
+            ctx.lastWriter[op.c] = ctx.sched->push(out);
+        }
+    } else {
+        // Matrix-shaped: rows are resident (row-distributed); one
+        // batch per slot, results in place.
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            std::uint32_t rows = rowsOnSlot(a.rows, i);
+            if (rows == 0)
+                continue;
+            // Row-resident operands: no copies needed; the barrier
+            // still orders us after the producing op.
+            std::uint32_t dep = kNoBatch;
+            if (barrier) {
+                VpcBatch fence;
+                fence.kind = VpcKind::Tran;
+                fence.subarray = computeSet_[i];
+                fence.dstSubarray = computeSet_[i];
+                fence.vpcCount = 1;
+                fence.vectorLen = 1;
+                fence.barrier = true;
+                barrier = false;
+                dep = ctx.sched->push(fence);
+            }
+            ctx.lastWriter[op.c] = emitCompute(
+                ctx, kind, computeSet_[i], rows, a.cols, dep);
+        }
+    }
+    ctx.written[op.c] = true;
+}
+
+VpcSchedule
+Planner::plan(const TaskGraph &graph) const
+{
+    VpcSchedule sched;
+    LowerCtx ctx;
+    ctx.sched = &sched;
+    ctx.lastWriter.assign(graph.matrices.size(), kNoBatch);
+    ctx.written.assign(graph.matrices.size(), false);
+    stats_ = PlanStats{};
+
+    for (const MatrixOp &op : graph.ops) {
+        switch (op.kind) {
+          case MatOpKind::MatMul:
+            lowerMatMul(ctx, graph, op);
+            break;
+          case MatOpKind::MatVec:
+            lowerMatVec(ctx, graph, op, false);
+            break;
+          case MatOpKind::MatVecT:
+            lowerMatVec(ctx, graph, op, true);
+            break;
+          case MatOpKind::MatAdd:
+          case MatOpKind::Scale:
+            lowerElementWise(ctx, graph, op);
+            break;
+          case MatOpKind::Nonlinear:
+            // Host-side; contributes no VPCs. The DNN harness adds
+            // the host time separately.
+            ctx.written[op.c] = true;
+            break;
+        }
+    }
+
+    stats_.pimVpcs = sched.pimVpcs();
+    stats_.moveVpcs = sched.moveVpcs();
+    stats_.batches = sched.batches.size();
+    return sched;
+}
+
+} // namespace streampim

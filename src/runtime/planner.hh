@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The planner: lowers matrix-level task graphs to VPC schedules
+ * under the paper's three optimization levels (Sec. IV-C).
+ *
+ * Placement policy:
+ *  - Matrices are row-distributed round-robin over the compute
+ *    subarray set (Fig. 15: "different rows of A are stored in
+ *    different subarrays").
+ *  - Vectors live whole on a home subarray: inside the compute set
+ *    for base/distribute, on a disjoint staging set in the memory
+ *    banks for unblock ("operands and results are placed in
+ *    different predefined subarray sets that do not overlap").
+ *
+ * Issue-order policy (what unblock actually changes):
+ *  - distribute: the natural per-subarray order [compute(s);
+ *    collect(s)] — each collect depends on its compute and, with
+ *    in-order per-bank issue, stalls the bank's queue until the
+ *    compute drains, serializing compute across the subarrays of a
+ *    bank. Parallelism degenerates to roughly the bank count.
+ *  - unblock: copies, computes and collects are issued in separate
+ *    interleaved phases targeting disjoint subarrays, equivalent to
+ *    per-subarray issue with no head-of-line blocking.
+ */
+
+#ifndef STREAMPIM_RUNTIME_PLANNER_HH_
+#define STREAMPIM_RUNTIME_PLANNER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "runtime/schedule.hh"
+#include "workloads/task_graph.hh"
+
+namespace streampim
+{
+
+/** Lowering statistics useful for Table IV style reporting. */
+struct PlanStats
+{
+    std::uint64_t pimVpcs = 0;
+    std::uint64_t moveVpcs = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t slicedVpcs = 0; //!< VPCs split by the slicing rule
+};
+
+/** Lowers TaskGraphs to VpcSchedules. */
+class Planner
+{
+  public:
+    explicit Planner(const SystemConfig &config);
+
+    /** Lower the whole task graph. */
+    VpcSchedule plan(const TaskGraph &graph) const;
+
+    /** Stats of the last plan() call. */
+    const PlanStats &stats() const { return stats_; }
+
+    /** The compute subarray set for the configured opt level. */
+    const std::vector<std::uint32_t> &computeSet() const
+    {
+        return computeSet_;
+    }
+
+    /** The staging subarray set (vector homes under unblock). */
+    const std::vector<std::uint32_t> &stagingSet() const
+    {
+        return stagingSet_;
+    }
+
+  private:
+    struct LowerCtx
+    {
+        VpcSchedule *sched;
+        /** Batch each matrix's data was last written by (kNoBatch if
+         * it is a pristine input). Coarse: one index per matrix. */
+        std::vector<std::uint32_t> lastWriter;
+        /** True once any op wrote the matrix. */
+        std::vector<bool> written;
+    };
+
+    /** Rows of a row-distributed matrix living on compute slot i. */
+    std::uint32_t rowsOnSlot(std::uint32_t rows,
+                             std::uint32_t slot) const;
+
+    /** Home subarray of vector-shaped matrix @p id. */
+    std::uint32_t vectorHome(MatrixId id) const;
+
+    /** Assembly/staging subarray for column stream @p j. */
+    std::uint32_t streamHome(std::uint32_t j) const;
+
+    void lowerMatVec(LowerCtx &ctx, const TaskGraph &g,
+                     const MatrixOp &op, bool transposed) const;
+    void lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
+                     const MatrixOp &op) const;
+    void lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
+                          const MatrixOp &op) const;
+
+    /** Emit one per-result-element collection transfer. */
+    void pushCollect(LowerCtx &ctx, std::uint32_t src,
+                     std::uint32_t dst, std::uint32_t results,
+                     std::uint32_t dep) const;
+
+    /**
+     * Emit a hierarchical broadcast of a length-@p len vector from
+     * @p home to every subarray in @p dsts: one inter-bank hop to a
+     * relay subarray per destination bank, then bank-local fan-out.
+     * Fills @p out_idx (parallel to dsts) with the batch index each
+     * destination's copy completes at; entries for skipped dsts stay
+     * kNoBatch.
+     */
+    void emitBroadcast(LowerCtx &ctx, std::uint32_t home,
+                       const std::vector<std::uint32_t> &dsts,
+                       std::uint32_t len, std::uint32_t dep,
+                       bool &barrier,
+                       std::vector<std::uint32_t> &out_idx) const;
+
+    /**
+     * Emit one compute batch, applying the slicing rule (Sec. IV-C)
+     * when the vector length exceeds the per-VPC maximum.
+     * @return index of the last emitted batch.
+     */
+    std::uint32_t emitCompute(LowerCtx &ctx, VpcKind kind,
+                              std::uint32_t subarray,
+                              std::uint32_t vpc_count,
+                              std::uint64_t vector_len,
+                              std::uint32_t dep) const;
+
+    SystemConfig cfg_;
+    std::vector<std::uint32_t> computeSet_;
+    std::vector<std::uint32_t> stagingSet_;
+    mutable PlanStats stats_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_RUNTIME_PLANNER_HH_

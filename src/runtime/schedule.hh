@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The batched VPC schedule the planner hands to the executor.
+ *
+ * Full traces reach tens of millions of VPCs (Table IV); simulating
+ * each individually is wasteful because consecutive VPCs of one kind
+ * on one subarray pipeline back to back. The planner therefore
+ * groups VPCs into batches: a batch is a run of identical-shape VPCs
+ * on one execution subarray (or a point-to-point transfer), with
+ * explicit dependencies on earlier batches. Batches appear in the
+ * schedule in the exact order the bank controllers would issue the
+ * underlying commands — issue order is semantically meaningful
+ * because command issue is in-order per bank with head-of-line
+ * blocking (Sec. IV-C), which is precisely what the unblock
+ * optimization manipulates.
+ */
+
+#ifndef STREAMPIM_RUNTIME_SCHEDULE_HH_
+#define STREAMPIM_RUNTIME_SCHEDULE_HH_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/log.hh"
+#include "vpc/vpc.hh"
+
+namespace streampim
+{
+
+/** Batch index sentinel for "no dependency". */
+inline constexpr std::uint32_t kNoBatch =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** A run of identical VPCs (or one batched transfer). */
+struct VpcBatch
+{
+    VpcKind kind = VpcKind::Mul;
+
+    /**
+     * Global subarray executing the batch. For TRAN batches this is
+     * the source subarray.
+     */
+    std::uint32_t subarray = 0;
+
+    /** TRAN only: destination global subarray. */
+    std::uint32_t dstSubarray = 0;
+
+    /** Number of VPCs collapsed into this batch. */
+    std::uint32_t vpcCount = 1;
+
+    /** Vector length (elements) of each VPC in the batch. */
+    std::uint32_t vectorLen = 0;
+
+    /** Up to two direct dependencies; kNoBatch when unused. */
+    std::uint32_t depA = kNoBatch;
+    std::uint32_t depB = kNoBatch;
+
+    /**
+     * Barrier batches additionally wait for every earlier batch
+     * (used sparingly, e.g. between operations of a task).
+     */
+    bool barrier = false;
+
+    /** Total elements touched by the batch. */
+    std::uint64_t
+    elements() const
+    {
+        return std::uint64_t(vpcCount) * vectorLen;
+    }
+};
+
+/** A complete schedule plus its Table IV-style counters. */
+struct VpcSchedule
+{
+    std::vector<VpcBatch> batches;
+
+    /** Count PIM (MUL/SMUL/ADD) VPCs. */
+    std::uint64_t
+    pimVpcs() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : batches)
+            if (isPimVpc(b.kind))
+                n += b.vpcCount;
+        return n;
+    }
+
+    /** Count data-movement (TRAN) VPCs. */
+    std::uint64_t
+    moveVpcs() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : batches)
+            if (!isPimVpc(b.kind))
+                n += b.vpcCount;
+        return n;
+    }
+
+    /** Append a batch, returning its index for dependency wiring. */
+    std::uint32_t
+    push(const VpcBatch &batch)
+    {
+        SPIM_ASSERT(batch.depA == kNoBatch ||
+                        batch.depA < batches.size(),
+                    "dependency on a future batch");
+        SPIM_ASSERT(batch.depB == kNoBatch ||
+                        batch.depB < batches.size(),
+                    "dependency on a future batch");
+        batches.push_back(batch);
+        return std::uint32_t(batches.size() - 1);
+    }
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_RUNTIME_SCHEDULE_HH_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Helper base for components driven by a fixed-frequency clock.
+ *
+ * The RM core clock of the paper is 100 MHz (Table III); clocked
+ * components convert between cycles and ticks and align operations to
+ * clock edges.
+ */
+
+#ifndef STREAMPIM_SIM_CLOCKED_HH_
+#define STREAMPIM_SIM_CLOCKED_HH_
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace streampim
+{
+
+/** A clock domain: frequency plus tick conversion helpers. */
+class ClockDomain
+{
+  public:
+    /** @param freq_hz clock frequency in hertz. */
+    explicit ClockDomain(double freq_hz)
+        : period_(static_cast<Tick>(1e12 / freq_hz + 0.5))
+    {
+        SPIM_ASSERT(period_ > 0, "clock period must be positive");
+    }
+
+    Tick period() const { return period_; }
+
+    Tick
+    cyclesToTicks(Cycle c) const
+    {
+        return static_cast<Tick>(c) * period_;
+    }
+
+    Cycle
+    ticksToCycles(Tick t) const
+    {
+        return t / period_;
+    }
+
+    /** Cycles needed to cover @p t ticks, rounded up. */
+    Cycle
+    ticksToCyclesCeil(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    /** First clock edge at or after @p now. */
+    Tick
+    edgeAtOrAfter(Tick now) const
+    {
+        return ((now + period_ - 1) / period_) * period_;
+    }
+
+  private:
+    Tick period_;
+};
+
+/** Base for simulation objects that live on an EventQueue + clock. */
+class Clocked
+{
+  public:
+    Clocked(EventQueue &eq, const ClockDomain &clock)
+        : eq_(eq), clock_(clock)
+    {}
+
+    EventQueue &eventQueue() { return eq_; }
+    const ClockDomain &clock() const { return clock_; }
+
+    Tick curTick() const { return eq_.curTick(); }
+    Cycle curCycle() const { return clock_.ticksToCycles(curTick()); }
+
+    /** Schedule a callback @p cycles clock cycles from now. */
+    void
+    scheduleCycles(Cycle cycles, EventQueue::Callback cb)
+    {
+        eq_.scheduleIn(clock_.cyclesToTicks(cycles), std::move(cb));
+    }
+
+  private:
+    EventQueue &eq_;
+    const ClockDomain &clock_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_SIM_CLOCKED_HH_

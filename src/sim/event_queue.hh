@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time for one experiment. Events
+ * are closures scheduled at absolute ticks; ties are broken by
+ * insertion order so that simulations are fully deterministic.
+ */
+
+#ifndef STREAMPIM_SIM_EVENT_QUEUE_HH_
+#define STREAMPIM_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace streampim
+{
+
+/** Priority queue of timed callbacks; the heart of the simulator. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= curTick). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        SPIM_ASSERT(when >= curTick_,
+                    "scheduling into the past: ", when, " < ", curTick_);
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(curTick_ + delta, std::move(cb));
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t processed() const { return processed_; }
+
+    /** Time of the next pending event; kTickMax when empty. */
+    Tick
+    nextTick() const
+    {
+        return heap_.empty() ? kTickMax : heap_.top().when;
+    }
+
+    /**
+     * Run events until the queue drains.
+     * @return the tick of the last processed event.
+     */
+    Tick
+    run()
+    {
+        while (step()) {}
+        return curTick_;
+    }
+
+    /**
+     * Run events with time <= @p limit. Time is left at the last
+     * processed event (or @p limit if nothing else is pending).
+     * @return true if events remain beyond the limit.
+     */
+    bool
+    runUntil(Tick limit)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            step();
+        if (curTick_ < limit)
+            curTick_ = limit;
+        return !heap_.empty();
+    }
+
+    /** Execute exactly one event. @return false if queue was empty. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the entry out before executing: the callback may
+        // schedule new events and reallocate the heap.
+        Entry e = heap_.top();
+        heap_.pop();
+        curTick_ = e.when;
+        processed_++;
+        e.cb();
+        return true;
+    }
+
+    /** Drop all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        curTick_ = 0;
+        nextSeq_ = 0;
+        processed_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,135 @@
+#include "workloads/dnn.hh"
+
+#include <string>
+
+namespace streampim
+{
+
+TaskGraph
+makeMlp(const MlpConfig &cfg)
+{
+    TaskGraph g;
+    g.name = "mlp";
+    MatrixId act = g.addMatrix("input", cfg.batch, cfg.inputDim);
+    unsigned in_dim = cfg.inputDim;
+
+    for (unsigned layer = 0; layer <= cfg.hiddenLayers; ++layer) {
+        const bool last = layer == cfg.hiddenLayers;
+        const unsigned out_dim = last ? cfg.outputDim : cfg.hiddenDim;
+        const std::string tag = std::to_string(layer);
+
+        MatrixId w = g.addMatrix("W" + tag, in_dim, out_dim);
+        MatrixId bias = g.addMatrix("b" + tag, cfg.batch, out_dim);
+        MatrixId z = g.addMatrix("z" + tag, cfg.batch, out_dim);
+        MatrixId zb = g.addMatrix("zb" + tag, cfg.batch, out_dim);
+
+        g.addOp(MatOpKind::MatMul, act, w, z);   // z = act * W
+        g.addOp(MatOpKind::MatAdd, z, bias, zb); // zb = z + b
+        if (!last) {
+            MatrixId a = g.addMatrix("a" + tag, cfg.batch, out_dim);
+            g.addOp(MatOpKind::Nonlinear, zb, zb, a); // ReLU (host)
+            act = a;
+        } else {
+            MatrixId probs =
+                g.addMatrix("probs", cfg.batch, out_dim);
+            g.addOp(MatOpKind::Nonlinear, zb, zb, probs,
+                12.0); // softmax
+            act = probs;
+        }
+        in_dim = out_dim;
+    }
+    return g;
+}
+
+TaskGraph
+makeBert(const BertConfig &cfg)
+{
+    TaskGraph g;
+    g.name = "bert";
+    const unsigned tokens = cfg.batch * cfg.seqLen;
+    const unsigned head_dim = cfg.hidden / cfg.heads;
+
+    MatrixId act = g.addMatrix("embeddings", tokens, cfg.hidden);
+
+    for (unsigned layer = 0; layer < cfg.layers; ++layer) {
+        const std::string t = "L" + std::to_string(layer) + ".";
+
+        // Self-attention projections: Q, K, V = act * W{q,k,v}.
+        MatrixId wq = g.addMatrix(t + "Wq", cfg.hidden, cfg.hidden);
+        MatrixId wk = g.addMatrix(t + "Wk", cfg.hidden, cfg.hidden);
+        MatrixId wv = g.addMatrix(t + "Wv", cfg.hidden, cfg.hidden);
+        MatrixId q = g.addMatrix(t + "Q", tokens, cfg.hidden);
+        MatrixId k = g.addMatrix(t + "K", tokens, cfg.hidden);
+        MatrixId v = g.addMatrix(t + "V", tokens, cfg.hidden);
+        g.addOp(MatOpKind::MatMul, act, wq, q);
+        g.addOp(MatOpKind::MatMul, act, wk, k);
+        g.addOp(MatOpKind::MatMul, act, wv, v);
+
+        // Attention scores and context, one matmul pair per head:
+        // S_h = Q_h * K_h^T (seq x seq), C_h = softmax(S_h) * V_h.
+        MatrixId ctx = g.addMatrix(t + "ctx", tokens, cfg.hidden);
+        for (unsigned h = 0; h < cfg.heads; ++h) {
+            const std::string ht = t + "h" + std::to_string(h) + ".";
+            MatrixId qh = g.addMatrix(ht + "Qh", cfg.seqLen, head_dim);
+            MatrixId kht =
+                g.addMatrix(ht + "KhT", head_dim, cfg.seqLen);
+            MatrixId vh = g.addMatrix(ht + "Vh", cfg.seqLen, head_dim);
+            MatrixId scores =
+                g.addMatrix(ht + "S", cfg.seqLen, cfg.seqLen);
+            MatrixId probs =
+                g.addMatrix(ht + "P", cfg.seqLen, cfg.seqLen);
+            MatrixId ch = g.addMatrix(ht + "C", cfg.seqLen, head_dim);
+            // Slices of Q/K/V are views; model them as copies
+            // already resident (no explicit op).
+            g.addOp(MatOpKind::MatMul, qh, kht, scores);
+            g.addOp(MatOpKind::Nonlinear, scores, scores, probs,
+                    25.0); // softmax: exp + reduce + divide
+            g.addOp(MatOpKind::MatMul, probs, vh, ch);
+            (void)q;
+            (void)k;
+            (void)v;
+        }
+
+        // Output projection + residual + layer norm.
+        MatrixId wo = g.addMatrix(t + "Wo", cfg.hidden, cfg.hidden);
+        MatrixId attn_out = g.addMatrix(t + "attn", tokens, cfg.hidden);
+        MatrixId res1 = g.addMatrix(t + "res1", tokens, cfg.hidden);
+        MatrixId ln1 = g.addMatrix(t + "ln1", tokens, cfg.hidden);
+        g.addOp(MatOpKind::MatMul, ctx, wo, attn_out);
+        g.addOp(MatOpKind::MatAdd, attn_out, act, res1);
+        g.addOp(MatOpKind::Nonlinear, res1, res1, ln1,
+                15.0); // layer norm: mean/var + normalize
+
+        // Feed-forward network with GELU.
+        MatrixId w1 = g.addMatrix(t + "Wffn1", cfg.hidden, cfg.ffnDim);
+        MatrixId w2 = g.addMatrix(t + "Wffn2", cfg.ffnDim, cfg.hidden);
+        MatrixId ffn1 = g.addMatrix(t + "ffn1", tokens, cfg.ffnDim);
+        MatrixId gelu = g.addMatrix(t + "gelu", tokens, cfg.ffnDim);
+        MatrixId ffn2 = g.addMatrix(t + "ffn2", tokens, cfg.hidden);
+        MatrixId res2 = g.addMatrix(t + "res2", tokens, cfg.hidden);
+        MatrixId ln2 = g.addMatrix(t + "ln2", tokens, cfg.hidden);
+        g.addOp(MatOpKind::MatMul, ln1, w1, ffn1);
+        g.addOp(MatOpKind::Nonlinear, ffn1, ffn1, gelu, 12.0);
+        g.addOp(MatOpKind::MatMul, gelu, w2, ffn2);
+        g.addOp(MatOpKind::MatAdd, ffn2, ln1, res2);
+        g.addOp(MatOpKind::Nonlinear, res2, res2, ln2, 15.0);
+
+        act = ln2;
+    }
+    return g;
+}
+
+std::uint64_t
+nonlinearElements(const TaskGraph &graph)
+{
+    // Host-weighted: an element of a transcendental op counts its
+    // hostWeight (see MatrixOp::hostWeight).
+    double elements = 0;
+    for (const auto &op : graph.ops)
+        if (op.kind == MatOpKind::Nonlinear)
+            elements += double(graph.matrices[op.a].elements()) *
+                        op.hostWeight;
+    return std::uint64_t(elements);
+}
+
+} // namespace streampim

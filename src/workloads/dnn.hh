@@ -1,0 +1,56 @@
+/**
+ * @file
+ * End-to-end DNN inference workloads of Fig. 23: an MLP and BERT.
+ *
+ * Matrix multiplications and additions offload to StreamPIM; the
+ * nonlinear operations (activations, softmax, layer norm) stay on
+ * the host ("we only offload the matrix multiplication and addition
+ * to StreamPIM while relying on CPU to process the unsupported
+ * operations"). Nonlinear ops appear in the task graph as
+ * MatOpKind::Nonlinear so each platform model can cost them on the
+ * host side.
+ */
+
+#ifndef STREAMPIM_WORKLOADS_DNN_HH_
+#define STREAMPIM_WORKLOADS_DNN_HH_
+
+#include <cstdint>
+
+#include "workloads/task_graph.hh"
+
+namespace streampim
+{
+
+/** MLP inference configuration (mlbench-style classifier). */
+struct MlpConfig
+{
+    unsigned batch = 256;
+    unsigned inputDim = 784;
+    unsigned hiddenDim = 4096;
+    unsigned hiddenLayers = 2;
+    unsigned outputDim = 10;
+};
+
+/** BERT-base encoder inference configuration. */
+struct BertConfig
+{
+    unsigned batch = 1;
+    unsigned seqLen = 128;
+    unsigned hidden = 768;
+    unsigned heads = 12;
+    unsigned ffnDim = 3072;
+    unsigned layers = 12;
+};
+
+/** Build the MLP inference task graph. */
+TaskGraph makeMlp(const MlpConfig &cfg = MlpConfig{});
+
+/** Build the BERT encoder inference task graph. */
+TaskGraph makeBert(const BertConfig &cfg = BertConfig{});
+
+/** Elements processed by nonlinear (host-side) ops in a graph. */
+std::uint64_t nonlinearElements(const TaskGraph &graph);
+
+} // namespace streampim
+
+#endif // STREAMPIM_WORKLOADS_DNN_HH_

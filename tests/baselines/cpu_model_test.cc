@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the host CPU model's op accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_model.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TaskGraph
+singleOpGraph(MatOpKind kind, unsigned i, unsigned k, unsigned j)
+{
+    TaskGraph g;
+    auto a = g.addMatrix("A", i, k);
+    switch (kind) {
+      case MatOpKind::MatMul: {
+        auto b = g.addMatrix("B", k, j);
+        auto c = g.addMatrix("C", i, j);
+        g.addOp(kind, a, b, c);
+        break;
+      }
+      case MatOpKind::MatVec: {
+        auto x = g.addMatrix("x", k, 1);
+        auto y = g.addMatrix("y", i, 1);
+        g.addOp(kind, a, x, y);
+        break;
+      }
+      case MatOpKind::MatAdd: {
+        auto b = g.addMatrix("B", i, k);
+        auto c = g.addMatrix("C", i, k);
+        g.addOp(kind, a, b, c);
+        break;
+      }
+      default: {
+        auto c = g.addMatrix("C", i, k);
+        g.addOp(kind, a, a, c);
+        break;
+      }
+    }
+    return g;
+}
+
+TEST(CpuModelAccounting, MatMulMacs)
+{
+    CpuPlatform cpu(HostMemKind::Dram);
+    TaskGraph g = singleOpGraph(MatOpKind::MatMul, 10, 20, 30);
+    EXPECT_EQ(cpu.opMacs(g, g.ops[0]), 10u * 20 * 30);
+}
+
+TEST(CpuModelAccounting, CacheResidentMatricesFetchedOnce)
+{
+    CpuPlatform cpu(HostMemKind::Dram);
+    // Tiny matmul: everything fits the 8 MiB L2 -> traffic is one
+    // pass over each operand (in 8 B doubles).
+    TaskGraph g = singleOpGraph(MatOpKind::MatMul, 16, 16, 16);
+    std::uint64_t traffic = cpu.opTrafficBytes(g, g.ops[0]);
+    EXPECT_EQ(traffic, 3u * 16 * 16 * 8);
+}
+
+TEST(CpuModelAccounting, OversizedRhsRestreamsWithWaste)
+{
+    CpuPlatform cpu(HostMemKind::Dram);
+    // B = 2000x2000 doubles = 32 MB > L2: re-streamed per row of A
+    // with the stride-waste factor.
+    TaskGraph g = singleOpGraph(MatOpKind::MatMul, 100, 2000, 2000);
+    std::uint64_t traffic = cpu.opTrafficBytes(g, g.ops[0]);
+    std::uint64_t b_bytes = 2000ull * 2000 * 8;
+    EXPECT_GT(traffic, b_bytes * 100); // at least one pass per row
+}
+
+TEST(CpuModelAccounting, MatAddStreamsAllThreeOperands)
+{
+    CpuPlatform cpu(HostMemKind::Rm);
+    TaskGraph g = singleOpGraph(MatOpKind::MatAdd, 64, 64, 0);
+    EXPECT_EQ(cpu.opTrafficBytes(g, g.ops[0]), 3u * 64 * 64 * 8);
+}
+
+TEST(CpuModelAccounting, NonlinearWeightScalesHostWork)
+{
+    CpuPlatform cpu(HostMemKind::Rm);
+    TaskGraph g;
+    auto a = g.addMatrix("A", 32, 32);
+    auto c1 = g.addMatrix("C1", 32, 32);
+    auto c2 = g.addMatrix("C2", 32, 32);
+    g.addOp(MatOpKind::Nonlinear, a, a, c1, 1.0);  // ReLU-ish
+    g.addOp(MatOpKind::Nonlinear, a, a, c2, 12.0); // softmax-ish
+    EXPECT_EQ(cpu.opMacs(g, g.ops[1]),
+              12 * cpu.opMacs(g, g.ops[0]));
+}
+
+TEST(CpuModelAccounting, TotalTimeIsMonotoneInWork)
+{
+    CpuPlatform cpu(HostMemKind::Rm);
+    double small =
+        cpu.run(singleOpGraph(MatOpKind::MatMul, 64, 64, 64))
+            .seconds;
+    double large =
+        cpu.run(singleOpGraph(MatOpKind::MatMul, 128, 128, 128))
+            .seconds;
+    EXPECT_GT(large, small);
+}
+
+TEST(CpuModelAccounting, NamesIdentifyMemoryKind)
+{
+    EXPECT_EQ(CpuPlatform(HostMemKind::Rm).name(), "CPU-RM");
+    EXPECT_EQ(CpuPlatform(HostMemKind::Dram).name(), "CPU-DRAM");
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the GPU offload model (Fig. 3b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.hh"
+#include "workloads/polybench.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(GpuModel, BreakdownSumsToTotal)
+{
+    GpuPlatform gpu;
+    TaskGraph g = makePolybench(PolybenchKernel::Atax, 512);
+    PlatformResult r = gpu.run(g);
+    EXPECT_NEAR(r.timeCategory("transfer") + r.timeCategory("kernel"),
+                r.seconds, r.seconds * 1e-9);
+}
+
+TEST(GpuModel, TransferScalesWithWorkingSet)
+{
+    GpuPlatform gpu;
+    double small = gpu.run(makePolybench(PolybenchKernel::Mvt, 256))
+                       .timeCategory("transfer");
+    double large = gpu.run(makePolybench(PolybenchKernel::Mvt, 1024))
+                       .timeCategory("transfer");
+    // Working set grows ~16x with the dimension squared.
+    EXPECT_GT(large, small * 10);
+}
+
+TEST(GpuModel, LaunchOverheadChargedPerOp)
+{
+    GpuParams slow;
+    slow.kernelLaunchUs = 1000.0; // absurd launches
+    GpuPlatform gpu_slow(slow);
+    GpuPlatform gpu_fast;
+    TaskGraph g = makePolybench(PolybenchKernel::Gesummv, 64);
+    EXPECT_GT(gpu_slow.run(g).seconds, gpu_fast.run(g).seconds);
+}
+
+TEST(GpuModel, DenseKernelsLessTransferBound)
+{
+    // gemm has high arithmetic intensity, so its transfer share is
+    // far below the matrix-vector kernels'.
+    GpuPlatform gpu;
+    PlatformResult mv = gpu.run(makePolybench(PolybenchKernel::Mvt,
+                                              2000));
+    PlatformResult mm = gpu.run(makePolybench(PolybenchKernel::Gemm,
+                                              2000));
+    double mv_frac = mv.timeCategory("transfer") / mv.seconds;
+    double mm_frac = mm.timeCategory("transfer") / mm.seconds;
+    EXPECT_GT(mv_frac, mm_frac);
+}
+
+TEST(GpuModel, EnergyFollowsBoardPower)
+{
+    GpuPlatform gpu;
+    TaskGraph g = makePolybench(PolybenchKernel::Bicg, 512);
+    PlatformResult r = gpu.run(g);
+    EXPECT_NEAR(r.joules, 220.0 * r.seconds, 1e-9);
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the baseline platform models: internal consistency and
+ * the qualitative orderings the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/bitwise_pim.hh"
+#include "baselines/coruscant.hh"
+#include "baselines/cpu_model.hh"
+#include "baselines/gpu_model.hh"
+#include "baselines/stream_pim_platform.hh"
+#include "workloads/polybench.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TaskGraph
+mediumGemm()
+{
+    return makePolybench(PolybenchKernel::Gemm, 192);
+}
+
+TEST(CpuModel, DramBeatsRmOnTime)
+{
+    // DDR4's lower random-access latency makes CPU-DRAM faster
+    // (Fig. 17's ~1.5x).
+    CpuPlatform rm(HostMemKind::Rm);
+    CpuPlatform dram(HostMemKind::Dram);
+    TaskGraph g = mediumGemm();
+    double srm = rm.run(g).seconds;
+    double sdram = dram.run(g).seconds;
+    EXPECT_GT(srm, sdram);
+    EXPECT_LT(srm / sdram, 2.5);
+}
+
+TEST(CpuModel, BreakdownSumsToTotal)
+{
+    CpuPlatform cpu(HostMemKind::Rm);
+    PlatformResult r = cpu.run(mediumGemm());
+    EXPECT_NEAR(r.timeCategory("compute") + r.timeCategory("mem"),
+                r.seconds, r.seconds * 1e-9);
+    EXPECT_GT(r.joules, 0.0);
+}
+
+TEST(CpuModel, SmallKernelsAreMemoryBound)
+{
+    // Fig. 3a: the matrix-vector kernels spend ~half their time in
+    // memory.
+    CpuPlatform cpu(HostMemKind::Rm);
+    TaskGraph g = makePolybench(PolybenchKernel::Atax, 2000);
+    PlatformResult r = cpu.run(g);
+    double frac = r.timeCategory("mem") / r.seconds;
+    EXPECT_GT(frac, 0.3);
+    EXPECT_LT(frac, 0.75);
+}
+
+TEST(GpuModel, SmallKernelsAreTransferBound)
+{
+    // Fig. 3b: ~90% of GPU time is host-device transfer.
+    GpuPlatform gpu;
+    TaskGraph g = makePolybench(PolybenchKernel::Mvt, 2000);
+    PlatformResult r = gpu.run(g);
+    EXPECT_GT(r.timeCategory("transfer") / r.seconds, 0.5);
+}
+
+TEST(Coruscant, WriteDominatesTimeAndEnergy)
+{
+    // Fig. 4's central observation.
+    CoruscantPlatform c;
+    auto mul = c.multiplyCost();
+    EXPECT_GT(mul.writeNs, mul.readNs);
+    EXPECT_GT(mul.writeNs, mul.computeNs);
+    EXPECT_GT(mul.writePj / mul.totalPj(), 0.4);
+    // Arithmetic is a minority share (paper: ~30%).
+    EXPECT_LT(mul.computeNs / mul.totalNs(), 0.4);
+}
+
+TEST(Coruscant, DotMacFoldsAccumulation)
+{
+    CoruscantPlatform c;
+    EXPECT_DOUBLE_EQ(c.dotMacCost().totalNs(),
+                     c.multiplyCost().totalNs());
+}
+
+TEST(Coruscant, RunScalesWithWork)
+{
+    CoruscantPlatform c;
+    double small = c.run(makePolybench(PolybenchKernel::Gemm, 64))
+                       .seconds;
+    double large = c.run(makePolybench(PolybenchKernel::Gemm, 128))
+                       .seconds;
+    EXPECT_GT(large, small * 4); // ~8x the MACs
+}
+
+TEST(BitwisePim, FelixBeatsElp2im)
+{
+    // FELIX removes DRAM precharge phases (Fig. 17: 8.7x vs 3.6x).
+    BitwisePimPlatform elp2im(BitwisePimParams::elp2im());
+    BitwisePimPlatform felix(BitwisePimParams::felix());
+    TaskGraph g = mediumGemm();
+    EXPECT_GT(elp2im.run(g).seconds, felix.run(g).seconds);
+}
+
+TEST(BitwisePim, RefreshChargedOnlyForDram)
+{
+    BitwisePimPlatform elp2im(BitwisePimParams::elp2im());
+    BitwisePimPlatform felix(BitwisePimParams::felix());
+    TaskGraph g = mediumGemm();
+    EXPECT_GT(elp2im.run(g).energyCategory("refresh"), 0.0);
+    EXPECT_DOUBLE_EQ(felix.run(g).energyCategory("refresh"), 0.0);
+}
+
+TEST(StreamPim, FasterAndGreenerThanCpu)
+{
+    StreamPimPlatform stpim(SystemConfig::paperDefault());
+    CpuPlatform cpu(HostMemKind::Rm);
+    TaskGraph g = mediumGemm();
+    PlatformResult sp = stpim.run(g);
+    PlatformResult host = cpu.run(g);
+    EXPECT_LT(sp.seconds, host.seconds);
+    EXPECT_LT(sp.joules, host.joules);
+}
+
+TEST(StreamPim, ElectricalBusVariantIsSlower)
+{
+    SystemConfig e = SystemConfig::paperDefault();
+    e.busType = BusType::Electrical;
+    StreamPimPlatform stpim(SystemConfig::paperDefault());
+    StreamPimPlatform stpim_e(e);
+    EXPECT_EQ(stpim.name(), "StPIM");
+    EXPECT_EQ(stpim_e.name(), "StPIM-e");
+    TaskGraph g = mediumGemm();
+    EXPECT_LT(stpim.run(g).seconds, stpim_e.run(g).seconds);
+    EXPECT_LT(stpim.run(g).joules, stpim_e.run(g).joules);
+}
+
+TEST(StreamPim, OptimizationOrderingHolds)
+{
+    // Fig. 22's base < distribute < unblock.
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, 128);
+    double secs[3];
+    int i = 0;
+    for (OptLevel level : {OptLevel::Base, OptLevel::Distribute,
+                           OptLevel::Unblock}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.optLevel = level;
+        StreamPimPlatform p(cfg);
+        secs[i++] = p.run(g).seconds;
+    }
+    EXPECT_GT(secs[0], secs[1]);
+    EXPECT_GT(secs[1], secs[2]);
+    // distribute's gain is roughly the PIM bank count; unblock goes
+    // far beyond it.
+    EXPECT_GT(secs[0] / secs[2], 20.0);
+}
+
+TEST(StreamPim, ExclusiveTransferIsHiddenByPipelining)
+{
+    // Fig. 19: StPIM's exclusive transfer share is tiny.
+    StreamPimPlatform stpim(SystemConfig::paperDefault());
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, 256);
+    PlatformResult r = stpim.run(g);
+    EXPECT_LT(r.timeCategory("excl_transfer") / r.seconds, 0.15);
+}
+
+TEST(StreamPim, MoreSubarraysNeverSlower)
+{
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, 256);
+    double prev = 1e300;
+    for (unsigned count : {128u, 256u, 512u}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.rm.subarraysPerBank = count / cfg.rm.pimBanks;
+        cfg.rm.matsPerSubarray = 16 * 64 / cfg.rm.subarraysPerBank;
+        StreamPimPlatform p(cfg);
+        double s = p.run(g).seconds;
+        EXPECT_LE(s, prev * 1.05) << count;
+        prev = s;
+    }
+}
+
+TEST(StreamPim, SegmentSizeBarelyMatters)
+{
+    // Table V: < a few percent between 64 and 1024.
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, 256);
+    SystemConfig small_cfg = SystemConfig::paperDefault();
+    small_cfg.rm.busSegmentSize = 64;
+    SystemConfig big_cfg = SystemConfig::paperDefault();
+    big_cfg.rm.busSegmentSize = 1024;
+    double s_small = StreamPimPlatform(small_cfg).run(g).seconds;
+    double s_big = StreamPimPlatform(big_cfg).run(g).seconds;
+    EXPECT_NEAR(s_small / s_big, 1.0, 0.1);
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the electrical in-subarray bus model (StPIM-e).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/electrical_bus.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(ElectricalBus, IngressIsPerBitWritePlusShift)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    const Tick per_bit = rm.writeTicks() + rm.shiftTicks(1);
+    EXPECT_EQ(e.wordIngressTicks(), kOperandBits * per_bit);
+}
+
+TEST(ElectricalBus, EgressScalesWithResultWidth)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    EXPECT_EQ(e.wordEgressTicks(16), 2 * e.wordEgressTicks(8));
+}
+
+TEST(ElectricalBus, ConversionOverlapReducesExposedTime)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    Tick raw = e.wordIngressTicks();
+    Tick exposed = e.perElementConversionTicks(0);
+    EXPECT_LT(exposed, raw);
+    EXPECT_NEAR(double(exposed),
+                double(raw) *
+                    (1.0 - ElectricalBusTiming::kConversionOverlap),
+                2.0);
+}
+
+TEST(ElectricalBus, DotProductElementsPayIngressOnly)
+{
+    // Dot products emit one scalar per VPC, so per-element egress
+    // is zero and ingress dominates.
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    EXPECT_EQ(e.perElementConversionTicks(0),
+              Tick(double(e.wordIngressTicks()) *
+                   (1.0 - ElectricalBusTiming::kConversionOverlap)));
+}
+
+TEST(ElectricalBus, WideEgressCanDominate)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    // A wide-enough per-element result makes egress the maximum.
+    Tick with_wide = e.perElementConversionTicks(64);
+    Tick ingress_only = e.perElementConversionTicks(0);
+    EXPECT_GT(with_wide, ingress_only);
+}
+
+TEST(ElectricalBus, LocalPulseEnergyScalesWithDriverWidth)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    EXPECT_DOUBLE_EQ(e.localPulsePj(rm.writePj),
+                     rm.writePj / rm.saveTracksPerMat);
+}
+
+TEST(ElectricalBus, IngressEnergyPerElement)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    EnergyMeter meter;
+    EnergyMeter scratch;
+    RmEnergyModel model(rm, scratch);
+    e.recordIngressEnergy(model, meter, 100);
+    // 100 elements x 2 operands x 8 bits of local pulses.
+    EXPECT_EQ(meter.count(EnergyOp::BusElectrical), 1600u);
+    double per_bit = e.localPulsePj(rm.writePj) +
+                     e.localPulsePj(rm.shiftPj);
+    EXPECT_NEAR(meter.energyPj(EnergyOp::BusElectrical),
+                1600 * per_bit, 1e-9);
+}
+
+TEST(ElectricalBus, EgressEnergyPerWord)
+{
+    RmParams rm;
+    ElectricalBusTiming e(rm);
+    EnergyMeter meter;
+    e.recordEgressEnergy(meter, 10, 32);
+    EXPECT_EQ(meter.count(EnergyOp::BusElectrical), 320u);
+}
+
+} // namespace
+} // namespace streampim

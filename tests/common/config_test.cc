@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the configuration store and RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(Config, TypedSettersAndGetters)
+{
+    Config c;
+    c.setInt("dim", 2000);
+    c.setDouble("freq", 3.7e9);
+    c.setBool("pipelined", true);
+    c.set("name", "streampim");
+
+    EXPECT_EQ(c.getInt("dim", 0), 2000);
+    EXPECT_DOUBLE_EQ(c.getDouble("freq", 0), 3.7e9);
+    EXPECT_TRUE(c.getBool("pipelined", false));
+    EXPECT_EQ(c.getString("name"), "streampim");
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, ParseMultilineAndSemicolons)
+{
+    Config c;
+    std::size_t n = c.parse("a=1\n# comment\nb=two; c=3.5\n\n");
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_EQ(c.getString("b"), "two");
+    EXPECT_DOUBLE_EQ(c.getDouble("c", 0), 3.5);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    c.set("t1", "true");
+    c.set("t2", "1");
+    c.set("t3", "yes");
+    c.set("f1", "false");
+    c.set("f2", "0");
+    c.set("f3", "no");
+    EXPECT_TRUE(c.getBool("t1", false));
+    EXPECT_TRUE(c.getBool("t2", false));
+    EXPECT_TRUE(c.getBool("t3", false));
+    EXPECT_FALSE(c.getBool("f1", true));
+    EXPECT_FALSE(c.getBool("f2", true));
+    EXPECT_FALSE(c.getBool("f3", true));
+}
+
+TEST(Config, OverwriteTakesLastValue)
+{
+    Config c;
+    c.setInt("x", 1);
+    c.setInt("x", 2);
+    EXPECT_EQ(c.getInt("x", 0), 2);
+}
+
+TEST(ConfigDeath, MalformedLineIsFatal)
+{
+    Config c;
+    EXPECT_DEATH(c.parse("notakeyvalue"), "malformed");
+    EXPECT_DEATH(c.parse("=value"), "malformed");
+}
+
+TEST(ConfigDeath, WrongTypeIsFatal)
+{
+    Config c;
+    c.set("x", "abc");
+    EXPECT_DEATH(c.getInt("x", 0), "not an integer");
+    EXPECT_DEATH(c.getBool("x", false), "not a boolean");
+}
+
+TEST(Config, EnvHelpers)
+{
+    ::setenv("SPIM_TEST_ENV_INT", "123", 1);
+    EXPECT_EQ(Config::envInt("SPIM_TEST_ENV_INT", 0), 123);
+    ::unsetenv("SPIM_TEST_ENV_INT");
+    EXPECT_EQ(Config::envInt("SPIM_TEST_ENV_INT", 5), 5);
+
+    ::setenv("SPIM_TEST_ENV_FLAG", "1", 1);
+    EXPECT_TRUE(Config::envFlag("SPIM_TEST_ENV_FLAG"));
+    ::setenv("SPIM_TEST_ENV_FLAG", "0", 1);
+    EXPECT_FALSE(Config::envFlag("SPIM_TEST_ENV_FLAG"));
+    ::unsetenv("SPIM_TEST_ENV_FLAG");
+    EXPECT_FALSE(Config::envFlag("SPIM_TEST_ENV_FLAG"));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(1234);
+    std::map<std::uint64_t, int> hist;
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        hist[r.below(8)]++;
+    for (auto &[v, count] : hist)
+        EXPECT_NEAR(double(count), n / 8.0, n * 0.01) << v;
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace streampim

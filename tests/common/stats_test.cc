@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the statistics substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "rm/energy.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(StatCounter, IncrementAndReset)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatAccumulator, SumMinMaxMean)
+{
+    StatAccumulator a;
+    a.sample(2.0);
+    a.sample(6.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StatAccumulator, EmptyIsZero)
+{
+    StatAccumulator a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(StatHistogram, BucketsAndOverflow)
+{
+    StatHistogram h(0.0, 10.0, 5);
+    h.sample(0.5);  // bucket 0
+    h.sample(9.9);  // bucket 4
+    h.sample(-1.0); // underflow
+    h.sample(10.0); // overflow (exclusive upper bound)
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 4u);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(StatHistogramDeath, BadRangePanics)
+{
+    EXPECT_DEATH(StatHistogram(5.0, 5.0, 4), "non-empty");
+    EXPECT_DEATH(StatHistogram(0.0, 1.0, 0), "bucket");
+}
+
+TEST(StatGroup, CountersAreStableReferences)
+{
+    StatGroup g("device");
+    StatCounter &a = g.counter("reads");
+    a.inc(3);
+    // Creating more stats must not invalidate the reference.
+    g.counter("writes").inc(1);
+    g.accumulator("latency").sample(2.5);
+    a.inc(1);
+    EXPECT_EQ(g.findCounter("reads").value(), 4u);
+}
+
+TEST(StatGroup, ResetAll)
+{
+    StatGroup g("x");
+    g.counter("c").inc(9);
+    g.accumulator("a").sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(g.findCounter("c").value(), 0u);
+    EXPECT_EQ(g.accumulator("a").count(), 0u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("bank0");
+    g.counter("reads").inc(7);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("bank0.reads 7"), std::string::npos);
+}
+
+TEST(StatGroupDeath, UnknownCounterPanics)
+{
+    StatGroup g("g");
+    EXPECT_DEATH(g.findCounter("nope"), "unknown stat");
+}
+
+TEST(EnergyMeterBasics, RecordAndTotal)
+{
+    EnergyMeter m;
+    m.record(EnergyOp::RmRead, 3.8, 10);
+    m.record(EnergyOp::PimMul, 0.18, 100);
+    EXPECT_EQ(m.count(EnergyOp::RmRead), 10u);
+    EXPECT_NEAR(m.energyPj(EnergyOp::PimMul), 18.0, 1e-9);
+    EXPECT_NEAR(m.totalPj(), 38.0 + 18.0, 1e-9);
+}
+
+TEST(EnergyMeterBasics, MergeAddsAllCategories)
+{
+    EnergyMeter a, b;
+    a.record(EnergyOp::RmWrite, 11.79, 2);
+    b.record(EnergyOp::RmWrite, 11.79, 3);
+    b.record(EnergyOp::BusShift, 3.26, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(EnergyOp::RmWrite), 5u);
+    EXPECT_EQ(a.count(EnergyOp::BusShift), 1u);
+}
+
+TEST(EnergyMeterBasics, NamesAreStable)
+{
+    EXPECT_STREQ(energyOpName(EnergyOp::RmRead), "rm_read");
+    EXPECT_STREQ(energyOpName(EnergyOp::PimMul), "pim_mul");
+    EXPECT_STREQ(energyOpName(EnergyOp::BusElectrical),
+                 "bus_electrical");
+}
+
+} // namespace
+} // namespace streampim

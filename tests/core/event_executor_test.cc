@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Direct tests of the reference executor (beyond cross-validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/event_executor.hh"
+
+namespace streampim
+{
+namespace
+{
+
+SystemConfig
+quietConfig()
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    cfg.vpcIssueTicks = 0;
+    return cfg;
+}
+
+TEST(EventExecutor, EmptySchedule)
+{
+    EventExecutor ex(quietConfig());
+    auto r = ex.run(VpcSchedule{});
+    EXPECT_EQ(r.makespan, 0u);
+    EXPECT_TRUE(r.batchDone.empty());
+}
+
+TEST(EventExecutor, SingleBatchCompletionEqualsMakespan)
+{
+    EventExecutor ex(quietConfig());
+    VpcSchedule s;
+    VpcBatch b;
+    b.kind = VpcKind::Add;
+    b.subarray = 0;
+    b.vpcCount = 3;
+    b.vectorLen = 100;
+    s.push(b);
+    auto r = ex.run(s);
+    ASSERT_EQ(r.batchDone.size(), 1u);
+    EXPECT_EQ(r.batchDone[0], r.makespan);
+    EXPECT_GT(r.makespan, 0u);
+}
+
+TEST(EventExecutor, DependencyOrdersCompletions)
+{
+    EventExecutor ex(quietConfig());
+    VpcSchedule s;
+    VpcBatch first;
+    first.kind = VpcKind::Mul;
+    first.subarray = 0;
+    first.vpcCount = 1;
+    first.vectorLen = 500;
+    auto a = s.push(first);
+    VpcBatch second = first;
+    second.subarray = 1;
+    second.depA = a;
+    s.push(second);
+    auto r = ex.run(s);
+    EXPECT_GT(r.batchDone[1], r.batchDone[0]);
+}
+
+TEST(EventExecutor, BarrierDominatesEarlierBatches)
+{
+    EventExecutor ex(quietConfig());
+    VpcSchedule s;
+    for (unsigned i = 0; i < 4; ++i) {
+        VpcBatch b;
+        b.kind = VpcKind::Mul;
+        b.subarray = i;
+        b.vpcCount = 1;
+        b.vectorLen = 100 * (i + 1);
+        s.push(b);
+    }
+    VpcBatch fence;
+    fence.kind = VpcKind::Add;
+    fence.subarray = 10;
+    fence.vpcCount = 1;
+    fence.vectorLen = 1;
+    fence.barrier = true;
+    s.push(fence);
+    auto r = ex.run(s);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_GT(r.batchDone[4], r.batchDone[i]);
+}
+
+TEST(EventExecutor, DeterministicAcrossRuns)
+{
+    EventExecutor ex(quietConfig());
+    VpcSchedule s;
+    for (unsigned i = 0; i < 16; ++i) {
+        VpcBatch b;
+        b.kind = i % 2 ? VpcKind::Tran : VpcKind::Mul;
+        b.subarray = i % 4;
+        b.dstSubarray = (i + 1) % 4;
+        b.vpcCount = 1 + i;
+        b.vectorLen = 10 + i;
+        s.push(b);
+    }
+    auto r1 = ex.run(s);
+    auto r2 = ex.run(s);
+    EXPECT_EQ(r1.makespan, r2.makespan);
+    EXPECT_EQ(r1.batchDone, r2.batchDone);
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the timed executor: resource semantics, dependency
+ * handling, head-of-line blocking, breakdown bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hh"
+#include "runtime/schedule.hh"
+
+namespace streampim
+{
+namespace
+{
+
+SystemConfig
+baseConfig(OptLevel level = OptLevel::Unblock)
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    cfg.optLevel = level;
+    cfg.vpcIssueTicks = 0; // keep tests focused on device timing
+    return cfg;
+}
+
+VpcBatch
+compute(std::uint32_t subarray, std::uint32_t count,
+        std::uint32_t len, std::uint32_t dep = kNoBatch)
+{
+    VpcBatch b;
+    b.kind = VpcKind::Mul;
+    b.subarray = subarray;
+    b.vpcCount = count;
+    b.vectorLen = len;
+    b.depA = dep;
+    return b;
+}
+
+VpcBatch
+tran(std::uint32_t src, std::uint32_t dst, std::uint32_t count,
+     std::uint32_t len, std::uint32_t dep = kNoBatch)
+{
+    VpcBatch b;
+    b.kind = VpcKind::Tran;
+    b.subarray = src;
+    b.dstSubarray = dst;
+    b.vpcCount = count;
+    b.vectorLen = len;
+    b.depA = dep;
+    return b;
+}
+
+TEST(Executor, EmptyScheduleIsInstant)
+{
+    Executor ex(baseConfig());
+    ExecutionReport r = ex.run(VpcSchedule{});
+    EXPECT_EQ(r.makespan, 0u);
+    EXPECT_EQ(r.batches, 0u);
+}
+
+TEST(Executor, SingleComputeMatchesClosedForm)
+{
+    SystemConfig cfg = baseConfig();
+    Executor ex(cfg);
+    VpcSchedule s;
+    s.push(compute(0, 1, 100));
+    ExecutionReport r = ex.run(s);
+    ProcessorTiming t(cfg.rm);
+    RmBusTiming bus(cfg.rm);
+    ClockDomain clk(cfg.rm.coreFreqHz);
+    Tick expect = clk.cyclesToTicks(t.dotProductCycles(100) +
+                                    bus.segmentCount());
+    EXPECT_EQ(r.makespan, expect);
+}
+
+TEST(Executor, IndependentSubarraysOverlap)
+{
+    Executor ex(baseConfig());
+    VpcSchedule serial;
+    serial.push(compute(0, 1, 1000));
+    serial.push(compute(0, 1, 1000));
+    Tick two_on_one = ex.run(serial).makespan;
+
+    VpcSchedule parallel;
+    parallel.push(compute(0, 1, 1000));
+    parallel.push(compute(1, 1, 1000));
+    Tick on_two = ex.run(parallel).makespan;
+    EXPECT_LT(on_two, two_on_one);
+}
+
+TEST(Executor, DependencySerializesAcrossSubarrays)
+{
+    Executor ex(baseConfig());
+    VpcSchedule s;
+    auto first = s.push(compute(0, 1, 500));
+    s.push(compute(1, 1, 500, first));
+    Tick chained = ex.run(s).makespan;
+
+    VpcSchedule free;
+    free.push(compute(0, 1, 500));
+    free.push(compute(1, 1, 500));
+    Tick unchained = ex.run(free).makespan;
+    EXPECT_GT(chained, unchained);
+}
+
+TEST(Executor, BarrierWaitsForEverything)
+{
+    Executor ex(baseConfig());
+    VpcSchedule s;
+    s.push(compute(0, 1, 2000));
+    s.push(compute(1, 1, 10));
+    VpcBatch b = compute(2, 1, 10);
+    b.barrier = true;
+    s.push(b);
+    ExecutionReport r = ex.run(s);
+    // The barrier batch must start after the long batch finishes,
+    // so the makespan exceeds the long batch alone.
+    VpcSchedule alone;
+    alone.push(compute(0, 1, 2000));
+    EXPECT_GT(r.makespan, ex.run(alone).makespan);
+}
+
+TEST(Executor, TransferMovesThroughReadBusWrite)
+{
+    SystemConfig cfg = baseConfig();
+    Executor ex(cfg);
+    VpcSchedule s;
+    s.push(tran(0, 1, 1, 640)); // 640 B = 10 row ops
+    ExecutionReport r = ex.run(s);
+    EXPECT_EQ(r.breakdown.readTicks, 10 * cfg.rm.readTicks());
+    EXPECT_EQ(r.breakdown.writeTicks, 10 * cfg.rm.writeTicks());
+    EXPECT_GT(r.makespan,
+              r.breakdown.readTicks + r.breakdown.writeTicks);
+    EXPECT_EQ(r.energy.count(EnergyOp::RmRead), 10u);
+    EXPECT_EQ(r.energy.count(EnergyOp::RmWrite), 10u);
+}
+
+TEST(Executor, HeadOfLineBlockingSerializesBank)
+{
+    // Under distribute (HOL on), a collect waiting on subarray 0's
+    // long compute stalls the whole bank, so an independent compute
+    // on subarray 1 (same bank) is pushed back. Under unblock it
+    // is not.
+    auto build = [] {
+        VpcSchedule s;
+        auto c0 = s.push(compute(0, 1, 4000));
+        s.push(tran(0, 63, 1, 1, c0)); // collect, waits for c0
+        s.push(compute(1, 1, 4000));   // same bank, independent
+        return s;
+    };
+    Executor hol(baseConfig(OptLevel::Distribute));
+    Executor free(baseConfig(OptLevel::Unblock));
+    Tick with_hol = hol.run(build()).makespan;
+    Tick without = free.run(build()).makespan;
+    EXPECT_GT(with_hol, without);
+    // With HOL the two computes serialize (roughly doubling time).
+    EXPECT_GT(double(with_hol) / double(without), 1.7);
+}
+
+TEST(Executor, ElectricalBusAddsConversionTime)
+{
+    SystemConfig rm_cfg = baseConfig();
+    SystemConfig e_cfg = baseConfig();
+    e_cfg.busType = BusType::Electrical;
+    VpcSchedule s;
+    s.push(compute(0, 1, 2000));
+    Tick rm_time = Executor(rm_cfg).run(s).makespan;
+    Tick e_time = Executor(e_cfg).run(s).makespan;
+    EXPECT_GT(e_time, rm_time);
+    EXPECT_GT(Executor(e_cfg).run(s)
+                  .energy.count(EnergyOp::BusElectrical),
+              0u);
+}
+
+TEST(Executor, BreakdownCoverageIdentity)
+{
+    Executor ex(baseConfig());
+    VpcSchedule s;
+    auto c = s.push(tran(0, 1, 4, 512));
+    s.push(compute(1, 2, 300, c));
+    s.push(tran(1, 70, 2, 1, 1));
+    ExecutionReport r = ex.run(s);
+    const auto &b = r.breakdown;
+    // exclusive + overlapped + idle partitions the makespan.
+    EXPECT_EQ(b.exclusiveTransfer + b.exclusiveProcess +
+                  b.overlapped + b.idle,
+              r.makespan);
+}
+
+TEST(Executor, ComputeEnergyPerKind)
+{
+    SystemConfig cfg = baseConfig();
+    Executor ex(cfg);
+    VpcSchedule s;
+    VpcBatch add = compute(0, 1, 100);
+    add.kind = VpcKind::Add;
+    s.push(add);
+    VpcBatch smul = compute(1, 1, 100);
+    smul.kind = VpcKind::Smul;
+    s.push(smul);
+    ExecutionReport r = ex.run(s);
+    EXPECT_EQ(r.energy.count(EnergyOp::PimAdd), 100u);
+    EXPECT_EQ(r.energy.count(EnergyOp::PimMul), 100u);
+}
+
+TEST(Executor, VpcCountsReported)
+{
+    Executor ex(baseConfig());
+    VpcSchedule s;
+    s.push(compute(0, 7, 10));
+    s.push(tran(0, 1, 3, 16));
+    ExecutionReport r = ex.run(s);
+    EXPECT_EQ(r.pimVpcs, 7u);
+    EXPECT_EQ(r.moveVpcs, 3u);
+    EXPECT_EQ(r.batches, 2u);
+}
+
+TEST(Executor, ReusableAcrossRuns)
+{
+    Executor ex(baseConfig());
+    VpcSchedule s;
+    s.push(compute(0, 1, 50));
+    ExecutionReport r1 = ex.run(s);
+    ExecutionReport r2 = ex.run(s);
+    EXPECT_EQ(r1.makespan, r2.makespan);
+    EXPECT_EQ(r1.energy.totalPj(), r2.energy.totalPj());
+}
+
+TEST(Executor, HostLinkThrottlesVpcIssue)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.vpcIssueTicks = nsToTicks(1000.0); // absurdly slow link
+    Executor slow(cfg);
+    VpcSchedule s;
+    s.push(compute(0, 1000, 1));
+    Tick slow_time = slow.run(s).makespan;
+    Executor fast(baseConfig());
+    Tick fast_time = fast.run(s).makespan;
+    EXPECT_GT(slow_time, fast_time);
+}
+
+TEST(ExecutorDeath, OutOfRangeSubarrayPanics)
+{
+    SystemConfig cfg = baseConfig();
+    Executor ex(cfg);
+    VpcSchedule s;
+    s.push(compute(cfg.rm.totalSubarrays(), 1, 10));
+    EXPECT_DEATH(ex.run(s), "out of range");
+}
+
+} // namespace
+} // namespace streampim

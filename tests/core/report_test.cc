@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the report/stat plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "runtime/planner.hh"
+#include "workloads/polybench.hh"
+
+namespace streampim
+{
+namespace
+{
+
+ExecutionReport
+sampleReport()
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    Planner p(cfg);
+    Executor e(cfg);
+    return e.run(p.plan(makePolybench(PolybenchKernel::Atax, 64)));
+}
+
+TEST(Report, StatsCarryAllFigures)
+{
+    ExecutionReport r = sampleReport();
+    StatGroup g("run");
+    reportToStats(r, g);
+    EXPECT_EQ(g.findCounter("makespan_ticks").value(), r.makespan);
+    EXPECT_EQ(g.findCounter("pim_vpcs").value(), r.pimVpcs);
+    EXPECT_EQ(g.findCounter("process_ticks").value(),
+              r.breakdown.processTicks);
+    EXPECT_TRUE(g.hasCounter("ops_pim_mul"));
+}
+
+TEST(Report, SummaryMentionsKeyNumbers)
+{
+    ExecutionReport r = sampleReport();
+    std::string s = summarizeReport(r);
+    EXPECT_NE(s.find("PIM VPCs"), std::string::npos);
+    EXPECT_NE(s.find("overlapped"), std::string::npos);
+}
+
+TEST(Report, DumpIsParsable)
+{
+    ExecutionReport r = sampleReport();
+    std::ostringstream os;
+    dumpReport(r, os, "dev");
+    std::string text = os.str();
+    EXPECT_NE(text.find("dev.makespan_ticks "), std::string::npos);
+    EXPECT_NE(text.find("dev.batches "), std::string::npos);
+}
+
+TEST(Report, CoveragePercentagesAreSane)
+{
+    ExecutionReport r = sampleReport();
+    const auto &b = r.breakdown;
+    EXPECT_LE(b.exclusiveTransfer + b.exclusiveProcess +
+                  b.overlapped + b.idle,
+              r.makespan);
+}
+
+} // namespace
+} // namespace streampim

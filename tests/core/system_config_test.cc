@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the top-level system configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system_config.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(SystemConfig, PaperDefaultMatchesTableIII)
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    cfg.validate();
+    EXPECT_EQ(cfg.rm.banks, 32u);
+    EXPECT_EQ(cfg.rm.pimBanks, 8u);
+    EXPECT_EQ(cfg.rm.subarraysPerBank, 64u);
+    EXPECT_EQ(cfg.rm.matsPerSubarray, 16u);
+    EXPECT_EQ(cfg.rm.matBytes, 256u * 1024);
+    EXPECT_DOUBLE_EQ(cfg.rm.coreFreqHz, 100e6);
+    EXPECT_EQ(cfg.rm.duplicators, 2u);
+    EXPECT_EQ(cfg.rm.saveTracksPerMat, 512u);
+    EXPECT_EQ(cfg.rm.transferTracksPerMat, 512u);
+    EXPECT_DOUBLE_EQ(cfg.rm.readNs, 3.91);
+    EXPECT_DOUBLE_EQ(cfg.rm.writeNs, 10.27);
+    EXPECT_DOUBLE_EQ(cfg.rm.shiftNs, 2.13);
+    EXPECT_DOUBLE_EQ(cfg.rm.readPj, 3.80);
+    EXPECT_DOUBLE_EQ(cfg.rm.writePj, 11.79);
+    EXPECT_DOUBLE_EQ(cfg.rm.shiftPj, 3.26);
+    EXPECT_DOUBLE_EQ(cfg.rm.pimAddPj, 0.03);
+    EXPECT_DOUBLE_EQ(cfg.rm.pimMulPj, 0.18);
+    EXPECT_EQ(cfg.busType, BusType::RmBus);
+    EXPECT_EQ(cfg.optLevel, OptLevel::Unblock);
+}
+
+TEST(SystemConfig, RowBytesFromTrackCount)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.rowBytes(), 64u); // 512 tracks / 8 bits
+    cfg.rm.saveTracksPerMat = 256;
+    EXPECT_EQ(cfg.rowBytes(), 32u);
+}
+
+TEST(SystemConfig, HeadOfLineBlockingPerOptLevel)
+{
+    SystemConfig cfg;
+    cfg.optLevel = OptLevel::Base;
+    EXPECT_TRUE(cfg.headOfLineBlocking());
+    cfg.optLevel = OptLevel::Distribute;
+    EXPECT_TRUE(cfg.headOfLineBlocking());
+    cfg.optLevel = OptLevel::Unblock;
+    EXPECT_FALSE(cfg.headOfLineBlocking());
+}
+
+TEST(SystemConfig, OptLevelNames)
+{
+    EXPECT_STREQ(optLevelName(OptLevel::Base), "base");
+    EXPECT_STREQ(optLevelName(OptLevel::Distribute), "distribute");
+    EXPECT_STREQ(optLevelName(OptLevel::Unblock), "unblock");
+}
+
+TEST(SystemConfig, SubarraySweepConfigsValidate)
+{
+    // The Fig. 21 sweep reconfigures subarrays/bank and mats per
+    // subarray while holding capacity; every point must validate.
+    for (unsigned subarrays : {128u, 256u, 512u, 1024u}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.rm.subarraysPerBank = subarrays / cfg.rm.pimBanks;
+        cfg.rm.matsPerSubarray = 16 * 64 / cfg.rm.subarraysPerBank;
+        cfg.validate();
+        EXPECT_EQ(cfg.rm.pimSubarrays(), subarrays);
+    }
+}
+
+TEST(SystemConfig, SegmentSweepConfigsValidate)
+{
+    for (unsigned seg : {64u, 256u, 512u, 1024u}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.rm.busSegmentSize = seg;
+        cfg.validate();
+    }
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the extension units (divider, square root) the paper
+ * leaves as future work (Sec. VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dwlogic/extension.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(DwSubtractor, BasicDifferences)
+{
+    LogicCounters c;
+    DwSubtractor s(8, c);
+    EXPECT_EQ(s.subWords(10, 3), 7u);
+    EXPECT_EQ(s.subWords(255, 255), 0u);
+    EXPECT_EQ(s.subWords(0, 1), 255u); // mod 256 wrap
+}
+
+TEST(DwSubtractor, BorrowSignalsUnsignedCompare)
+{
+    LogicCounters c;
+    DwSubtractor s(8, c);
+    EXPECT_FALSE(s.sub(BitVec::fromWord(9, 8),
+                       BitVec::fromWord(4, 8)).borrow);
+    EXPECT_TRUE(s.sub(BitVec::fromWord(4, 8),
+                      BitVec::fromWord(9, 8)).borrow);
+    EXPECT_FALSE(s.sub(BitVec::fromWord(4, 8),
+                       BitVec::fromWord(4, 8)).borrow);
+}
+
+TEST(DwSubtractor, UsesInvertersPlusAdder)
+{
+    LogicCounters c;
+    DwSubtractor s(8, c);
+    s.subWords(100, 50);
+    // 8 NOT gates + 8 full adders x 9 NANDs.
+    EXPECT_EQ(c.gateOps, 8u + 8u * DwFullAdder::kGatesPerBit);
+}
+
+/** Property: subtraction matches host mod-2^16 arithmetic. */
+TEST(DwSubtractor, MatchesHost)
+{
+    LogicCounters c;
+    DwSubtractor s(16, c);
+    Rng rng(17);
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t a = rng.below(1 << 16);
+        std::uint64_t b = rng.below(1 << 16);
+        EXPECT_EQ(s.subWords(a, b), (a - b) & 0xFFFF);
+    }
+}
+
+TEST(DwDivider, ExactDivisions)
+{
+    LogicCounters c;
+    DwDivider d(8, c);
+    auto r = d.divideWords(84, 7);
+    EXPECT_EQ(r.quotient, 12u);
+    EXPECT_EQ(r.remainder, 0u);
+}
+
+TEST(DwDivider, RemainderIsCorrect)
+{
+    LogicCounters c;
+    DwDivider d(8, c);
+    auto r = d.divideWords(100, 7);
+    EXPECT_EQ(r.quotient, 14u);
+    EXPECT_EQ(r.remainder, 2u);
+}
+
+TEST(DwDivider, Corners)
+{
+    LogicCounters c;
+    DwDivider d(8, c);
+    EXPECT_EQ(d.divideWords(0, 5).quotient, 0u);
+    EXPECT_EQ(d.divideWords(255, 1).quotient, 255u);
+    EXPECT_EQ(d.divideWords(5, 255).quotient, 0u);
+    EXPECT_EQ(d.divideWords(5, 255).remainder, 5u);
+}
+
+TEST(DwDividerDeath, DivisionByZeroPanics)
+{
+    LogicCounters c;
+    DwDivider d(8, c);
+    EXPECT_DEATH(d.divideWords(5, 0), "division by zero");
+}
+
+TEST(DwDivider, IterationCountEqualsWidth)
+{
+    LogicCounters c;
+    DwDivider d(8, c);
+    EXPECT_EQ(d.iterations(), 8u);
+}
+
+/** Property: random divisions match host arithmetic. */
+class DividerSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DividerSweep, MatchesHost)
+{
+    LogicCounters c;
+    DwDivider d(8, c);
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.below(256);
+        std::uint64_t b = 1 + rng.below(255);
+        auto r = d.divideWords(a, b);
+        EXPECT_EQ(r.quotient, a / b) << a << "/" << b;
+        EXPECT_EQ(r.remainder, a % b) << a << "%" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DividerSweep,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(DwSqrt, PerfectSquares)
+{
+    LogicCounters c;
+    DwSqrt s(16, c);
+    EXPECT_EQ(s.sqrtWord(0), 0u);
+    EXPECT_EQ(s.sqrtWord(1), 1u);
+    EXPECT_EQ(s.sqrtWord(144), 12u);
+    EXPECT_EQ(s.sqrtWord(65025), 255u);
+}
+
+TEST(DwSqrt, FloorsNonSquares)
+{
+    LogicCounters c;
+    DwSqrt s(16, c);
+    EXPECT_EQ(s.sqrtWord(2), 1u);
+    EXPECT_EQ(s.sqrtWord(143), 11u);
+    EXPECT_EQ(s.sqrtWord(65535), 255u);
+}
+
+/** Property: floor(sqrt(x)) for random 16-bit inputs. */
+TEST(DwSqrt, MatchesHost)
+{
+    LogicCounters c;
+    DwSqrt s(16, c);
+    Rng rng(23);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t x = rng.below(1 << 16);
+        std::uint64_t r = s.sqrtWord(x);
+        EXPECT_LE(r * r, x);
+        EXPECT_GT((r + 1) * (r + 1), x);
+    }
+}
+
+TEST(DwSqrtDeath, OddWidthPanics)
+{
+    LogicCounters c;
+    EXPECT_DEATH(DwSqrt(7, c), "even");
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the binary16 extension unit, verified against host
+ * float arithmetic under the documented truncation/FTZ semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hh"
+#include "dwlogic/fp16.hh"
+
+namespace streampim
+{
+namespace
+{
+
+/** Host reference: binary16 bits -> double. */
+double
+hostDecode(std::uint16_t bits)
+{
+    Fp16Parts p = DwFp16::unpack(bits);
+    if (p.isNan())
+        return std::nan("");
+    double sign = p.sign ? -1.0 : 1.0;
+    if (p.isInf())
+        return sign * INFINITY;
+    if (p.exponent == 0)
+        return sign * std::ldexp(double(p.mantissa), -24);
+    return sign *
+           std::ldexp(1.0 + double(p.mantissa) / 1024.0,
+                      p.exponent - 15);
+}
+
+/** Host reference: double -> binary16 with truncation + FTZ. */
+std::uint16_t
+hostEncode(double v)
+{
+    if (std::isnan(v))
+        return 0x7C01;
+    bool sign = std::signbit(v);
+    v = std::fabs(v);
+    if (std::isinf(v) || v >= 65536.0)
+        return std::uint16_t((sign << 15) | 0x7C00);
+    if (v < std::ldexp(1.0, -14)) // FTZ below normal range
+        return std::uint16_t(sign << 15);
+    int exp;
+    double frac = std::frexp(v, &exp); // frac in [0.5, 1)
+    int biased = exp - 1 + 15;
+    std::uint32_t mant =
+        std::uint32_t(std::floor(frac * 2048.0)) & 0x3FF;
+    return std::uint16_t((sign << 15) | (biased << 10) | mant);
+}
+
+TEST(DwFp16, PackUnpackRoundTrip)
+{
+    for (std::uint32_t bits = 0; bits < 0x10000; bits += 257) {
+        auto p = DwFp16::unpack(std::uint16_t(bits));
+        EXPECT_EQ(DwFp16::pack(p), std::uint16_t(bits));
+    }
+}
+
+TEST(DwFp16, SpecialValuePredicates)
+{
+    EXPECT_TRUE(DwFp16::unpack(0x0000).isZero());
+    EXPECT_TRUE(DwFp16::unpack(0x7C00).isInf());
+    EXPECT_TRUE(DwFp16::unpack(0x7C01).isNan());
+    EXPECT_TRUE(DwFp16::unpack(0x0001).isSubnormal());
+}
+
+TEST(DwFp16, IntConversions)
+{
+    EXPECT_EQ(DwFp16::fromInt(0), 0u);
+    EXPECT_DOUBLE_EQ(hostDecode(DwFp16::fromInt(1)), 1.0);
+    EXPECT_DOUBLE_EQ(hostDecode(DwFp16::fromInt(255)), 255.0);
+    EXPECT_DOUBLE_EQ(hostDecode(DwFp16::fromInt(1024)), 1024.0);
+    EXPECT_EQ(DwFp16::toInt(DwFp16::fromInt(77)), 77u);
+    EXPECT_EQ(DwFp16::toInt(DwFp16::fromInt(2048)), 2048u);
+}
+
+TEST(DwFp16, SimpleSums)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    auto one = DwFp16::fromInt(1);
+    auto two = DwFp16::fromInt(2);
+    EXPECT_DOUBLE_EQ(hostDecode(fp.add(one, two)), 3.0);
+    EXPECT_DOUBLE_EQ(hostDecode(fp.add(two, two)), 4.0);
+}
+
+TEST(DwFp16, AdditionCancellation)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    auto five = DwFp16::fromInt(5);
+    auto minus_five = std::uint16_t(five | 0x8000);
+    EXPECT_DOUBLE_EQ(hostDecode(fp.add(five, minus_five)), 0.0);
+}
+
+TEST(DwFp16, SimpleProducts)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    auto three = DwFp16::fromInt(3);
+    auto seven = DwFp16::fromInt(7);
+    EXPECT_DOUBLE_EQ(hostDecode(fp.mul(three, seven)), 21.0);
+    auto half = hostEncode(0.5);
+    EXPECT_DOUBLE_EQ(hostDecode(fp.mul(half, half)), 0.25);
+}
+
+TEST(DwFp16, InfAndNanPropagation)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    auto inf = std::uint16_t(0x7C00);
+    auto one = DwFp16::fromInt(1);
+    EXPECT_TRUE(DwFp16::unpack(fp.add(inf, one)).isInf());
+    EXPECT_TRUE(DwFp16::unpack(fp.mul(inf, one)).isInf());
+    // inf - inf and 0 * inf are NaN.
+    EXPECT_TRUE(DwFp16::unpack(
+                    fp.add(inf, std::uint16_t(inf | 0x8000)))
+                    .isNan());
+    EXPECT_TRUE(DwFp16::unpack(fp.mul(inf, 0)).isNan());
+}
+
+TEST(DwFp16, OverflowSaturatesToInf)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    auto big = hostEncode(60000.0);
+    EXPECT_TRUE(DwFp16::unpack(fp.add(big, big)).isInf());
+    EXPECT_TRUE(DwFp16::unpack(fp.mul(big, big)).isInf());
+}
+
+TEST(DwFp16, UnderflowFlushesToZero)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    auto tiny = hostEncode(std::ldexp(1.0, -14));
+    auto result = fp.mul(tiny, tiny);
+    EXPECT_TRUE(DwFp16::unpack(result).isZero());
+}
+
+/** Property: add/mul within 1 ulp of truncating host arithmetic. */
+TEST(DwFp16, MatchesHostWithinTruncation)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    Rng rng(2718);
+    int checked = 0;
+    for (int i = 0; i < 2000; ++i) {
+        double x = std::ldexp(1.0 + rng.uniform(),
+                              int(rng.below(16)) - 8);
+        double y = std::ldexp(1.0 + rng.uniform(),
+                              int(rng.below(16)) - 8);
+        std::uint16_t a = hostEncode(x);
+        std::uint16_t b = hostEncode(y);
+        double xa = hostDecode(a), yb = hostDecode(b);
+
+        for (bool is_mul : {false, true}) {
+            double exact = is_mul ? xa * yb : xa + yb;
+            if (exact >= 65504.0 || exact < std::ldexp(1.0, -14))
+                continue; // stay in the normal range
+            std::uint16_t got =
+                is_mul ? fp.mul(a, b) : fp.add(a, b);
+            double got_d = hostDecode(got);
+            // Truncation error is bounded by 1 ulp of the result.
+            double ulp = std::ldexp(
+                1.0, std::ilogb(exact) - 10);
+            EXPECT_NEAR(got_d, exact, ulp * 1.01)
+                << (is_mul ? "mul " : "add ") << xa << ", " << yb;
+            checked++;
+        }
+    }
+    EXPECT_GT(checked, 1000);
+}
+
+TEST(DwFp16, CountsGateActivity)
+{
+    LogicCounters c;
+    DwFp16 fp(c);
+    fp.mul(DwFp16::fromInt(9), DwFp16::fromInt(9));
+    EXPECT_GT(c.gateOps, 0u);
+    EXPECT_GT(c.shiftSteps, 0u);
+}
+
+} // namespace
+} // namespace streampim

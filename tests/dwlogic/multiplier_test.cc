@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the domain-wall scalar multiplier (Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dwlogic/multiplier.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(DwMultiplier, FourBitPaperExample)
+{
+    // Fig. 8 walks a 4-bit example; verify that configuration.
+    LogicCounters c;
+    DwMultiplier mul(4, c);
+    EXPECT_EQ(mul.productWidth(), 8u);
+    EXPECT_EQ(mul.multiplyWords(0xA, 0x5), 0xAu * 0x5u);
+    EXPECT_EQ(mul.multiplyWords(0xF, 0xF), 225u);
+}
+
+TEST(DwMultiplier, EightBitCorners)
+{
+    LogicCounters c;
+    DwMultiplier mul(8, c);
+    EXPECT_EQ(mul.multiplyWords(0, 0), 0u);
+    EXPECT_EQ(mul.multiplyWords(0, 255), 0u);
+    EXPECT_EQ(mul.multiplyWords(255, 0), 0u);
+    EXPECT_EQ(mul.multiplyWords(1, 255), 255u);
+    EXPECT_EQ(mul.multiplyWords(255, 255), 65025u);
+    EXPECT_EQ(mul.multiplyWords(16, 16), 256u);
+}
+
+TEST(DwMultiplier, PartialProductRowIsShiftedAnd)
+{
+    LogicCounters c;
+    DwMultiplier mul(4, c);
+    BitVec a = BitVec::fromWord(0b1011, 4);
+    // Row 2 with b_2 = 1: a << 2.
+    BitVec pp = mul.partialProduct(a, true, 2);
+    EXPECT_EQ(pp.toWord(), 0b1011u << 2);
+    // b_i = 0 zeroes the row.
+    BitVec zero = mul.partialProduct(a, false, 2);
+    EXPECT_EQ(zero.toWord(), 0u);
+}
+
+TEST(DwMultiplier, UsesDuplicatorOncePerBit)
+{
+    LogicCounters c;
+    DwMultiplier mul(8, c);
+    Duplicator dup(8, c);
+    dup.load(BitVec::fromWord(7, 8));
+    mul.multiply(dup, BitVec::fromWord(3, 8));
+    // 8 replicas = 8 duplication cycles for an 8-bit multiply.
+    EXPECT_EQ(dup.cycles(), 8u);
+}
+
+TEST(DwMultiplier, OperandSurvivesMultiplication)
+{
+    LogicCounters c;
+    DwMultiplier mul(8, c);
+    Duplicator dup(8, c);
+    dup.load(BitVec::fromWord(99, 8));
+    mul.multiply(dup, BitVec::fromWord(4, 8));
+    EXPECT_EQ(dup.origin().toWord(), 99u);
+}
+
+/** Property: exhaustive stride sample over the full 8-bit grid. */
+class MultiplierGrid
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(MultiplierGrid, MatchesHostMultiply)
+{
+    auto [a, b] = GetParam();
+    LogicCounters c;
+    DwMultiplier mul(8, c);
+    EXPECT_EQ(mul.multiplyWords(a, b), std::uint64_t(a) * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ByteGrid, MultiplierGrid,
+    ::testing::Combine(::testing::Range(0u, 256u, 51u),
+                       ::testing::Range(0u, 256u, 37u)));
+
+/** Property: random 8-bit multiplications match host arithmetic. */
+TEST(DwMultiplier, RandomSweepMatchesHost)
+{
+    LogicCounters c;
+    DwMultiplier mul(8, c);
+    Rng rng(2024);
+    for (int i = 0; i < 400; ++i) {
+        auto a = unsigned(rng.below(256));
+        auto b = unsigned(rng.below(256));
+        EXPECT_EQ(mul.multiplyWords(a, b), std::uint64_t(a) * b)
+            << a << "*" << b;
+    }
+}
+
+TEST(DwMultiplier, SixteenBitAlsoWorks)
+{
+    LogicCounters c;
+    DwMultiplier mul(16, c);
+    EXPECT_EQ(mul.multiplyWords(1000, 2000), 2000000u);
+    EXPECT_EQ(mul.multiplyWords(65535, 65535), 65535ull * 65535ull);
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cross-validation: the fast busy-until sweep Executor and the
+ * independent max-plus/event reference executor must produce
+ * tick-identical makespans on planner schedules and on randomly
+ * generated ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/event_executor.hh"
+#include "core/executor.hh"
+#include "runtime/planner.hh"
+#include "workloads/polybench.hh"
+
+namespace streampim
+{
+namespace
+{
+
+void
+expectIdentical(const SystemConfig &cfg, const VpcSchedule &s,
+                const char *what)
+{
+    Executor fast(cfg);
+    EventExecutor reference(cfg);
+    ExecutionReport a = fast.run(s);
+    EventExecutionResult b = reference.run(s);
+    EXPECT_EQ(a.makespan, b.makespan) << what;
+}
+
+TEST(ExecutorCrossValidation, PlannerSchedulesAllKernelsAllLevels)
+{
+    for (OptLevel level : {OptLevel::Base, OptLevel::Distribute,
+                           OptLevel::Unblock}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.optLevel = level;
+        Planner p(cfg);
+        for (PolybenchKernel k : allPolybenchKernels()) {
+            VpcSchedule s = p.plan(makePolybench(k, 48));
+            expectIdentical(cfg, s, polybenchName(k));
+        }
+    }
+}
+
+TEST(ExecutorCrossValidation, ElectricalBusSchedules)
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    cfg.busType = BusType::Electrical;
+    Planner p(cfg);
+    VpcSchedule s =
+        p.plan(makePolybench(PolybenchKernel::Gemm, 64));
+    expectIdentical(cfg, s, "gemm electrical");
+}
+
+/** Random schedule generator: arbitrary kinds, subarrays, batched
+ * counts, backward dependencies and occasional barriers. */
+VpcSchedule
+randomSchedule(Rng &rng, const SystemConfig &cfg, unsigned batches)
+{
+    VpcSchedule s;
+    for (unsigned i = 0; i < batches; ++i) {
+        VpcBatch b;
+        switch (rng.below(4)) {
+          case 0: b.kind = VpcKind::Mul; break;
+          case 1: b.kind = VpcKind::Smul; break;
+          case 2: b.kind = VpcKind::Add; break;
+          default: b.kind = VpcKind::Tran; break;
+        }
+        b.subarray =
+            std::uint32_t(rng.below(cfg.rm.totalSubarrays()));
+        b.dstSubarray =
+            std::uint32_t(rng.below(cfg.rm.totalSubarrays()));
+        b.vpcCount = 1 + std::uint32_t(rng.below(8));
+        b.vectorLen = 1 + std::uint32_t(rng.below(300));
+        if (i > 0 && rng.below(3) == 0)
+            b.depA = std::uint32_t(rng.below(i));
+        if (i > 1 && rng.below(5) == 0)
+            b.depB = std::uint32_t(rng.below(i));
+        b.barrier = rng.below(16) == 0;
+        s.push(b);
+    }
+    return s;
+}
+
+class RandomScheduleSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RandomScheduleSweep, SweepMatchesReference)
+{
+    Rng rng(GetParam() * 7919 + 13);
+    for (OptLevel level : {OptLevel::Distribute, OptLevel::Unblock}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.optLevel = level;
+        VpcSchedule s = randomSchedule(rng, cfg, 200);
+        Executor fast(cfg);
+        EventExecutor reference(cfg);
+        ExecutionReport a = fast.run(s);
+        EventExecutionResult b = reference.run(s);
+        ASSERT_EQ(a.makespan, b.makespan)
+            << "seed " << GetParam() << " level "
+            << optLevelName(level);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScheduleSweep,
+                         ::testing::Range(0u, 12u));
+
+TEST(ExecutorCrossValidation, BatchCompletionTimesAgree)
+{
+    // Beyond the makespan: per-batch completion times must match,
+    // which pins the internal resource interleavings.
+    SystemConfig cfg = SystemConfig::paperDefault();
+    Rng rng(424242);
+    VpcSchedule s = randomSchedule(rng, cfg, 64);
+    EventExecutor reference(cfg);
+    EventExecutionResult ref = reference.run(s);
+
+    // Re-run through the sweep executor batch prefix by prefix: the
+    // makespan of the first k batches equals the max completion of
+    // those batches in the reference run.
+    Executor fast(cfg);
+    for (std::size_t k : {std::size_t(1), s.batches.size() / 2,
+                          s.batches.size()}) {
+        VpcSchedule prefix;
+        prefix.batches.assign(s.batches.begin(),
+                              s.batches.begin() + k);
+        Tick expect = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            expect = std::max(expect, ref.batchDone[i]);
+        EXPECT_EQ(fast.run(prefix).makespan, expect) << k;
+    }
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the closed-form processor timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "processor/timing.hh"
+
+namespace streampim
+{
+namespace
+{
+
+RmParams
+withDuplicators(unsigned d)
+{
+    RmParams p;
+    p.duplicators = d;
+    return p;
+}
+
+TEST(ProcessorTiming, MultiplyIIFromDuplicators)
+{
+    // ceil(8 / d) cycles per element (Sec. III-C).
+    EXPECT_EQ(ProcessorTiming(withDuplicators(1)).multiplyII(), 8u);
+    EXPECT_EQ(ProcessorTiming(withDuplicators(2)).multiplyII(), 4u);
+    EXPECT_EQ(ProcessorTiming(withDuplicators(3)).multiplyII(), 3u);
+    EXPECT_EQ(ProcessorTiming(withDuplicators(4)).multiplyII(), 2u);
+    EXPECT_EQ(ProcessorTiming(withDuplicators(8)).multiplyII(), 1u);
+    EXPECT_EQ(ProcessorTiming(withDuplicators(16)).multiplyII(), 1u);
+}
+
+TEST(ProcessorTiming, AdderTreeLevels)
+{
+    // 8 partial products -> 3 levels.
+    EXPECT_EQ(ProcessorTiming::adderTreeLevels(), 3u);
+}
+
+TEST(ProcessorTiming, DotDepthComposition)
+{
+    ProcessorTiming t(withDuplicators(2));
+    // split(1) + dup(4) + mul(1) + tree(3) + circle(1) = 10.
+    EXPECT_EQ(t.dotDepth(), 10u);
+}
+
+TEST(ProcessorTiming, DotProductCycles)
+{
+    ProcessorTiming t(withDuplicators(2));
+    EXPECT_EQ(t.dotProductCycles(0), 0u);
+    EXPECT_EQ(t.dotProductCycles(1), t.dotDepth());
+    EXPECT_EQ(t.dotProductCycles(100),
+              t.dotDepth() + 99 * t.multiplyII());
+}
+
+TEST(ProcessorTiming, VectorAddStreamsAtOnePerCycle)
+{
+    ProcessorTiming t(withDuplicators(2));
+    EXPECT_EQ(t.addII(), 1u);
+    EXPECT_EQ(t.vectorAddCycles(1), t.addDepth());
+    EXPECT_EQ(t.vectorAddCycles(50), t.addDepth() + 49);
+}
+
+TEST(ProcessorTiming, ScalarVectorMulSkipsCircleAdder)
+{
+    ProcessorTiming t(withDuplicators(2));
+    EXPECT_EQ(t.scalarVectorMulCycles(1), t.dotDepth() - 1);
+}
+
+TEST(ProcessorTiming, BatchKeepsPipelineFull)
+{
+    ProcessorTiming t(withDuplicators(2));
+    // A batch of k VPCs of n elements costs one fill plus steady
+    // state.
+    Cycle one = t.dotProductCycles(20);
+    EXPECT_EQ(t.batchCycles(1, 20, one, t.multiplyII()), one);
+    EXPECT_EQ(t.batchCycles(5, 20, one, t.multiplyII()),
+              one + 4 * 20 * t.multiplyII());
+    EXPECT_EQ(t.batchCycles(0, 20, one, t.multiplyII()), 0u);
+}
+
+TEST(ProcessorTiming, MoreDuplicatorsNeverSlower)
+{
+    Cycle prev = ~Cycle(0);
+    for (unsigned d : {1u, 2u, 4u, 8u}) {
+        Cycle c = ProcessorTiming(withDuplicators(d))
+                      .dotProductCycles(1000);
+        EXPECT_LE(c, prev);
+        prev = c;
+    }
+}
+
+} // namespace
+} // namespace streampim

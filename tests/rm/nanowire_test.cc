@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the racetrack nanowire functional model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rm/nanowire.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(Nanowire, GeometryDerivation)
+{
+    Nanowire w(256, 64);
+    EXPECT_EQ(w.dataDomains(), 256u);
+    EXPECT_EQ(w.ports(), 4u);
+    EXPECT_EQ(w.offset(), 0);
+}
+
+TEST(Nanowire, FirstDomainOfEachGroupIsAlignedAtRest)
+{
+    Nanowire w(256, 64);
+    EXPECT_TRUE(w.alignedAtPort(0));
+    EXPECT_TRUE(w.alignedAtPort(64));
+    EXPECT_TRUE(w.alignedAtPort(128));
+    EXPECT_FALSE(w.alignedAtPort(1));
+    EXPECT_FALSE(w.alignedAtPort(63));
+}
+
+TEST(Nanowire, AlignShiftsByOffsetWithinGroup)
+{
+    Nanowire w(256, 64);
+    EXPECT_EQ(w.alignToPort(5), 5u);
+    EXPECT_TRUE(w.alignedAtPort(5));
+    // The same offset aligns the peer domain in every group.
+    EXPECT_TRUE(w.alignedAtPort(64 + 5));
+}
+
+TEST(Nanowire, ReadWriteThroughPort)
+{
+    Nanowire w(128, 64);
+    w.alignToPort(10);
+    w.write(10, true);
+    EXPECT_TRUE(w.read(10));
+    w.alignToPort(0);
+    w.alignToPort(10);
+    EXPECT_TRUE(w.read(10)); // data survives shifting away and back
+}
+
+TEST(Nanowire, ShiftStepsAreCounted)
+{
+    Nanowire w(128, 64);
+    EXPECT_EQ(w.totalShiftSteps(), 0u);
+    w.alignToPort(63); // 63 steps toward lower
+    EXPECT_EQ(w.totalShiftSteps(), 63u);
+    w.alignToPort(0);  // 63 steps back
+    EXPECT_EQ(w.totalShiftSteps(), 126u);
+}
+
+TEST(Nanowire, StepsToAlignSigns)
+{
+    Nanowire w(128, 64);
+    EXPECT_EQ(w.stepsToAlign(7), -7);
+    w.alignToPort(7);
+    EXPECT_EQ(w.stepsToAlign(7), 0);
+    EXPECT_EQ(w.stepsToAlign(3), 4); // shift back toward higher
+}
+
+TEST(Nanowire, BulkReadWriteRoundTrip)
+{
+    Nanowire w(64, 64);
+    BitVec data = BitVec::fromWord(0xDEADBEEF, 32);
+    data.resize(64);
+    w.writeAll(data);
+    EXPECT_EQ(w.readAll(), data);
+}
+
+TEST(NanowireDeath, OverShiftPanics)
+{
+    Nanowire w(128, 64);
+    // Reserved span is one port group (64); 65 steps falls off.
+    EXPECT_DEATH(w.shift(ShiftDir::TowardLower, 65), "over-shift");
+}
+
+TEST(NanowireDeath, MisalignedReadPanics)
+{
+    Nanowire w(128, 64);
+    EXPECT_DEATH(w.read(5), "misaligned");
+}
+
+TEST(NanowireDeath, MisalignedWritePanics)
+{
+    Nanowire w(128, 64);
+    EXPECT_DEATH(w.write(5, true), "misaligned");
+}
+
+TEST(NanowireDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH(Nanowire(100, 64), "multiple");
+}
+
+/** Property: aligning any domain then reading back what was written. */
+class NanowireSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NanowireSweep, WriteReadAnyDomain)
+{
+    Nanowire w(256, 64);
+    unsigned idx = GetParam();
+    w.alignToPort(idx);
+    w.write(idx, true);
+    w.alignToPort((idx + 64) % 256);
+    w.alignToPort(idx);
+    EXPECT_TRUE(w.read(idx));
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainSweep, NanowireSweep,
+                         ::testing::Values(0u, 1u, 31u, 63u, 64u, 100u,
+                                           127u, 200u, 255u));
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the guard-domain realignment model (error tolerance).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rm/redundancy.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(SegmentGuard, OverheadFraction)
+{
+    SegmentGuard g(2);
+    EXPECT_DOUBLE_EQ(g.overheadFraction(1024), 2.0 / 1024);
+    EXPECT_DOUBLE_EQ(g.overheadFraction(64), 2.0 / 64);
+}
+
+TEST(SegmentGuard, NoFaultsNoCorrections)
+{
+    SegmentGuard g;
+    ShiftFaultModel none(0.0);
+    Rng rng(1);
+    auto stats = g.run(rng, none, 1000, 64);
+    EXPECT_EQ(stats.faultsInjected, 0u);
+    EXPECT_EQ(stats.faultsCorrected, 0u);
+    EXPECT_TRUE(stats.dataIntact());
+    EXPECT_EQ(stats.guardChecks, 1000u);
+}
+
+TEST(SegmentGuard, PerfectCoverageCorrectsEverything)
+{
+    SegmentGuard g(2, 1.0);
+    ShiftFaultModel noisy(5e-3);
+    Rng rng(7);
+    auto stats = g.run(rng, noisy, 20000, 64);
+    EXPECT_GT(stats.faultsInjected, 0u);
+    EXPECT_EQ(stats.faultsCorrected, stats.faultsInjected);
+    EXPECT_TRUE(stats.dataIntact());
+    EXPECT_EQ(stats.correctionShifts, stats.faultsInjected);
+}
+
+TEST(SegmentGuard, ImperfectCoverageCanLeaveResidual)
+{
+    SegmentGuard g(2, 0.5);
+    ShiftFaultModel noisy(2e-2);
+    Rng rng(11);
+    std::uint64_t corrected = 0, injected = 0;
+    for (int i = 0; i < 20; ++i) {
+        auto stats = g.run(rng, noisy, 2000, 64);
+        corrected += stats.faultsCorrected;
+        injected += stats.faultsInjected;
+    }
+    EXPECT_LT(corrected, injected);
+}
+
+TEST(SegmentGuard, CorrectionRateMatchesFaultRate)
+{
+    SegmentGuard g(2, 1.0);
+    const double p = 1e-3;
+    ShiftFaultModel noisy(p);
+    Rng rng(3);
+    const std::uint64_t pulses = 50000;
+    const unsigned steps = 64;
+    auto stats = g.run(rng, noisy, pulses, steps);
+    double expected =
+        double(pulses) * noisy.pulseFaultProbability(steps);
+    EXPECT_NEAR(double(stats.faultsInjected), expected,
+                expected * 0.2);
+}
+
+TEST(SegmentGuardDeath, BadParametersPanic)
+{
+    EXPECT_DEATH(SegmentGuard(1), "guard domains");
+    EXPECT_DEATH(SegmentGuard(2, 0.0), "coverage");
+    EXPECT_DEATH(SegmentGuard(2, 1.5), "coverage");
+}
+
+} // namespace
+} // namespace streampim

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the planner: placement sets, schedule well-formedness,
+ * VPC counts and the semantics of the three optimization levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/planner.hh"
+#include "workloads/polybench.hh"
+
+namespace streampim
+{
+namespace
+{
+
+SystemConfig
+cfgWith(OptLevel level)
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    cfg.optLevel = level;
+    return cfg;
+}
+
+TaskGraph
+tinyMatVec(unsigned rows = 64, unsigned cols = 48)
+{
+    TaskGraph g;
+    g.name = "mv";
+    auto a = g.addMatrix("A", rows, cols);
+    auto x = g.addMatrix("x", cols, 1);
+    auto y = g.addMatrix("y", rows, 1);
+    g.addOp(MatOpKind::MatVec, a, x, y);
+    return g;
+}
+
+/** Every dependency must point to an earlier batch. */
+void
+checkWellFormed(const VpcSchedule &s, const SystemConfig &cfg)
+{
+    for (std::size_t i = 0; i < s.batches.size(); ++i) {
+        const VpcBatch &b = s.batches[i];
+        if (b.depA != kNoBatch) {
+            EXPECT_LT(b.depA, i);
+        }
+        if (b.depB != kNoBatch) {
+            EXPECT_LT(b.depB, i);
+        }
+        EXPECT_LT(b.subarray, cfg.rm.totalSubarrays());
+        if (b.kind == VpcKind::Tran) {
+            EXPECT_LT(b.dstSubarray, cfg.rm.totalSubarrays());
+        }
+        EXPECT_GT(b.vpcCount, 0u);
+        EXPECT_GT(b.vectorLen, 0u);
+    }
+}
+
+TEST(Planner, BaseUsesOneSubarray)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Base);
+    Planner p(cfg);
+    EXPECT_EQ(p.computeSet().size(), 1u);
+    VpcSchedule s = p.plan(tinyMatVec());
+    checkWellFormed(s, cfg);
+    for (const auto &b : s.batches) {
+        if (isPimVpc(b.kind)) {
+            EXPECT_EQ(b.subarray, p.computeSet()[0]);
+        }
+    }
+}
+
+TEST(Planner, DistributeUsesAllPimSubarrays)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    EXPECT_EQ(p.computeSet().size(), cfg.rm.pimSubarrays());
+    // Staging overlaps the compute set (the distribute flaw).
+    EXPECT_EQ(p.stagingSet().size(), 1u);
+    EXPECT_EQ(p.stagingSet()[0], p.computeSet()[0]);
+}
+
+TEST(Planner, UnblockStagingIsDisjointFromCompute)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    std::set<std::uint32_t> compute(p.computeSet().begin(),
+                                    p.computeSet().end());
+    for (auto s : p.stagingSet())
+        EXPECT_EQ(compute.count(s), 0u)
+            << "staging subarray " << s << " inside compute set";
+}
+
+TEST(Planner, PimVpcCountForMatVec)
+{
+    // One MUL VPC per output row regardless of opt level.
+    for (OptLevel level : {OptLevel::Base, OptLevel::Distribute,
+                           OptLevel::Unblock}) {
+        SystemConfig cfg = cfgWith(level);
+        Planner p(cfg);
+        VpcSchedule s = p.plan(tinyMatVec(100, 40));
+        EXPECT_EQ(s.pimVpcs(), 100u) << optLevelName(level);
+        checkWellFormed(s, cfg);
+    }
+}
+
+TEST(Planner, MatMulCountsOneDotPerOutput)
+{
+    TaskGraph g;
+    auto a = g.addMatrix("A", 30, 20);
+    auto b = g.addMatrix("B", 20, 25);
+    auto c = g.addMatrix("C", 30, 25);
+    g.addOp(MatOpKind::MatMul, a, b, c);
+    Planner p(cfgWith(OptLevel::Unblock));
+    VpcSchedule s = p.plan(g);
+    EXPECT_EQ(s.pimVpcs(), 30u * 25u);
+}
+
+TEST(Planner, ComputeBatchesDependOnTheirCopies)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    VpcSchedule s = p.plan(tinyMatVec());
+    for (const auto &b : s.batches) {
+        if (b.kind != VpcKind::Mul)
+            continue;
+        ASSERT_NE(b.depA, kNoBatch);
+        const VpcBatch &dep = s.batches[b.depA];
+        EXPECT_EQ(dep.kind, VpcKind::Tran);
+        EXPECT_EQ(dep.dstSubarray, b.subarray);
+    }
+}
+
+TEST(Planner, DistributePairsComputeWithCollect)
+{
+    // The naive order: every MUL batch is immediately followed by
+    // the TRAN collecting its results (the head-of-line trigger).
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    VpcSchedule s = p.plan(tinyMatVec(512, 64));
+    for (std::size_t i = 0; i < s.batches.size(); ++i) {
+        if (s.batches[i].kind != VpcKind::Mul)
+            continue;
+        ASSERT_LT(i + 1, s.batches.size());
+        const VpcBatch &next = s.batches[i + 1];
+        EXPECT_EQ(next.kind, VpcKind::Tran);
+        EXPECT_EQ(next.depA, std::uint32_t(i));
+        EXPECT_EQ(next.subarray, s.batches[i].subarray);
+    }
+}
+
+TEST(Planner, UnblockSeparatesComputeAndCollectPhases)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    VpcSchedule s = p.plan(tinyMatVec(512, 64));
+    // Under unblock, no MUL batch is immediately followed by its
+    // own collect.
+    for (std::size_t i = 0; i + 1 < s.batches.size(); ++i) {
+        if (s.batches[i].kind != VpcKind::Mul)
+            continue;
+        const VpcBatch &next = s.batches[i + 1];
+        if (next.kind == VpcKind::Tran) {
+            EXPECT_NE(next.depA, std::uint32_t(i));
+        }
+    }
+}
+
+TEST(Planner, SlicingSplitsOversizedVectors)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    cfg.maxVpcElements = 16;
+    Planner p(cfg);
+    VpcSchedule s = p.plan(tinyMatVec(4, 50)); // 50 > 16
+    EXPECT_GT(p.stats().slicedVpcs, 0u);
+    for (const auto &b : s.batches) {
+        if (isPimVpc(b.kind)) {
+            EXPECT_LE(b.vectorLen, 16u);
+        }
+    }
+    checkWellFormed(s, cfg);
+}
+
+TEST(Planner, StatsMatchScheduleCounters)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    TaskGraph g = makePolybench(PolybenchKernel::Atax, 64);
+    VpcSchedule s = p.plan(g);
+    EXPECT_EQ(p.stats().pimVpcs, s.pimVpcs());
+    EXPECT_EQ(p.stats().moveVpcs, s.moveVpcs());
+    EXPECT_EQ(p.stats().batches, s.batches.size());
+}
+
+TEST(Planner, EveryPolybenchKernelLowersCleanly)
+{
+    for (OptLevel level : {OptLevel::Base, OptLevel::Distribute,
+                           OptLevel::Unblock}) {
+        SystemConfig cfg = cfgWith(level);
+        Planner p(cfg);
+        for (PolybenchKernel k : allPolybenchKernels()) {
+            TaskGraph g = makePolybench(k, 32);
+            VpcSchedule s = p.plan(g);
+            EXPECT_GT(s.pimVpcs(), 0u) << polybenchName(k);
+            checkWellFormed(s, cfg);
+        }
+    }
+}
+
+TEST(ScheduleDeath, ForwardDependencyPanics)
+{
+    VpcSchedule s;
+    VpcBatch b;
+    b.kind = VpcKind::Mul;
+    b.vectorLen = 1;
+    b.depA = 5; // no such batch yet
+    EXPECT_DEATH(s.push(b), "future");
+}
+
+} // namespace
+} // namespace streampim

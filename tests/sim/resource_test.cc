@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the busy-until resource models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(TickResource, BackToBackRequestsQueue)
+{
+    TickResource r;
+    auto s1 = r.acquire(0, 100);
+    EXPECT_EQ(s1.start, 0u);
+    EXPECT_EQ(s1.end, 100u);
+    auto s2 = r.acquire(0, 50);
+    EXPECT_EQ(s2.start, 100u); // waits for the first request
+    EXPECT_EQ(s2.end, 150u);
+}
+
+TEST(TickResource, LateArrivalStartsAtArrival)
+{
+    TickResource r;
+    r.acquire(0, 10);
+    auto s = r.acquire(500, 10);
+    EXPECT_EQ(s.start, 500u);
+}
+
+TEST(TickResource, BusyTicksAccumulate)
+{
+    TickResource r;
+    r.acquire(0, 10);
+    r.acquire(0, 30);
+    EXPECT_EQ(r.busyTicks(), 40u);
+}
+
+TEST(TickResource, BlockUntilPushesFreeTime)
+{
+    TickResource r;
+    r.blockUntil(200);
+    auto s = r.acquire(0, 10);
+    EXPECT_EQ(s.start, 200u);
+    // blockUntil never moves time backwards.
+    r.blockUntil(50);
+    EXPECT_EQ(r.freeAt(), 210u);
+}
+
+TEST(SlotPool, ParallelSlotsServeConcurrently)
+{
+    SlotPool pool(2);
+    auto a = pool.acquire(0, 100);
+    auto b = pool.acquire(0, 100);
+    auto c = pool.acquire(0, 100);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 0u);   // second slot
+    EXPECT_EQ(c.start, 100u); // waits for a slot
+}
+
+TEST(SlotPool, PicksEarliestFreeSlot)
+{
+    SlotPool pool(2);
+    pool.acquire(0, 100);
+    pool.acquire(0, 10);
+    auto s = pool.acquire(0, 5);
+    EXPECT_EQ(s.start, 10u);
+    EXPECT_EQ(pool.earliestFree(), 15u);
+}
+
+TEST(PipelineResource, SteadyStateThroughputIsII)
+{
+    PipelineResource p;
+    // 10 elements, II = 4 ticks, depth = 20 ticks.
+    auto s = p.stream(0, 10, 4, 20);
+    EXPECT_EQ(s.start, 0u);
+    EXPECT_EQ(s.end, 9u * 4 + 20); // last admit + depth
+}
+
+TEST(PipelineResource, ConsecutiveStreamsRespectAdmissionRate)
+{
+    PipelineResource p;
+    p.stream(0, 10, 4, 20);
+    auto s2 = p.stream(0, 1, 4, 20);
+    // Next admission slot is right after the 10th element's.
+    EXPECT_EQ(s2.start, 10u * 4);
+}
+
+TEST(PipelineResource, SingleElementLatencyIsDepth)
+{
+    PipelineResource p;
+    auto s = p.stream(100, 1, 4, 20);
+    EXPECT_EQ(s.start, 100u);
+    EXPECT_EQ(s.end, 120u);
+}
+
+TEST(PipelineResourceDeath, ZeroElementsPanics)
+{
+    PipelineResource p;
+    EXPECT_DEATH(p.stream(0, 0, 1, 1), "zero elements");
+}
+
+} // namespace
+} // namespace streampim
