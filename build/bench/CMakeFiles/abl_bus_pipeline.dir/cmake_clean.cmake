@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bus_pipeline.dir/abl_bus_pipeline.cc.o"
+  "CMakeFiles/abl_bus_pipeline.dir/abl_bus_pipeline.cc.o.d"
+  "abl_bus_pipeline"
+  "abl_bus_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bus_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_duplicators.dir/abl_duplicators.cc.o"
+  "CMakeFiles/abl_duplicators.dir/abl_duplicators.cc.o.d"
+  "abl_duplicators"
+  "abl_duplicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_duplicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

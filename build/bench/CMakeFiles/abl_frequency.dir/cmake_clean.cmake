@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_frequency.dir/abl_frequency.cc.o"
+  "CMakeFiles/abl_frequency.dir/abl_frequency.cc.o.d"
+  "abl_frequency"
+  "abl_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

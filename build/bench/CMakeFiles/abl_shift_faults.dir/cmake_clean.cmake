@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shift_faults.dir/abl_shift_faults.cc.o"
+  "CMakeFiles/abl_shift_faults.dir/abl_shift_faults.cc.o.d"
+  "abl_shift_faults"
+  "abl_shift_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shift_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_overall_performance.dir/fig17_overall_performance.cc.o"
+  "CMakeFiles/fig17_overall_performance.dir/fig17_overall_performance.cc.o.d"
+  "fig17_overall_performance"
+  "fig17_overall_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_overall_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

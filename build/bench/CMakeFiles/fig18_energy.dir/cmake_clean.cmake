@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_energy.dir/fig18_energy.cc.o"
+  "CMakeFiles/fig18_energy.dir/fig18_energy.cc.o.d"
+  "fig18_energy"
+  "fig18_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

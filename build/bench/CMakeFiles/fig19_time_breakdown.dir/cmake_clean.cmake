@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_time_breakdown.dir/fig19_time_breakdown.cc.o"
+  "CMakeFiles/fig19_time_breakdown.dir/fig19_time_breakdown.cc.o.d"
+  "fig19_time_breakdown"
+  "fig19_time_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_subarray_sweep.dir/fig21_subarray_sweep.cc.o"
+  "CMakeFiles/fig21_subarray_sweep.dir/fig21_subarray_sweep.cc.o.d"
+  "fig21_subarray_sweep"
+  "fig21_subarray_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_subarray_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

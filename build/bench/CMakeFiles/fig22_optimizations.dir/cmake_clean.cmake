@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_optimizations.dir/fig22_optimizations.cc.o"
+  "CMakeFiles/fig22_optimizations.dir/fig22_optimizations.cc.o.d"
+  "fig22_optimizations"
+  "fig22_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

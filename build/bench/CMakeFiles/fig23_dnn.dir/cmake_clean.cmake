@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_dnn.dir/fig23_dnn.cc.o"
+  "CMakeFiles/fig23_dnn.dir/fig23_dnn.cc.o.d"
+  "fig23_dnn"
+  "fig23_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_vpc_counts.dir/table4_vpc_counts.cc.o"
+  "CMakeFiles/table4_vpc_counts.dir/table4_vpc_counts.cc.o.d"
+  "table4_vpc_counts"
+  "table4_vpc_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vpc_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

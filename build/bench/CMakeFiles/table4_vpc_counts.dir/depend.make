@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_vpc_counts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_segment_size.dir/table5_segment_size.cc.o"
+  "CMakeFiles/table5_segment_size.dir/table5_segment_size.cc.o.d"
+  "table5_segment_size"
+  "table5_segment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_segment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

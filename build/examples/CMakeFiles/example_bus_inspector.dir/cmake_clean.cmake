@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bus_inspector.dir/bus_inspector.cpp.o"
+  "CMakeFiles/example_bus_inspector.dir/bus_inspector.cpp.o.d"
+  "example_bus_inspector"
+  "example_bus_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bus_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bus_inspector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gemm_offload.dir/gemm_offload.cpp.o"
+  "CMakeFiles/example_gemm_offload.dir/gemm_offload.cpp.o.d"
+  "example_gemm_offload"
+  "example_gemm_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gemm_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_reachability.dir/graph_reachability.cpp.o"
+  "CMakeFiles/example_graph_reachability.dir/graph_reachability.cpp.o.d"
+  "example_graph_reachability"
+  "example_graph_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

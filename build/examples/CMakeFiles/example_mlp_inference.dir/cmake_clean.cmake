@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mlp_inference.dir/mlp_inference.cpp.o"
+  "CMakeFiles/example_mlp_inference.dir/mlp_inference.cpp.o.d"
+  "example_mlp_inference"
+  "example_mlp_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mlp_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

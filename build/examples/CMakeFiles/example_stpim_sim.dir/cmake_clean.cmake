@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stpim_sim.dir/stpim_sim.cpp.o"
+  "CMakeFiles/example_stpim_sim.dir/stpim_sim.cpp.o.d"
+  "example_stpim_sim"
+  "example_stpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stpim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

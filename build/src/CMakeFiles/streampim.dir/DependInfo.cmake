@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bitwise_pim.cc" "src/CMakeFiles/streampim.dir/baselines/bitwise_pim.cc.o" "gcc" "src/CMakeFiles/streampim.dir/baselines/bitwise_pim.cc.o.d"
+  "/root/repo/src/baselines/coruscant.cc" "src/CMakeFiles/streampim.dir/baselines/coruscant.cc.o" "gcc" "src/CMakeFiles/streampim.dir/baselines/coruscant.cc.o.d"
+  "/root/repo/src/baselines/cpu_model.cc" "src/CMakeFiles/streampim.dir/baselines/cpu_model.cc.o" "gcc" "src/CMakeFiles/streampim.dir/baselines/cpu_model.cc.o.d"
+  "/root/repo/src/baselines/gpu_model.cc" "src/CMakeFiles/streampim.dir/baselines/gpu_model.cc.o" "gcc" "src/CMakeFiles/streampim.dir/baselines/gpu_model.cc.o.d"
+  "/root/repo/src/baselines/stream_pim_platform.cc" "src/CMakeFiles/streampim.dir/baselines/stream_pim_platform.cc.o" "gcc" "src/CMakeFiles/streampim.dir/baselines/stream_pim_platform.cc.o.d"
+  "/root/repo/src/bus/rm_bus.cc" "src/CMakeFiles/streampim.dir/bus/rm_bus.cc.o" "gcc" "src/CMakeFiles/streampim.dir/bus/rm_bus.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/streampim.dir/common/config.cc.o" "gcc" "src/CMakeFiles/streampim.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/streampim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/streampim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/streampim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/streampim.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/event_executor.cc" "src/CMakeFiles/streampim.dir/core/event_executor.cc.o" "gcc" "src/CMakeFiles/streampim.dir/core/event_executor.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/streampim.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/streampim.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/streampim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/streampim.dir/core/report.cc.o.d"
+  "/root/repo/src/core/stream_pim.cc" "src/CMakeFiles/streampim.dir/core/stream_pim.cc.o" "gcc" "src/CMakeFiles/streampim.dir/core/stream_pim.cc.o.d"
+  "/root/repo/src/dwlogic/adder.cc" "src/CMakeFiles/streampim.dir/dwlogic/adder.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/adder.cc.o.d"
+  "/root/repo/src/dwlogic/circle_adder.cc" "src/CMakeFiles/streampim.dir/dwlogic/circle_adder.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/circle_adder.cc.o.d"
+  "/root/repo/src/dwlogic/duplicator.cc" "src/CMakeFiles/streampim.dir/dwlogic/duplicator.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/duplicator.cc.o.d"
+  "/root/repo/src/dwlogic/extension.cc" "src/CMakeFiles/streampim.dir/dwlogic/extension.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/extension.cc.o.d"
+  "/root/repo/src/dwlogic/fp16.cc" "src/CMakeFiles/streampim.dir/dwlogic/fp16.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/fp16.cc.o.d"
+  "/root/repo/src/dwlogic/gate.cc" "src/CMakeFiles/streampim.dir/dwlogic/gate.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/gate.cc.o.d"
+  "/root/repo/src/dwlogic/multiplier.cc" "src/CMakeFiles/streampim.dir/dwlogic/multiplier.cc.o" "gcc" "src/CMakeFiles/streampim.dir/dwlogic/multiplier.cc.o.d"
+  "/root/repo/src/mem/mat.cc" "src/CMakeFiles/streampim.dir/mem/mat.cc.o" "gcc" "src/CMakeFiles/streampim.dir/mem/mat.cc.o.d"
+  "/root/repo/src/mem/subarray.cc" "src/CMakeFiles/streampim.dir/mem/subarray.cc.o" "gcc" "src/CMakeFiles/streampim.dir/mem/subarray.cc.o.d"
+  "/root/repo/src/processor/pipeline.cc" "src/CMakeFiles/streampim.dir/processor/pipeline.cc.o" "gcc" "src/CMakeFiles/streampim.dir/processor/pipeline.cc.o.d"
+  "/root/repo/src/processor/rm_processor.cc" "src/CMakeFiles/streampim.dir/processor/rm_processor.cc.o" "gcc" "src/CMakeFiles/streampim.dir/processor/rm_processor.cc.o.d"
+  "/root/repo/src/rm/energy.cc" "src/CMakeFiles/streampim.dir/rm/energy.cc.o" "gcc" "src/CMakeFiles/streampim.dir/rm/energy.cc.o.d"
+  "/root/repo/src/rm/nanowire.cc" "src/CMakeFiles/streampim.dir/rm/nanowire.cc.o" "gcc" "src/CMakeFiles/streampim.dir/rm/nanowire.cc.o.d"
+  "/root/repo/src/runtime/pim_task.cc" "src/CMakeFiles/streampim.dir/runtime/pim_task.cc.o" "gcc" "src/CMakeFiles/streampim.dir/runtime/pim_task.cc.o.d"
+  "/root/repo/src/runtime/planner.cc" "src/CMakeFiles/streampim.dir/runtime/planner.cc.o" "gcc" "src/CMakeFiles/streampim.dir/runtime/planner.cc.o.d"
+  "/root/repo/src/runtime/trace.cc" "src/CMakeFiles/streampim.dir/runtime/trace.cc.o" "gcc" "src/CMakeFiles/streampim.dir/runtime/trace.cc.o.d"
+  "/root/repo/src/vpc/decoder.cc" "src/CMakeFiles/streampim.dir/vpc/decoder.cc.o" "gcc" "src/CMakeFiles/streampim.dir/vpc/decoder.cc.o.d"
+  "/root/repo/src/workloads/dnn.cc" "src/CMakeFiles/streampim.dir/workloads/dnn.cc.o" "gcc" "src/CMakeFiles/streampim.dir/workloads/dnn.cc.o.d"
+  "/root/repo/src/workloads/polybench.cc" "src/CMakeFiles/streampim.dir/workloads/polybench.cc.o" "gcc" "src/CMakeFiles/streampim.dir/workloads/polybench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

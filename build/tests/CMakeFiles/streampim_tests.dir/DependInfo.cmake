@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/cpu_model_test.cc" "tests/CMakeFiles/streampim_tests.dir/baselines/cpu_model_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/baselines/cpu_model_test.cc.o.d"
+  "/root/repo/tests/baselines/gpu_model_test.cc" "tests/CMakeFiles/streampim_tests.dir/baselines/gpu_model_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/baselines/gpu_model_test.cc.o.d"
+  "/root/repo/tests/baselines/platforms_test.cc" "tests/CMakeFiles/streampim_tests.dir/baselines/platforms_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/baselines/platforms_test.cc.o.d"
+  "/root/repo/tests/bus/electrical_bus_test.cc" "tests/CMakeFiles/streampim_tests.dir/bus/electrical_bus_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/bus/electrical_bus_test.cc.o.d"
+  "/root/repo/tests/bus/rm_bus_test.cc" "tests/CMakeFiles/streampim_tests.dir/bus/rm_bus_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/bus/rm_bus_test.cc.o.d"
+  "/root/repo/tests/common/bitvec_test.cc" "tests/CMakeFiles/streampim_tests.dir/common/bitvec_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/common/bitvec_test.cc.o.d"
+  "/root/repo/tests/common/config_test.cc" "tests/CMakeFiles/streampim_tests.dir/common/config_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/common/config_test.cc.o.d"
+  "/root/repo/tests/common/log_test.cc" "tests/CMakeFiles/streampim_tests.dir/common/log_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/common/log_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/streampim_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/core/event_executor_test.cc" "tests/CMakeFiles/streampim_tests.dir/core/event_executor_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/core/event_executor_test.cc.o.d"
+  "/root/repo/tests/core/executor_test.cc" "tests/CMakeFiles/streampim_tests.dir/core/executor_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/core/executor_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/streampim_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/stream_pim_test.cc" "tests/CMakeFiles/streampim_tests.dir/core/stream_pim_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/core/stream_pim_test.cc.o.d"
+  "/root/repo/tests/core/system_config_test.cc" "tests/CMakeFiles/streampim_tests.dir/core/system_config_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/core/system_config_test.cc.o.d"
+  "/root/repo/tests/dwlogic/adder_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/adder_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/adder_test.cc.o.d"
+  "/root/repo/tests/dwlogic/circle_adder_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/circle_adder_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/circle_adder_test.cc.o.d"
+  "/root/repo/tests/dwlogic/duplicator_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/duplicator_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/duplicator_test.cc.o.d"
+  "/root/repo/tests/dwlogic/extension_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/extension_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/extension_test.cc.o.d"
+  "/root/repo/tests/dwlogic/fp16_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/fp16_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/fp16_test.cc.o.d"
+  "/root/repo/tests/dwlogic/gate_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/gate_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/gate_test.cc.o.d"
+  "/root/repo/tests/dwlogic/multiplier_test.cc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/multiplier_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/dwlogic/multiplier_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/streampim_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/executor_cross_validation_test.cc" "tests/CMakeFiles/streampim_tests.dir/integration/executor_cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/integration/executor_cross_validation_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_timing_test.cc" "tests/CMakeFiles/streampim_tests.dir/integration/pipeline_timing_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/integration/pipeline_timing_test.cc.o.d"
+  "/root/repo/tests/mem/address_test.cc" "tests/CMakeFiles/streampim_tests.dir/mem/address_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/mem/address_test.cc.o.d"
+  "/root/repo/tests/mem/dram_test.cc" "tests/CMakeFiles/streampim_tests.dir/mem/dram_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/mem/dram_test.cc.o.d"
+  "/root/repo/tests/mem/mat_test.cc" "tests/CMakeFiles/streampim_tests.dir/mem/mat_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/mem/mat_test.cc.o.d"
+  "/root/repo/tests/mem/subarray_test.cc" "tests/CMakeFiles/streampim_tests.dir/mem/subarray_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/mem/subarray_test.cc.o.d"
+  "/root/repo/tests/processor/rm_processor_test.cc" "tests/CMakeFiles/streampim_tests.dir/processor/rm_processor_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/processor/rm_processor_test.cc.o.d"
+  "/root/repo/tests/processor/timing_test.cc" "tests/CMakeFiles/streampim_tests.dir/processor/timing_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/processor/timing_test.cc.o.d"
+  "/root/repo/tests/rm/fault_test.cc" "tests/CMakeFiles/streampim_tests.dir/rm/fault_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/rm/fault_test.cc.o.d"
+  "/root/repo/tests/rm/nanowire_test.cc" "tests/CMakeFiles/streampim_tests.dir/rm/nanowire_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/rm/nanowire_test.cc.o.d"
+  "/root/repo/tests/rm/redundancy_test.cc" "tests/CMakeFiles/streampim_tests.dir/rm/redundancy_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/rm/redundancy_test.cc.o.d"
+  "/root/repo/tests/runtime/pim_task_test.cc" "tests/CMakeFiles/streampim_tests.dir/runtime/pim_task_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/runtime/pim_task_test.cc.o.d"
+  "/root/repo/tests/runtime/planner_test.cc" "tests/CMakeFiles/streampim_tests.dir/runtime/planner_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/runtime/planner_test.cc.o.d"
+  "/root/repo/tests/runtime/trace_test.cc" "tests/CMakeFiles/streampim_tests.dir/runtime/trace_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/runtime/trace_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/streampim_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/resource_test.cc" "tests/CMakeFiles/streampim_tests.dir/sim/resource_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/sim/resource_test.cc.o.d"
+  "/root/repo/tests/vpc/decoder_test.cc" "tests/CMakeFiles/streampim_tests.dir/vpc/decoder_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/vpc/decoder_test.cc.o.d"
+  "/root/repo/tests/vpc/vpc_test.cc" "tests/CMakeFiles/streampim_tests.dir/vpc/vpc_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/vpc/vpc_test.cc.o.d"
+  "/root/repo/tests/workloads/polybench_test.cc" "tests/CMakeFiles/streampim_tests.dir/workloads/polybench_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/workloads/polybench_test.cc.o.d"
+  "/root/repo/tests/workloads/task_graph_test.cc" "tests/CMakeFiles/streampim_tests.dir/workloads/task_graph_test.cc.o" "gcc" "tests/CMakeFiles/streampim_tests.dir/workloads/task_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streampim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
