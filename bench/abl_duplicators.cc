@@ -14,6 +14,7 @@
 
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "processor/timing.hh"
 #include "workloads/polybench.hh"
 
@@ -21,34 +22,46 @@ using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Ablation: in-processor duplicator count "
                 "(dim=%u)\n\n", dim);
 
+    const std::vector<unsigned> dups = {1, 2, 4, 8};
+
+    SweepRunner sweep("abl_duplicators", argc, argv);
+    for (unsigned d : dups)
+        sweep.add(std::to_string(d), "gemm", [d, dim] {
+            SystemConfig cfg = SystemConfig::paperDefault();
+            cfg.rm.duplicators = d;
+            StreamPimPlatform stpim(cfg);
+            ProcessorTiming timing(cfg.rm);
+            TaskGraph g = makePolybench(PolybenchKernel::Gemm, dim);
+            SweepCellResult res;
+            res.value = stpim.run(g).seconds;
+            res.metrics["multiply_ii_cycles"] =
+                double(timing.multiplyII());
+            return res;
+        });
+    sweep.run();
+
+    const double base_s = sweep.value("1", "gemm");
     Table t({"duplicators", "multiply II (cycles)",
              "gemm speedup vs 1 duplicator"});
-
-    double base_s = 0.0;
-    for (unsigned d : {1u, 2u, 4u, 8u}) {
-        SystemConfig cfg = SystemConfig::paperDefault();
-        cfg.rm.duplicators = d;
-        StreamPimPlatform stpim(cfg);
-        ProcessorTiming timing(cfg.rm);
-
-        TaskGraph g = makePolybench(PolybenchKernel::Gemm, dim);
-        double s = stpim.run(g).seconds;
-        if (d == 1)
-            base_s = s;
+    for (unsigned d : dups) {
+        const auto &c = sweep.cell(std::to_string(d), "gemm");
         t.addRow({std::to_string(d),
-                  std::to_string(timing.multiplyII()),
-                  fmt(base_s / s, 2) + "x"});
+                  fmt(c.metrics.at("multiply_ii_cycles"), 0),
+                  fmt(base_s / c.value, 2) + "x"});
     }
     t.print();
 
     std::printf("\nExpected: ~2x from 1->2 duplicators (Table III"
                 " default), ~2x more to 8, then other stages "
                 "dominate.\n");
+
+    sweep.note("cell_unit", "seconds");
+    sweep.writeReport();
     return 0;
 }

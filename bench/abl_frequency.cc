@@ -15,37 +15,39 @@
 
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Ablation: RM core frequency (dim=%u), normalized "
                 "to the paper's 100 MHz\n\n", dim);
 
-    TaskGraph g = makePolybench(PolybenchKernel::Gemm, dim);
+    const std::vector<double> mhzs = {50, 100, 200, 400, 800};
 
-    std::vector<double> mhzs = {50, 100, 200, 400, 800};
-    std::vector<double> secs;
-    for (double mhz : mhzs) {
-        SystemConfig cfg = SystemConfig::paperDefault();
-        cfg.rm.coreFreqHz = mhz * 1e6;
-        StreamPimPlatform stpim(cfg);
-        secs.push_back(stpim.run(g).seconds);
-    }
-    double s100 = secs[1];
+    SweepRunner sweep("abl_frequency", argc, argv);
+    for (double mhz : mhzs)
+        sweep.add(fmt(mhz, 0), "gemm", [mhz, dim] {
+            SystemConfig cfg = SystemConfig::paperDefault();
+            cfg.rm.coreFreqHz = mhz * 1e6;
+            StreamPimPlatform stpim(cfg);
+            TaskGraph g = makePolybench(PolybenchKernel::Gemm, dim);
+            return SweepCellResult{stpim.run(g).seconds, {}};
+        });
+    sweep.run();
 
+    const double s100 = sweep.value(fmt(100.0, 0), "gemm");
     Table out({"core clock", "gemm speedup vs 100 MHz",
                "fraction of linear scaling"});
-    for (std::size_t i = 0; i < mhzs.size(); ++i) {
-        double speed = s100 / secs[i];
-        double linear = mhzs[i] / 100.0;
-        out.addRow({fmt(mhzs[i], 0) + " MHz",
-                    fmt(speed, 2) + "x",
+    for (double mhz : mhzs) {
+        double speed = s100 / sweep.value(fmt(mhz, 0), "gemm");
+        double linear = mhz / 100.0;
+        out.addRow({fmt(mhz, 0) + " MHz", fmt(speed, 2) + "x",
                     fmt(speed / linear * 100, 1) + "%"});
     }
     out.print();
@@ -54,5 +56,9 @@ main()
                 "then the frequency-independent RW data\n"
                 "preparation (read/write latencies are device "
                 "physics, not clocked) caps the gain.\n");
+
+    sweep.note("cell_unit", "seconds");
+    sweep.note("paper_clock_mhz", 100.0);
+    sweep.writeReport();
     return 0;
 }

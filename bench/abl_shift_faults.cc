@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "rm/fault.hh"
 #include "rm/params.hh"
 #include "rm/redundancy.hh"
@@ -20,40 +21,63 @@ using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Ablation: shift faults vs pulse length "
                 "(p_step = 4.5e-5 per domain step)\n\n");
 
     RmParams rm;
-    ShiftFaultModel faults;
-    SegmentGuard guard(2, 0.999);
-    Rng rng(2026);
-
     // A transfer of one full bus length per trial, many trials.
     const std::uint64_t total_steps = rm.busLengthDomains;
     const int trials = 4000;
+    const std::vector<unsigned> pulse_lengths = {64, 256, 1024,
+                                                 4096};
+
+    // Each cell owns a deterministic per-pulse-length Rng, so the
+    // Monte-Carlo streams are independent of cell execution order
+    // and the table is identical at any STREAMPIM_JOBS.
+    SweepRunner sweep("abl_shift_faults", argc, argv);
+    for (unsigned pulse : pulse_lengths)
+        sweep.add(std::to_string(pulse), "monte-carlo",
+                  [pulse, total_steps] {
+            ShiftFaultModel faults;
+            SegmentGuard guard(2, 0.999);
+            Rng rng(2026 + pulse);
+            const std::uint64_t pulses = total_steps / pulse;
+            int corrupted_raw = 0;
+            int corrupted_guarded = 0;
+            for (int i = 0; i < trials; ++i) {
+                if (faults.sampleTransferError(rng, pulses,
+                                               pulse) != 0)
+                    corrupted_raw++;
+                auto stats = guard.run(rng, faults, pulses, pulse);
+                if (!stats.dataIntact())
+                    corrupted_guarded++;
+            }
+            SweepCellResult res;
+            res.value = 100.0 * corrupted_guarded / trials;
+            res.metrics["pulse_fault_probability"] =
+                faults.pulseFaultProbability(pulse);
+            res.metrics["corrupted_raw_pct"] =
+                100.0 * corrupted_raw / trials;
+            res.metrics["guard_overhead_pct"] =
+                guard.overheadFraction(pulse) * 100;
+            return res;
+        });
+    sweep.run();
 
     Table t({"pulse length", "P(pulse fault)",
              "corrupted transfers (no guard)",
              "corrupted (guarded)", "guard overhead"});
-
-    for (unsigned pulse : {64u, 256u, 1024u, 4096u}) {
-        const std::uint64_t pulses = total_steps / pulse;
-        int corrupted_raw = 0;
-        int corrupted_guarded = 0;
-        for (int i = 0; i < trials; ++i) {
-            if (faults.sampleTransferError(rng, pulses, pulse) != 0)
-                corrupted_raw++;
-            auto stats = guard.run(rng, faults, pulses, pulse);
-            if (!stats.dataIntact())
-                corrupted_guarded++;
-        }
+    for (unsigned pulse : pulse_lengths) {
+        const auto &c =
+            sweep.cell(std::to_string(pulse), "monte-carlo");
         t.addRow({std::to_string(pulse),
-                  fmt(faults.pulseFaultProbability(pulse), 4),
-                  fmt(100.0 * corrupted_raw / trials, 2) + "%",
-                  fmt(100.0 * corrupted_guarded / trials, 3) + "%",
-                  fmt(guard.overheadFraction(pulse) * 100, 2) + "%"});
+                  fmt(c.metrics.at("pulse_fault_probability"), 4),
+                  fmt(c.metrics.at("corrupted_raw_pct"), 2) + "%",
+                  fmt(c.value, 3) + "%",
+                  fmt(c.metrics.at("guard_overhead_pct"), 2) +
+                      "%"});
     }
     t.print();
 
@@ -61,5 +85,9 @@ main()
                 "single-step misalignment; the guard check\nafter "
                 "each pulse then removes nearly all corruption at "
                 "sub-percent capacity overhead.\n");
+
+    sweep.note("trials", trials);
+    sweep.note("cell_unit", "corrupted_guarded_pct");
+    sweep.writeReport();
     return 0;
 }

@@ -12,63 +12,84 @@
 #include "baselines/cpu_model.hh"
 #include "baselines/gpu_model.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
-    std::printf("Fig. 3a: CPU-RM execution time breakdown "
-                "(dim=%u)\n\n", dim);
+    std::printf("Fig. 3: host platform time breakdown (dim=%u)\n\n",
+                dim);
 
-    CpuPlatform cpu(HostMemKind::Rm);
+    // Cell value: the exposed memory/transfer fraction in percent.
+    // The CPU column covers all workloads, the GPU column only the
+    // small kernels the paper singles out.
+    SweepRunner sweep("fig03_host_breakdown", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        sweep.add(polybenchName(k), "CPU-RM", [k, dim] {
+            CpuPlatform cpu(HostMemKind::Rm);
+            PlatformResult r = cpu.run(makePolybench(k, dim));
+            SweepCellResult res;
+            res.value = r.timeCategory("mem") / r.seconds * 100.0;
+            res.metrics["seconds"] = r.seconds;
+            return res;
+        });
+    for (PolybenchKernel k : smallPolybenchKernels())
+        sweep.add(polybenchName(k), "GPU", [k, dim] {
+            GpuPlatform gpu;
+            PlatformResult r = gpu.run(makePolybench(k, dim));
+            SweepCellResult res;
+            res.value =
+                r.timeCategory("transfer") / r.seconds * 100.0;
+            res.metrics["seconds"] = r.seconds;
+            return res;
+        });
+    sweep.run();
+
+    std::printf("Fig. 3a: CPU-RM execution time breakdown\n\n");
     Table cpu_table({"workload", "compute%", "mem%"});
     std::vector<double> small_mem_frac;
     for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-        PlatformResult r = cpu.run(g);
-        double mem = r.timeCategory("mem");
-        double frac = mem / r.seconds * 100.0;
+        double frac = sweep.value(polybenchName(k), "CPU-RM");
         bool small = false;
         for (PolybenchKernel s : smallPolybenchKernels())
             small |= s == k;
         if (small)
             small_mem_frac.push_back(frac);
-        cpu_table.addRow({polybenchName(k),
-                          fmt(100.0 - frac, 1), fmt(frac, 1)});
+        cpu_table.addRow({polybenchName(k), fmt(100.0 - frac, 1),
+                          fmt(frac, 1)});
     }
     cpu_table.print();
 
-    double avg = 0;
+    double cpu_avg = 0;
     for (double f : small_mem_frac)
-        avg += f;
-    avg /= double(small_mem_frac.size());
+        cpu_avg += f;
+    cpu_avg /= double(small_mem_frac.size());
     std::printf("\nsmall-kernel mem fraction: %.1f%%  "
-                "(paper: 47.6%%)\n\n", avg);
+                "(paper: 47.6%%)\n\n", cpu_avg);
 
     std::printf("Fig. 3b: GPU execution time breakdown\n\n");
-    GpuPlatform gpu;
     Table gpu_table({"workload", "kernel%", "transfer%"});
-    std::vector<double> small_xfer_frac;
+    double gpu_avg = 0;
     for (PolybenchKernel k : smallPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-        PlatformResult r = gpu.run(g);
-        double xfer = r.timeCategory("transfer");
-        double frac = xfer / r.seconds * 100.0;
-        small_xfer_frac.push_back(frac);
-        gpu_table.addRow({polybenchName(k),
-                          fmt(100.0 - frac, 1), fmt(frac, 1)});
+        double frac = sweep.value(polybenchName(k), "GPU");
+        gpu_avg += frac;
+        gpu_table.addRow({polybenchName(k), fmt(100.0 - frac, 1),
+                          fmt(frac, 1)});
     }
     gpu_table.print();
-
-    avg = 0;
-    for (double f : small_xfer_frac)
-        avg += f;
-    avg /= double(small_xfer_frac.size());
+    gpu_avg /= double(smallPolybenchKernels().size());
     std::printf("\nsmall-kernel transfer fraction: %.1f%%  "
-                "(paper: ~90%%)\n", avg);
+                "(paper: ~90%%)\n", gpu_avg);
+
+    sweep.note("cpu_small_kernel_mem_pct", cpu_avg);
+    sweep.note("cpu_small_kernel_mem_pct_paper", 47.6);
+    sweep.note("gpu_small_kernel_transfer_pct", gpu_avg);
+    sweep.note("gpu_small_kernel_transfer_pct_paper", 90.0);
+    sweep.writeReport();
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "baselines/coruscant.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
@@ -20,30 +21,41 @@ using namespace streampim::bench;
 namespace
 {
 
+CoruscantBreakdown
+opCost(const std::string &op)
+{
+    CoruscantPlatform coruscant;
+    if (op == "add")
+        return coruscant.addCost();
+    if (op == "multiply")
+        return coruscant.multiplyCost();
+    return coruscant.dotMacCost();
+}
+
 void
-printBreakdown(const char *title, const char *unit,
-               const std::vector<std::pair<std::string,
-                                           CoruscantBreakdown>> &ops,
-               bool energy)
+printBreakdown(const char *title, SweepRunner &sweep,
+               const std::vector<std::string> &ops,
+               const std::string &col)
 {
     std::printf("%s\n\n", title);
-    Table t({"operation", "read%", "write%", "shift%",
-             std::string("arith%") + " (" + unit + ")"});
-    double sum_write = 0, sum_arith = 0, sum_xfer = 0;
-    for (const auto &[name, b] : ops) {
-        double total = energy ? b.totalPj() : b.totalNs();
-        double rd = (energy ? b.readPj : b.readNs) / total * 100;
-        double wr = (energy ? b.writePj : b.writeNs) / total * 100;
-        double sh = (energy ? b.shiftPj : b.shiftNs) / total * 100;
-        double ar = (energy ? b.computePj : b.computeNs) / total * 100;
-        sum_write += wr;
-        sum_arith += ar;
-        sum_xfer += rd + wr + sh;
-        t.addRow({name, fmt(rd, 1), fmt(wr, 1), fmt(sh, 1),
-                  fmt(ar, 1)});
+    Table t({"operation", "read%", "write%", "shift%", "arith%"});
+    for (const std::string &op : ops) {
+        const auto &m = sweep.cell(op, col).metrics;
+        t.addRow({op, fmt(m.at("read_pct"), 1),
+                  fmt(m.at("write_pct"), 1),
+                  fmt(m.at("shift_pct"), 1),
+                  fmt(m.at("arith_pct"), 1)});
     }
     t.print();
     double n = double(ops.size());
+    double sum_write = 0, sum_arith = 0, sum_xfer = 0;
+    for (const std::string &op : ops) {
+        const auto &m = sweep.cell(op, col).metrics;
+        sum_write += m.at("write_pct");
+        sum_arith += m.at("arith_pct");
+        sum_xfer += m.at("read_pct") + m.at("write_pct") +
+                    m.at("shift_pct");
+    }
     std::printf("\naverage: write %.1f%%, arithmetic %.1f%%, "
                 "transfer(total) %.1f%%\n",
                 sum_write / n, sum_arith / n, sum_xfer / n);
@@ -52,23 +64,49 @@ printBreakdown(const char *title, const char *unit,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    CoruscantPlatform coruscant;
+    const std::vector<std::string> ops = {"add", "multiply",
+                                          "dot-mac"};
 
-    std::vector<std::pair<std::string, CoruscantBreakdown>> ops = {
-        {"add", coruscant.addCost()},
-        {"multiply", coruscant.multiplyCost()},
-        {"dot-mac", coruscant.dotMacCost()},
-    };
+    SweepRunner sweep("fig04_coruscant_breakdown", argc, argv);
+    for (const std::string &op : ops)
+        for (const std::string col : {"time", "energy"})
+            sweep.add(op, col, [op, col] {
+                CoruscantBreakdown b = opCost(op);
+                const bool energy = col == "energy";
+                double total = energy ? b.totalPj() : b.totalNs();
+                SweepCellResult res;
+                res.value = total;
+                res.metrics["read_pct"] =
+                    (energy ? b.readPj : b.readNs) / total * 100;
+                res.metrics["write_pct"] =
+                    (energy ? b.writePj : b.writeNs) / total * 100;
+                res.metrics["shift_pct"] =
+                    (energy ? b.shiftPj : b.shiftNs) / total * 100;
+                res.metrics["arith_pct"] =
+                    (energy ? b.computePj : b.computeNs) / total *
+                    100;
+                return res;
+            });
+    sweep.run();
 
     printBreakdown("Fig. 4a: CORUSCANT execution time breakdown",
-                   "time", ops, false);
+                   sweep, ops, "time");
     std::printf("paper: write 51.0%%, arithmetic 30.1%%, "
                 "transfer 69%%\n\n");
 
-    printBreakdown("Fig. 4b: CORUSCANT energy breakdown", "energy",
-                   ops, true);
+    printBreakdown("Fig. 4b: CORUSCANT energy breakdown", sweep,
+                   ops, "energy");
     std::printf("paper: arithmetic 29.1%%, transfer 70%%\n");
+
+    Json paper = Json::object();
+    paper["time_write_pct"] = 51.0;
+    paper["time_arith_pct"] = 30.1;
+    paper["time_transfer_pct"] = 69.0;
+    paper["energy_arith_pct"] = 29.1;
+    paper["energy_transfer_pct"] = 70.0;
+    sweep.note("paper", std::move(paper));
+    sweep.writeReport();
     return 0;
 }

@@ -8,7 +8,6 @@
  */
 
 #include <cstdio>
-#include <map>
 #include <memory>
 
 #include "baselines/bitwise_pim.hh"
@@ -16,67 +15,88 @@
 #include "baselines/cpu_model.hh"
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
+namespace
+{
+
+std::unique_ptr<Platform>
+makePlatform(const std::string &name)
+{
+    if (name == "CPU-DRAM")
+        return std::make_unique<CpuPlatform>(HostMemKind::Dram);
+    if (name == "ELP2IM")
+        return std::make_unique<BitwisePimPlatform>(
+            BitwisePimParams::elp2im());
+    if (name == "FELIX")
+        return std::make_unique<BitwisePimPlatform>(
+            BitwisePimParams::felix());
+    if (name == "CORUSCANT")
+        return std::make_unique<CoruscantPlatform>();
+    if (name == "StPIM-e") {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.busType = BusType::Electrical;
+        return std::make_unique<StreamPimPlatform>(cfg);
+    }
+    SystemConfig cfg = SystemConfig::paperDefault();
+    return std::make_unique<StreamPimPlatform>(cfg);
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Fig. 17: speedup vs CPU-RM (dim=%u%s)\n\n", dim,
                 dim == 2000 ? ", paper configuration" : "");
 
-    CpuPlatform cpu_rm(HostMemKind::Rm);
-    CpuPlatform cpu_dram(HostMemKind::Dram);
-    BitwisePimPlatform elp2im(BitwisePimParams::elp2im());
-    BitwisePimPlatform felix(BitwisePimParams::felix());
-    CoruscantPlatform coruscant;
-
-    SystemConfig st_cfg = SystemConfig::paperDefault();
-    StreamPimPlatform stpim(st_cfg);
-    SystemConfig e_cfg = st_cfg;
-    e_cfg.busType = BusType::Electrical;
-    StreamPimPlatform stpim_e(e_cfg);
-
-    struct Entry
-    {
-        Platform *platform;
-        double paperMean;
+    const std::vector<std::pair<std::string, double>> platforms = {
+        {"CPU-DRAM", 1.5},  {"ELP2IM", 3.6},   {"FELIX", 8.7},
+        {"StPIM-e", 12.7},  {"CORUSCANT", 15.6}, {"StPIM", 39.1},
     };
-    std::vector<std::pair<std::string, Entry>> platforms = {
-        {"CPU-DRAM", {&cpu_dram, 1.5}},
-        {"ELP2IM", {&elp2im, 3.6}},
-        {"FELIX", {&felix, 8.7}},
-        {"StPIM-e", {&stpim_e, 12.7}},
-        {"CORUSCANT", {&coruscant, 15.6}},
-        {"StPIM", {&stpim, 39.1}},
-    };
+
+    // One cell per (workload, platform); each cell runs its own
+    // CPU-RM baseline and platform instance, so cells share no
+    // simulator state.
+    SweepRunner sweep("fig17_overall_performance", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        for (const auto &[pname, paper] : platforms)
+            sweep.add(polybenchName(k), pname, [k, pname, dim] {
+                TaskGraph g = makePolybench(k, dim);
+                CpuPlatform cpu_rm(HostMemKind::Rm);
+                double base_s = cpu_rm.run(g).seconds;
+                double plat_s = makePlatform(pname)->run(g).seconds;
+                SweepCellResult res;
+                res.value = base_s / plat_s;
+                res.metrics["seconds"] = plat_s;
+                res.metrics["baseline_seconds"] = base_s;
+                return res;
+            });
+    sweep.run();
 
     std::vector<std::string> headers = {"workload"};
-    for (auto &p : platforms)
+    for (const auto &p : platforms)
         headers.push_back(p.first);
     Table table(headers);
-
-    std::map<std::string, std::vector<double>> speedups;
-    for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-        double base_s = cpu_rm.run(g).seconds;
-        std::vector<std::string> row = {polybenchName(k)};
-        for (auto &p : platforms) {
-            double s = base_s / p.second.platform->run(g).seconds;
-            speedups[p.first].push_back(s);
-            row.push_back(fmt(s, 1) + "x");
-        }
-        table.addRow(row);
+    for (const auto &row : sweep.rows()) {
+        std::vector<std::string> cells = {row};
+        for (const auto &p : platforms)
+            cells.push_back(fmt(sweep.value(row, p.first), 1) + "x");
+        table.addRow(cells);
     }
-
     std::vector<std::string> mean_row = {"geo-mean"};
     std::vector<std::string> paper_row = {"paper-mean"};
-    for (auto &p : platforms) {
-        mean_row.push_back(fmt(geoMean(speedups[p.first]), 1) + "x");
-        paper_row.push_back(fmt(p.second.paperMean, 1) + "x");
+    Json means = Json::object();
+    for (const auto &[pname, paper] : platforms) {
+        double mean = geoMean(sweep.columnValues(pname));
+        means[pname] = mean;
+        mean_row.push_back(fmt(mean, 1) + "x");
+        paper_row.push_back(fmt(paper, 1) + "x");
     }
     table.addRow(mean_row);
     table.addRow(paper_row);
@@ -84,5 +104,13 @@ main()
 
     std::printf("\nShape target: StPIM > CORUSCANT > StPIM-e > FELIX"
                 " > ELP2IM > CPU-DRAM > CPU-RM.\n");
+
+    sweep.note("geo_means", std::move(means));
+    Json paper_means = Json::object();
+    for (const auto &[pname, paper] : platforms)
+        paper_means[pname] = paper;
+    sweep.note("paper_means", std::move(paper_means));
+    sweep.note("baseline", "CPU-RM");
+    sweep.writeReport();
     return 0;
 }

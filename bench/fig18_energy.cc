@@ -8,66 +8,97 @@
  */
 
 #include <cstdio>
-#include <map>
+#include <memory>
 
 #include "baselines/bitwise_pim.hh"
 #include "baselines/coruscant.hh"
 #include "baselines/cpu_model.hh"
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
+namespace
+{
+
+std::unique_ptr<Platform>
+makePlatform(const std::string &name)
+{
+    if (name == "CPU-RM")
+        return std::make_unique<CpuPlatform>(HostMemKind::Rm);
+    if (name == "CPU-DRAM")
+        return std::make_unique<CpuPlatform>(HostMemKind::Dram);
+    if (name == "ELP2IM")
+        return std::make_unique<BitwisePimPlatform>(
+            BitwisePimParams::elp2im());
+    if (name == "FELIX")
+        return std::make_unique<BitwisePimPlatform>(
+            BitwisePimParams::felix());
+    if (name == "CORUSCANT")
+        return std::make_unique<CoruscantPlatform>();
+    if (name == "StPIM-e") {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.busType = BusType::Electrical;
+        return std::make_unique<StreamPimPlatform>(cfg);
+    }
+    SystemConfig cfg = SystemConfig::paperDefault();
+    return std::make_unique<StreamPimPlatform>(cfg);
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Fig. 18: energy normalized to StPIM (dim=%u)\n\n",
                 dim);
 
-    CpuPlatform cpu_rm(HostMemKind::Rm);
-    CpuPlatform cpu_dram(HostMemKind::Dram);
-    BitwisePimPlatform elp2im(BitwisePimParams::elp2im());
-    BitwisePimPlatform felix(BitwisePimParams::felix());
-    CoruscantPlatform coruscant;
-    StreamPimPlatform stpim(SystemConfig::paperDefault());
-    SystemConfig e_cfg = SystemConfig::paperDefault();
-    e_cfg.busType = BusType::Electrical;
-    StreamPimPlatform stpim_e(e_cfg);
-
-    struct Entry
-    {
-        Platform *platform;
-        double paper;
-    };
-    std::vector<std::pair<std::string, Entry>> platforms = {
-        {"CPU-RM", {&cpu_rm, 58.0}},
-        {"CPU-DRAM", {&cpu_dram, 58.4}},
-        {"ELP2IM", {&elp2im, 11.7}},
-        {"FELIX", {&felix, 3.5}},
-        {"CORUSCANT", {&coruscant, 2.8}},
-        {"StPIM-e", {&stpim_e, 1.6}},
-        {"StPIM", {&stpim, 1.0}},
+    const std::vector<std::pair<std::string, double>> platforms = {
+        {"CPU-RM", 58.0},    {"CPU-DRAM", 58.4}, {"ELP2IM", 11.7},
+        {"FELIX", 3.5},      {"CORUSCANT", 2.8}, {"StPIM-e", 1.6},
+        {"StPIM", 1.0},
     };
 
-    std::map<std::string, std::vector<double>> ratios;
-    for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-        double stpim_j = stpim.run(g).joules;
-        for (auto &p : platforms)
-            ratios[p.first].push_back(
-                p.second.platform->run(g).joules / stpim_j);
-    }
+    // Cells record absolute joules; the normalization to StPIM
+    // happens after the join against the StPIM column, so StPIM
+    // simulates once per workload rather than once per cell.
+    SweepRunner sweep("fig18_energy", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        for (const auto &[pname, paper] : platforms)
+            sweep.add(polybenchName(k), pname, [k, pname, dim] {
+                TaskGraph g = makePolybench(k, dim);
+                SweepCellResult res;
+                res.value = makePlatform(pname)->run(g).joules;
+                return res;
+            });
+    sweep.run();
 
     Table t({"platform", "energy (x StPIM)", "paper"});
-    for (auto &p : platforms)
-        t.addRow({p.first, fmt(geoMean(ratios[p.first]), 1) + "x",
-                  fmt(p.second.paper, 1) + "x"});
+    Json means = Json::object();
+    for (const auto &[pname, paper] : platforms) {
+        std::vector<double> ratios;
+        for (const auto &row : sweep.rows())
+            ratios.push_back(sweep.value(row, pname) /
+                             sweep.value(row, "StPIM"));
+        double mean = geoMean(ratios);
+        means[pname] = mean;
+        t.addRow({pname, fmt(mean, 1) + "x", fmt(paper, 1) + "x"});
+    }
     t.print();
 
     std::printf("\nShape target: CPU >> ELP2IM > FELIX ~ CORUSCANT "
                 "> StPIM-e > StPIM.\n");
+
+    sweep.note("geo_means_vs_stpim", std::move(means));
+    Json paper_means = Json::object();
+    for (const auto &[pname, paper] : platforms)
+        paper_means[pname] = paper;
+    sweep.note("paper_means", std::move(paper_means));
+    sweep.note("cell_unit", "joules");
+    sweep.writeReport();
     return 0;
 }

@@ -13,61 +13,87 @@
 #include "baselines/coruscant.hh"
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Fig. 19: execution time breakdown (dim=%u), "
                 "normalized to StPIM total\n\n", dim);
 
-    CoruscantPlatform coruscant;
-    StreamPimPlatform stpim(SystemConfig::paperDefault());
+    SweepRunner sweep("fig19_time_breakdown", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        sweep.add(polybenchName(k), "StPIM", [k, dim] {
+            StreamPimPlatform stpim(SystemConfig::paperDefault());
+            PlatformResult r = stpim.run(makePolybench(k, dim));
+            // The executor's coverage analysis gives genuine
+            // exclusive and overlapped wall-clock intervals.
+            SweepCellResult res;
+            res.value = r.seconds;
+            res.metrics["excl_transfer_pct"] =
+                r.timeCategory("excl_transfer") / r.seconds * 100;
+            res.metrics["process_pct"] =
+                r.timeCategory("excl_process") / r.seconds * 100;
+            res.metrics["overlapped_pct"] =
+                r.timeCategory("overlapped") / r.seconds * 100;
+            return res;
+        });
+        sweep.add(polybenchName(k), "CORUSCANT", [k, dim] {
+            CoruscantPlatform coruscant;
+            PlatformResult r = coruscant.run(makePolybench(k, dim));
+            // CORUSCANT serializes conversion with computation
+            // inside each arithmetic op; its transfer time is
+            // fully exposed.
+            double xfer = r.timeCategory("read") +
+                          r.timeCategory("write") +
+                          r.timeCategory("shift");
+            SweepCellResult res;
+            res.value = r.seconds;
+            res.metrics["excl_transfer_pct"] =
+                xfer / r.seconds * 100;
+            res.metrics["process_pct"] =
+                r.timeCategory("process") / r.seconds * 100;
+            res.metrics["overlapped_pct"] = 0.0;
+            return res;
+        });
+    }
+    sweep.run();
 
     Table t({"workload", "platform", "excl-transfer%", "process%",
              "overlapped%", "total (x StPIM)"});
-
     double cor_xfer_sum = 0, st_xfer_sum = 0;
     unsigned n = 0;
-    for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-
-        PlatformResult sp = stpim.run(g);
-        double st_total = sp.seconds;
-        // The executor's coverage analysis gives genuine exclusive
-        // and overlapped wall-clock intervals.
-        double st_excl_x = sp.timeCategory("excl_transfer");
-        double st_proc = sp.timeCategory("excl_process");
-        double st_ovl = sp.timeCategory("overlapped");
-        st_xfer_sum += st_excl_x / st_total * 100;
-
-        PlatformResult cr = coruscant.run(g);
-        // CORUSCANT serializes conversion with computation inside
-        // each arithmetic op; its transfer time is fully exposed.
-        double cr_xfer = cr.timeCategory("read") +
-                         cr.timeCategory("write") +
-                         cr.timeCategory("shift");
-        double cr_proc = cr.timeCategory("process");
-        cor_xfer_sum += cr_xfer / cr.seconds * 100;
+    for (const auto &row : sweep.rows()) {
+        const auto &cr = sweep.cell(row, "CORUSCANT");
+        const auto &sp = sweep.cell(row, "StPIM");
+        cor_xfer_sum += cr.metrics.at("excl_transfer_pct");
+        st_xfer_sum += sp.metrics.at("excl_transfer_pct");
         n++;
-
-        t.addRow({polybenchName(k), "CORUSCANT",
-                  fmt(cr_xfer / cr.seconds * 100, 1),
-                  fmt(cr_proc / cr.seconds * 100, 1), "0.0",
-                  fmt(cr.seconds / st_total, 2) + "x"});
+        t.addRow({row, "CORUSCANT",
+                  fmt(cr.metrics.at("excl_transfer_pct"), 1),
+                  fmt(cr.metrics.at("process_pct"), 1), "0.0",
+                  fmt(cr.value / sp.value, 2) + "x"});
         t.addRow({"", "StPIM",
-                  fmt(st_excl_x / st_total * 100, 1),
-                  fmt(st_proc / st_total * 100, 1),
-                  fmt(st_ovl / st_total * 100, 1), "1.00x"});
+                  fmt(sp.metrics.at("excl_transfer_pct"), 1),
+                  fmt(sp.metrics.at("process_pct"), 1),
+                  fmt(sp.metrics.at("overlapped_pct"), 1),
+                  "1.00x"});
     }
     t.print();
 
     std::printf("\naverage exclusive transfer: CORUSCANT %.1f%% "
                 "(paper 81.8%%), StPIM %.1f%% (paper <1%%)\n",
                 cor_xfer_sum / n, st_xfer_sum / n);
+
+    sweep.note("avg_excl_transfer_coruscant_pct", cor_xfer_sum / n);
+    sweep.note("avg_excl_transfer_stpim_pct", st_xfer_sum / n);
+    sweep.note("paper_coruscant_pct", 81.82);
+    sweep.note("paper_stpim_pct", 1.0);
+    sweep.writeReport();
     return 0;
 }

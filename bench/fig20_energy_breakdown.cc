@@ -11,52 +11,71 @@
 #include "baselines/coruscant.hh"
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Fig. 20: energy breakdown (dim=%u)\n\n", dim);
 
-    CoruscantPlatform coruscant;
-    StreamPimPlatform stpim(SystemConfig::paperDefault());
+    SweepRunner sweep("fig20_energy_breakdown", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        sweep.add(polybenchName(k), "StPIM", [k, dim] {
+            StreamPimPlatform stpim(SystemConfig::paperDefault());
+            PlatformResult r = stpim.run(makePolybench(k, dim));
+            double xfer = r.energyCategory("rm_read") +
+                          r.energyCategory("rm_write") +
+                          r.energyCategory("rm_shift") +
+                          r.energyCategory("bus_shift") +
+                          r.energyCategory("bus_electrical");
+            SweepCellResult res;
+            res.value = r.joules;
+            res.metrics["transfer_pct"] = xfer / r.joules * 100;
+            return res;
+        });
+        sweep.add(polybenchName(k), "CORUSCANT", [k, dim] {
+            CoruscantPlatform coruscant;
+            PlatformResult r = coruscant.run(makePolybench(k, dim));
+            double xfer = r.energyCategory("read") +
+                          r.energyCategory("write") +
+                          r.energyCategory("shift");
+            SweepCellResult res;
+            res.value = r.joules;
+            res.metrics["transfer_pct"] = xfer / r.joules * 100;
+            return res;
+        });
+    }
+    sweep.run();
 
     Table t({"workload", "platform", "transfer%", "process%"});
     double cor_sum = 0, st_sum = 0;
     unsigned n = 0;
-    for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-
-        PlatformResult sp = stpim.run(g);
-        double st_xfer = sp.energyCategory("rm_read") +
-                         sp.energyCategory("rm_write") +
-                         sp.energyCategory("rm_shift") +
-                         sp.energyCategory("bus_shift") +
-                         sp.energyCategory("bus_electrical");
-        double st_frac = st_xfer / sp.joules * 100;
-        st_sum += st_frac;
-
-        PlatformResult cr = coruscant.run(g);
-        double cr_xfer = cr.energyCategory("read") +
-                         cr.energyCategory("write") +
-                         cr.energyCategory("shift");
-        double cr_frac = cr_xfer / cr.joules * 100;
-        cor_sum += cr_frac;
+    for (const auto &row : sweep.rows()) {
+        double cr =
+            sweep.cell(row, "CORUSCANT").metrics.at("transfer_pct");
+        double st =
+            sweep.cell(row, "StPIM").metrics.at("transfer_pct");
+        cor_sum += cr;
+        st_sum += st;
         n++;
-
-        t.addRow({polybenchName(k), "CORUSCANT", fmt(cr_frac, 1),
-                  fmt(100 - cr_frac, 1)});
-        t.addRow({"", "StPIM", fmt(st_frac, 1),
-                  fmt(100 - st_frac, 1)});
+        t.addRow({row, "CORUSCANT", fmt(cr, 1), fmt(100 - cr, 1)});
+        t.addRow({"", "StPIM", fmt(st, 1), fmt(100 - st, 1)});
     }
     t.print();
 
     std::printf("\naverage transfer energy: CORUSCANT %.1f%% "
                 "(paper ~86%%), StPIM %.1f%% (paper ~30%%)\n",
                 cor_sum / n, st_sum / n);
+
+    sweep.note("avg_transfer_coruscant_pct", cor_sum / n);
+    sweep.note("avg_transfer_stpim_pct", st_sum / n);
+    sweep.note("paper_coruscant_pct", 86.0);
+    sweep.note("paper_stpim_pct", 30.0);
+    sweep.writeReport();
     return 0;
 }

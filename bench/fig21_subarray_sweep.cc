@@ -12,13 +12,14 @@
 
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Fig. 21: performance vs PIM subarray count "
@@ -27,31 +28,53 @@ main()
     const std::vector<unsigned> counts = {128, 256, 512, 1024};
     const std::vector<double> paper = {1.0, 1.74, 3.0, 3.2};
 
-    // Per-config mean time across workloads.
-    std::vector<double> mean_time;
-    for (unsigned subarrays : counts) {
-        SystemConfig cfg = SystemConfig::paperDefault();
-        // Keep 8 PIM banks; scale subarrays per bank and capacity
-        // per subarray to hold total capacity (as the paper does).
-        cfg.rm.subarraysPerBank = subarrays / cfg.rm.pimBanks;
-        cfg.rm.matsPerSubarray =
-            16 * 64 / cfg.rm.subarraysPerBank;
-        StreamPimPlatform stpim(cfg);
+    // One cell per (workload, subarray count): each cell builds
+    // the scaled platform itself, so the whole grid parallelizes.
+    SweepRunner sweep("fig21_subarray_sweep", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        for (unsigned subarrays : counts)
+            sweep.add(polybenchName(k), std::to_string(subarrays),
+                      [k, dim, subarrays] {
+                SystemConfig cfg = SystemConfig::paperDefault();
+                // Keep 8 PIM banks; scale subarrays per bank and
+                // capacity per subarray to hold total capacity
+                // (as the paper does).
+                cfg.rm.subarraysPerBank =
+                    subarrays / cfg.rm.pimBanks;
+                cfg.rm.matsPerSubarray =
+                    16 * 64 / cfg.rm.subarraysPerBank;
+                StreamPimPlatform stpim(cfg);
+                SweepCellResult res;
+                res.value =
+                    stpim.run(makePolybench(k, dim)).seconds;
+                return res;
+            });
+    sweep.run();
 
-        std::vector<double> times;
-        for (PolybenchKernel k : allPolybenchKernels())
-            times.push_back(stpim.run(makePolybench(k, dim)).seconds);
-        mean_time.push_back(geoMean(times));
-    }
+    std::vector<double> mean_time;
+    for (unsigned subarrays : counts)
+        mean_time.push_back(
+            geoMean(sweep.columnValues(std::to_string(subarrays))));
 
     Table t({"PIM subarrays", "speedup vs 128", "paper"});
-    for (std::size_t i = 0; i < counts.size(); ++i)
-        t.addRow({std::to_string(counts[i]),
-                  fmt(mean_time[0] / mean_time[i], 2) + "x",
+    Json speedups = Json::object();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        double speed = mean_time[0] / mean_time[i];
+        speedups[std::to_string(counts[i])] = speed;
+        t.addRow({std::to_string(counts[i]), fmt(speed, 2) + "x",
                   fmt(paper[i], 2) + "x"});
+    }
     t.print();
 
     std::printf("\nShape target: near-linear to 512, saturating at "
                 "1024.\n");
+
+    sweep.note("speedups_vs_128", std::move(speedups));
+    Json paper_speedups = Json::object();
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        paper_speedups[std::to_string(counts[i])] = paper[i];
+    sweep.note("paper_speedups_vs_128", std::move(paper_speedups));
+    sweep.note("cell_unit", "seconds");
+    sweep.writeReport();
     return 0;
 }

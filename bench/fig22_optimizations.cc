@@ -15,13 +15,15 @@
 
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "core/system_config.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Fig. 22: optimization impact (dim=%u), "
@@ -34,23 +36,37 @@ main()
     };
 
     // Base at full trace size is extremely slow in simulated time
-    // but cheap to simulate; use every workload.
+    // but cheap to simulate; use every workload. Cells record
+    // absolute seconds; speedups are derived from the base column
+    // after the join.
+    SweepRunner sweep("fig22_optimizations", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        for (auto [level, paper] : levels)
+            sweep.add(polybenchName(k), optLevelName(level),
+                      [k, dim, level = level] {
+                SystemConfig cfg = SystemConfig::paperDefault();
+                cfg.optLevel = level;
+                StreamPimPlatform stpim(cfg);
+                SweepCellResult res;
+                res.value =
+                    stpim.run(makePolybench(k, dim)).seconds;
+                return res;
+            });
+    sweep.run();
+
+    const std::string base = optLevelName(OptLevel::Base);
+    const std::string dist = optLevelName(OptLevel::Distribute);
+    const std::string unb = optLevelName(OptLevel::Unblock);
+
     Table t({"workload", "base", "distribute", "unblock"});
     std::vector<double> dist_speedups, unb_speedups;
-    for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, dim);
-        std::vector<double> secs;
-        for (auto [level, paper] : levels) {
-            SystemConfig cfg = SystemConfig::paperDefault();
-            cfg.optLevel = level;
-            StreamPimPlatform stpim(cfg);
-            secs.push_back(stpim.run(g).seconds);
-        }
-        dist_speedups.push_back(secs[0] / secs[1]);
-        unb_speedups.push_back(secs[0] / secs[2]);
-        t.addRow({polybenchName(k), "1.0x",
-                  fmt(secs[0] / secs[1], 1) + "x",
-                  fmt(secs[0] / secs[2], 1) + "x"});
+    for (const auto &row : sweep.rows()) {
+        double base_s = sweep.value(row, base);
+        double d = base_s / sweep.value(row, dist);
+        double u = base_s / sweep.value(row, unb);
+        dist_speedups.push_back(d);
+        unb_speedups.push_back(u);
+        t.addRow({row, "1.0x", fmt(d, 1) + "x", fmt(u, 1) + "x"});
     }
     t.addRow({"geo-mean", "1.0x",
               fmt(geoMean(dist_speedups), 1) + "x",
@@ -60,5 +76,16 @@ main()
 
     std::printf("\nShape target: distribute ~bank-count gain, "
                 "unblock one to two orders beyond it.\n");
+
+    Json means = Json::object();
+    means["distribute"] = geoMean(dist_speedups);
+    means["unblock"] = geoMean(unb_speedups);
+    sweep.note("geo_mean_speedups_vs_base", std::move(means));
+    Json paper_means = Json::object();
+    paper_means["distribute"] = 7.1;
+    paper_means["unblock"] = 199.7;
+    sweep.note("paper_speedups_vs_base", std::move(paper_means));
+    sweep.note("cell_unit", "seconds");
+    sweep.writeReport();
     return 0;
 }

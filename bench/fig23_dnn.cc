@@ -14,55 +14,98 @@
 #include "baselines/cpu_model.hh"
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/dnn.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
-int
-main()
+namespace
 {
-    std::printf("Fig. 23: DNN inference speedup vs CPU-DRAM\n\n");
 
-    CpuPlatform cpu_dram(HostMemKind::Dram);
-    CoruscantPlatform coruscant;
-    StreamPimPlatform stpim(SystemConfig::paperDefault());
-
-    struct Row
-    {
-        const char *name;
-        TaskGraph graph;
-        double paperVsCpu;
-        double paperVsCoruscant;
-    };
-    // The DNN configurations are the paper-scale ones by default
-    // (they are cheap to simulate relative to the dense kernels);
-    // BERT's layer count shrinks in quick mode only.
-    MlpConfig mlp_cfg;
+/**
+ * The DNN configurations are the paper-scale ones by default (they
+ * are cheap to simulate relative to the dense kernels); BERT's
+ * layer count shrinks in quick mode only.
+ */
+TaskGraph
+makeNetwork(const std::string &name)
+{
+    if (name == "MLP")
+        return makeMlp(MlpConfig{});
     BertConfig bert_cfg;
     if (!fullRun() && runDim() < 2000)
         bert_cfg.layers = 4;
-    std::vector<Row> rows;
-    rows.push_back({"MLP", makeMlp(mlp_cfg), 54.77, 1.86});
-    rows.push_back({"BERT", makeBert(bert_cfg), 4.49, 1.97});
+    return makeBert(bert_cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Fig. 23: DNN inference speedup vs CPU-DRAM\n\n");
+
+    struct Paper
+    {
+        double vsCpu;
+        double vsCoruscant;
+    };
+    const std::vector<std::pair<std::string, Paper>> nets = {
+        {"MLP", {54.77, 1.86}},
+        {"BERT", {4.49, 1.97}},
+    };
+
+    SweepRunner sweep("fig23_dnn", argc, argv);
+    for (const auto &[net, paper] : nets) {
+        sweep.add(net, "CPU-DRAM", [net = net] {
+            CpuPlatform cpu_dram(HostMemKind::Dram);
+            return SweepCellResult{
+                cpu_dram.run(makeNetwork(net)).seconds, {}};
+        });
+        sweep.add(net, "CORUSCANT", [net = net] {
+            CoruscantPlatform coruscant;
+            return SweepCellResult{
+                coruscant.run(makeNetwork(net)).seconds, {}};
+        });
+        sweep.add(net, "StPIM", [net = net] {
+            StreamPimPlatform stpim(SystemConfig::paperDefault());
+            PlatformResult r = stpim.run(makeNetwork(net));
+            SweepCellResult res;
+            res.value = r.seconds;
+            res.metrics["host_nonlinear_pct"] =
+                r.timeCategory("host") / r.seconds * 100;
+            return res;
+        });
+    }
+    sweep.run();
 
     Table t({"workload", "StPIM vs CPU-DRAM", "paper",
              "StPIM vs CORUSCANT", "paper", "host-nonlinear%"});
-    for (auto &row : rows) {
-        double cpu_s = cpu_dram.run(row.graph).seconds;
-        double cor_s = coruscant.run(row.graph).seconds;
-        PlatformResult sp = stpim.run(row.graph);
-        double host_frac =
-            sp.timeCategory("host") / sp.seconds * 100;
-        t.addRow({row.name, fmt(cpu_s / sp.seconds, 2) + "x",
-                  fmt(row.paperVsCpu, 2) + "x",
-                  fmt(cor_s / sp.seconds, 2) + "x",
-                  fmt(row.paperVsCoruscant, 2) + "x",
-                  fmt(host_frac, 1)});
+    for (const auto &[net, paper] : nets) {
+        const auto &sp = sweep.cell(net, "StPIM");
+        double cpu_s = sweep.value(net, "CPU-DRAM");
+        double cor_s = sweep.value(net, "CORUSCANT");
+        t.addRow({net, fmt(cpu_s / sp.value, 2) + "x",
+                  fmt(paper.vsCpu, 2) + "x",
+                  fmt(cor_s / sp.value, 2) + "x",
+                  fmt(paper.vsCoruscant, 2) + "x",
+                  fmt(sp.metrics.at("host_nonlinear_pct"), 1)});
     }
     t.print();
 
     std::printf("\nShape target: MLP gains an order more than BERT "
                 "(BERT's nonlinear layers stay on the host).\n");
+
+    Json paper_ref = Json::object();
+    for (const auto &[net, paper] : nets) {
+        Json p = Json::object();
+        p["vs_cpu_dram"] = paper.vsCpu;
+        p["vs_coruscant"] = paper.vsCoruscant;
+        paper_ref[net] = std::move(p);
+    }
+    sweep.note("paper_speedups", std::move(paper_ref));
+    sweep.note("cell_unit", "seconds");
+    sweep.writeReport();
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench_util.hh"
 #include "core/system_config.hh"
+#include "parallel/sweep.hh"
 #include "runtime/planner.hh"
 #include "workloads/polybench.hh"
 
@@ -20,7 +21,7 @@ using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Table IV: workload characteristics (dim=2000)\n\n");
 
@@ -35,21 +36,45 @@ main()
         {3.60e3, 8.00e3}, {5.60e3, 8.40e3}, {8.00e3, 1.60e4},
     };
 
-    SystemConfig cfg = SystemConfig::paperDefault();
-    Planner planner(cfg);
+    SweepRunner sweep("table4_vpc_counts", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        sweep.add(polybenchName(k), "counts", [k] {
+            SystemConfig cfg = SystemConfig::paperDefault();
+            Planner planner(cfg);
+            VpcSchedule sched = planner.plan(makePolybench(k, 2000));
+            SweepCellResult res;
+            res.value = double(sched.pimVpcs());
+            res.metrics["pim_vpcs"] = double(sched.pimVpcs());
+            res.metrics["move_vpcs"] = double(sched.moveVpcs());
+            res.metrics["batches"] = double(sched.batches.size());
+            return res;
+        });
+    sweep.run();
 
     Table t({"benchmark", "#PIM-VPC", "paper", "#move-VPC",
              "paper"});
     std::size_t i = 0;
     for (PolybenchKernel k : allPolybenchKernels()) {
-        TaskGraph g = makePolybench(k, 2000);
-        VpcSchedule sched = planner.plan(g);
-        t.addRow({polybenchName(k), fmtSci(double(sched.pimVpcs())),
-                  fmtSci(paper[i].pim),
-                  fmtSci(double(sched.moveVpcs())),
+        const auto &m = sweep.cell(polybenchName(k), "counts")
+                            .metrics;
+        t.addRow({polybenchName(k), fmtSci(m.at("pim_vpcs")),
+                  fmtSci(paper[i].pim), fmtSci(m.at("move_vpcs")),
                   fmtSci(paper[i].move)});
         i++;
     }
     t.print();
+
+    Json paper_counts = Json::object();
+    i = 0;
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        Json p = Json::object();
+        p["pim_vpcs"] = paper[i].pim;
+        p["move_vpcs"] = paper[i].move;
+        paper_counts[polybenchName(k)] = std::move(p);
+        i++;
+    }
+    sweep.note("paper_counts", std::move(paper_counts));
+    sweep.note("dim", 2000);
+    sweep.writeReport();
     return 0;
 }

@@ -12,13 +12,14 @@
 
 #include "baselines/stream_pim_platform.hh"
 #include "bench_util.hh"
+#include "parallel/sweep.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
 using namespace streampim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const unsigned dim = runDim();
     std::printf("Table V: bus segment size sensitivity (dim=%u), "
@@ -29,16 +30,29 @@ main()
     const std::vector<double> paper_energy = {-0.1, -0.05, -0.04,
                                               0.0};
 
+    SweepRunner sweep("table5_segment_size", argc, argv);
+    for (PolybenchKernel k : allPolybenchKernels())
+        for (unsigned seg : sizes)
+            sweep.add(polybenchName(k), std::to_string(seg),
+                      [k, dim, seg] {
+                SystemConfig cfg = SystemConfig::paperDefault();
+                cfg.rm.busSegmentSize = seg;
+                StreamPimPlatform stpim(cfg);
+                PlatformResult r = stpim.run(makePolybench(k, dim));
+                SweepCellResult res;
+                res.value = r.seconds;
+                res.metrics["joules"] = r.joules;
+                return res;
+            });
+    sweep.run();
+
     std::vector<double> time_s, energy_j;
     for (unsigned seg : sizes) {
-        SystemConfig cfg = SystemConfig::paperDefault();
-        cfg.rm.busSegmentSize = seg;
-        StreamPimPlatform stpim(cfg);
         std::vector<double> secs, joules;
-        for (PolybenchKernel k : allPolybenchKernels()) {
-            PlatformResult r = stpim.run(makePolybench(k, dim));
-            secs.push_back(r.seconds);
-            joules.push_back(r.joules);
+        for (const auto &row : sweep.rows()) {
+            const auto &c = sweep.cell(row, std::to_string(seg));
+            secs.push_back(c.value);
+            joules.push_back(c.metrics.at("joules"));
         }
         time_s.push_back(geoMean(secs));
         energy_j.push_back(geoMean(joules));
@@ -46,9 +60,14 @@ main()
 
     Table t({"segment size", "exec time", "paper", "energy",
              "paper"});
+    Json deltas = Json::object();
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         double dt = (time_s[i] / time_s.back() - 1.0) * 100;
         double de = (energy_j[i] / energy_j.back() - 1.0) * 100;
+        Json d = Json::object();
+        d["time_pct"] = dt;
+        d["energy_pct"] = de;
+        deltas[std::to_string(sizes[i])] = std::move(d);
         t.addRow({std::to_string(sizes[i]),
                   (dt >= 0 ? "+" : "") + fmt(dt, 2) + "%",
                   "+" + fmt(paper_time[i], 2) + "%",
@@ -59,5 +78,17 @@ main()
 
     std::printf("\nShape target: small time penalty shrinking with "
                 "segment size; energy nearly flat.\n");
+
+    sweep.note("deltas_vs_1024", std::move(deltas));
+    Json paper_ref = Json::object();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        Json d = Json::object();
+        d["time_pct"] = paper_time[i];
+        d["energy_pct"] = paper_energy[i];
+        paper_ref[std::to_string(sizes[i])] = std::move(d);
+    }
+    sweep.note("paper_deltas_vs_1024", std::move(paper_ref));
+    sweep.note("cell_unit", "seconds");
+    sweep.writeReport();
     return 0;
 }

@@ -20,6 +20,29 @@
 
 using namespace streampim;
 
+namespace
+{
+
+/**
+ * Submit with backpressure: the VPC queue is bounded and submit()
+ * returns false when it is full. Rather than asserting (real
+ * drivers cannot), drain the queue — executing everything queued so
+ * far — and retry; the records are appended to @p records so no
+ * execution trace is lost.
+ */
+void
+submitWithBackpressure(StreamPimSystem &device, const Vpc &vpc,
+                       std::vector<VpcExecutionRecord> &records)
+{
+    while (!device.submit(vpc)) {
+        auto drained = device.processQueue();
+        records.insert(records.end(), drained.begin(),
+                       drained.end());
+    }
+}
+
+} // namespace
+
 int
 main()
 {
@@ -44,12 +67,21 @@ main()
     device.write(addr_a, a);
     device.write(addr_b, b);
 
-    // Issue the VPCs (Table II).
-    device.submit({VpcKind::Mul, addr_a, addr_b, addr_dot, n});
-    device.submit({VpcKind::Add, addr_a, addr_b, addr_sum, n});
-    device.submit({VpcKind::Smul, addr_a, addr_b, addr_scaled, n});
-    device.submit({VpcKind::Tran, addr_a, 0, 12288, n});
-    auto records = device.processQueue();
+    // Issue the VPCs (Table II), honouring queue backpressure.
+    std::vector<VpcExecutionRecord> records;
+    submitWithBackpressure(
+        device, {VpcKind::Mul, addr_a, addr_b, addr_dot, n},
+        records);
+    submitWithBackpressure(
+        device, {VpcKind::Add, addr_a, addr_b, addr_sum, n},
+        records);
+    submitWithBackpressure(
+        device, {VpcKind::Smul, addr_a, addr_b, addr_scaled, n},
+        records);
+    submitWithBackpressure(
+        device, {VpcKind::Tran, addr_a, 0, 12288, n}, records);
+    auto tail = device.processQueue();
+    records.insert(records.end(), tail.begin(), tail.end());
 
     std::printf("executed %zu VPCs, %llu responses\n",
                 records.size(),

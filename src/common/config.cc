@@ -141,4 +141,11 @@ Config::envFlag(const std::string &env)
     return v != nullptr && *v != '\0' && std::string(v) != "0";
 }
 
+std::string
+Config::envString(const std::string &env, const std::string &def)
+{
+    const char *v = std::getenv(env.c_str());
+    return (v == nullptr || *v == '\0') ? def : v;
+}
+
 } // namespace streampim

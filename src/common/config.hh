@@ -55,6 +55,13 @@ class Config
     /** Read a flag (non-empty, not "0") from the environment. */
     static bool envFlag(const std::string &env);
 
+    /**
+     * Read a string from environment variable @p env, falling back
+     * to @p def when unset or empty.
+     */
+    static std::string envString(const std::string &env,
+                                 const std::string &def = "");
+
   private:
     std::map<std::string, std::string> values_;
 };

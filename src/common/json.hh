@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A minimal JSON value: build, serialize, parse.
+ *
+ * The bench report machinery (SweepRunner) emits machine-readable
+ * BENCH_*.json files next to the human tables; plotting scripts and
+ * the unit tests read them back. The repo deliberately carries no
+ * third-party JSON dependency, so this implements the small subset
+ * the reports need: null/bool/number/string/array/object, with
+ * object keys kept in insertion order so reports diff cleanly.
+ */
+
+#ifndef STREAMPIM_COMMON_JSON_HH_
+#define STREAMPIM_COMMON_JSON_HH_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace streampim
+{
+
+/** A JSON value of any kind. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(double n) : kind_(Kind::Number), num_(n) {}
+    Json(int n) : kind_(Kind::Number), num_(n) {}
+    Json(unsigned n) : kind_(Kind::Number), num_(n) {}
+    Json(std::int64_t n) : kind_(Kind::Number), num_(double(n)) {}
+    Json(std::uint64_t n) : kind_(Kind::Number), num_(double(n)) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; panic on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array: append an element (converts this to an array). */
+    Json &push(Json v);
+    /** Array/object: element count. */
+    std::size_t size() const;
+    /** Array: element access; panics out of range. */
+    const Json &at(std::size_t i) const;
+
+    /**
+     * Object: fetch-or-insert a member (converts this to an
+     * object). Keys keep insertion order.
+     */
+    Json &operator[](const std::string &key);
+    /** Object: lookup; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    /** Object: members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return obj_;
+    }
+
+    /**
+     * Serialize; @p indent > 0 pretty-prints with that many spaces
+     * per level, 0 emits a single line.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a JSON document. Returns a null value and fills
+     * @p error (when given) on malformed input; a valid document
+     * that is literally `null` parses as a null value with an empty
+     * error.
+     */
+    static Json parse(std::string_view text,
+                      std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_COMMON_JSON_HH_

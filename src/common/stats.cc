@@ -80,6 +80,15 @@ StatGroup::resetAll()
 }
 
 void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first].mergeFrom(kv.second);
+    for (const auto &kv : other.accumulators_)
+        accumulators_[kv.first].mergeFrom(kv.second);
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &kv : counters_)

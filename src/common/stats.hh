@@ -35,6 +35,9 @@ class StatCounter
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
 
+    /** Fold another counter's total into this one. */
+    void mergeFrom(const StatCounter &other) { value_ += other.value_; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -61,6 +64,16 @@ class StatAccumulator
         count_ = 0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    /** Fold another accumulator's samples into this one. */
+    void
+    mergeFrom(const StatAccumulator &other)
+    {
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
     }
 
     double sum() const { return sum_; }
@@ -126,6 +139,14 @@ class StatGroup
 
     /** Reset every stat in the group. */
     void resetAll();
+
+    /**
+     * Fold @p other into this group: counters add, accumulators
+     * combine their sample sets; stats absent here are created.
+     * Used to merge the per-cell stat groups of a parallel sweep
+     * back into one report — group names need not match.
+     */
+    void mergeFrom(const StatGroup &other);
 
     /** Write all stats as "group.leaf value" lines. */
     void dump(std::ostream &os) const;

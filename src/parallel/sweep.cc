@@ -1,0 +1,198 @@
+#include "parallel/sweep.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "parallel/thread_pool.hh"
+
+namespace streampim
+{
+
+namespace
+{
+
+std::string
+resolveReportPath(const std::string &name, int argc,
+                  const char *const *argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    const std::string env = Config::envString("STREAMPIM_JSON");
+    if (env.empty() || env == "0")
+        return "";
+    std::string file = "BENCH_" + name + ".json";
+    if (env == "1")
+        return file;
+    std::string dir = env;
+    if (dir.back() != '/')
+        dir += '/';
+    return dir + file;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(std::string name, int argc,
+                         const char *const *argv)
+    : name_(std::move(name)),
+      reportPath_(resolveReportPath(name_, argc, argv)),
+      jobs_(ThreadPool::defaultJobs())
+{
+}
+
+void
+SweepRunner::add(std::string row, std::string col, CellFn fn)
+{
+    SPIM_ASSERT(!ran_, "SweepRunner: add() after run()");
+    for (const Cell &c : cells_)
+        SPIM_ASSERT(c.row != row || c.col != col,
+                    "SweepRunner: duplicate cell");
+    cells_.push_back(
+        Cell{std::move(row), std::move(col), std::move(fn), {}, 0.0});
+}
+
+void
+SweepRunner::run()
+{
+    SPIM_ASSERT(!ran_, "SweepRunner: run() twice");
+    ran_ = true;
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    // Cells only write their own slot, so the pool needs no result
+    // locking; declaration order of cells_ is the merge order.
+    parallelFor(cells_.size(), jobs_, [this](std::size_t i) {
+        const auto c0 = clock::now();
+        cells_[i].result = cells_[i].fn();
+        cells_[i].seconds =
+            std::chrono::duration<double>(clock::now() - c0)
+                .count();
+    });
+    wallSeconds_ =
+        std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+const SweepCellResult &
+SweepRunner::cell(const std::string &row,
+                  const std::string &col) const
+{
+    SPIM_ASSERT(ran_, "SweepRunner: cell() before run()");
+    for (const Cell &c : cells_)
+        if (c.row == row && c.col == col)
+            return c.result;
+    SPIM_FATAL("SweepRunner: no cell (", row, ", ", col, ")");
+}
+
+double
+SweepRunner::value(const std::string &row,
+                   const std::string &col) const
+{
+    return cell(row, col).value;
+}
+
+namespace
+{
+
+std::vector<std::string>
+uniqueLabels(const std::vector<std::string> &all)
+{
+    std::vector<std::string> out;
+    for (const std::string &s : all) {
+        bool seen = false;
+        for (const std::string &o : out)
+            seen |= o == s;
+        if (!seen)
+            out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+SweepRunner::rows() const
+{
+    std::vector<std::string> all;
+    for (const Cell &c : cells_)
+        all.push_back(c.row);
+    return uniqueLabels(all);
+}
+
+std::vector<std::string>
+SweepRunner::cols() const
+{
+    std::vector<std::string> all;
+    for (const Cell &c : cells_)
+        all.push_back(c.col);
+    return uniqueLabels(all);
+}
+
+std::vector<double>
+SweepRunner::columnValues(const std::string &col) const
+{
+    SPIM_ASSERT(ran_, "SweepRunner: columnValues() before run()");
+    std::vector<double> out;
+    for (const Cell &c : cells_)
+        if (c.col == col)
+            out.push_back(c.result.value);
+    return out;
+}
+
+void
+SweepRunner::note(const std::string &key, Json value)
+{
+    summary_[key] = std::move(value);
+}
+
+Json
+SweepRunner::report() const
+{
+    SPIM_ASSERT(ran_, "SweepRunner: report() before run()");
+    Json doc = Json::object();
+    doc["bench"] = name_;
+    doc["jobs"] = jobs_;
+    doc["wall_seconds"] = wallSeconds_;
+    Json cfg = Json::object();
+    cfg["dim"] = std::int64_t(Config::envInt("STREAMPIM_DIM", 256));
+    cfg["full"] = Config::envFlag("STREAMPIM_FULL");
+    doc["config"] = std::move(cfg);
+    Json cells = Json::array();
+    for (const Cell &c : cells_) {
+        Json jc = Json::object();
+        jc["row"] = c.row;
+        jc["col"] = c.col;
+        jc["value"] = c.result.value;
+        jc["seconds"] = c.seconds;
+        if (!c.result.metrics.empty()) {
+            Json m = Json::object();
+            for (const auto &[k, v] : c.result.metrics)
+                m[k] = v;
+            jc["metrics"] = std::move(m);
+        }
+        cells.push(std::move(jc));
+    }
+    doc["cells"] = std::move(cells);
+    doc["summary"] = summary_;
+    return doc;
+}
+
+bool
+SweepRunner::writeReport() const
+{
+    if (reportPath_.empty())
+        return false;
+    std::ofstream out(reportPath_);
+    if (!out) {
+        std::fprintf(stderr, "SweepRunner: cannot write %s\n",
+                     reportPath_.c_str());
+        return false;
+    }
+    out << report().dump(2);
+    std::printf("\nwrote %s\n", reportPath_.c_str());
+    return true;
+}
+
+} // namespace streampim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * SweepRunner: the shared engine behind the figure/table benches.
+ *
+ * A bench declares its sweep as a (row, column) grid of independent
+ * cells — typically workload x platform — where each cell is a
+ * closure that constructs its own simulator instances and returns a
+ * scalar value plus optional named metrics. run() executes the
+ * cells on a thread pool (STREAMPIM_JOBS workers, 1 = serial) and
+ * stores results in declaration order, so tables and reports are
+ * bit-identical regardless of the job count.
+ *
+ * Alongside the human-readable table each bench can emit a
+ * machine-readable report, BENCH_<name>.json, for plotting scripts
+ * and regression tooling:
+ *  - `--json <path>` writes the report to an explicit file;
+ *  - STREAMPIM_JSON=1 writes BENCH_<name>.json in the working
+ *    directory, any other non-empty value names the directory.
+ */
+
+#ifndef STREAMPIM_PARALLEL_SWEEP_HH_
+#define STREAMPIM_PARALLEL_SWEEP_HH_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace streampim
+{
+
+/** What one sweep cell produces. */
+struct SweepCellResult
+{
+    /** The cell's headline scalar (speedup, joules, ...). */
+    double value = 0.0;
+    /** Optional named metrics carried into the report. */
+    std::map<std::string, double> metrics;
+};
+
+/** Declares, executes and reports one bench's sweep grid. */
+class SweepRunner
+{
+  public:
+    using CellFn = std::function<SweepCellResult()>;
+
+    /**
+     * @param name  report stem: the file is BENCH_<name>.json.
+     * @param argc/argv  bench command line, scanned for `--json`.
+     */
+    SweepRunner(std::string name, int argc = 0,
+                const char *const *argv = nullptr);
+
+    /**
+     * Declare a cell. Cells run in any order but results are kept
+     * in declaration order; (row, col) must be unique.
+     */
+    void add(std::string row, std::string col, CellFn fn);
+
+    /** Execute all cells on the pool and record wall time. */
+    void run();
+
+    /** Cell result; panics when (row, col) was never declared. */
+    const SweepCellResult &cell(const std::string &row,
+                                const std::string &col) const;
+    /** Shorthand for cell(row, col).value. */
+    double value(const std::string &row,
+                 const std::string &col) const;
+
+    /** Unique row/column labels in declaration order. */
+    std::vector<std::string> rows() const;
+    std::vector<std::string> cols() const;
+
+    /** All values of one column, in row declaration order. */
+    std::vector<double> columnValues(const std::string &col) const;
+
+    /** Attach a summary entry (paper references, shape notes...). */
+    void note(const std::string &key, Json value);
+
+    /** Worker count run() will use / used. */
+    unsigned jobs() const { return jobs_; }
+
+    /** True when --json or STREAMPIM_JSON asked for a report. */
+    bool reportRequested() const { return !reportPath_.empty(); }
+    const std::string &reportPath() const { return reportPath_; }
+
+    /**
+     * Write BENCH_<name>.json when requested; prints the path on
+     * success. @return false when not requested or the file could
+     * not be written.
+     */
+    bool writeReport() const;
+
+    /** The report document (valid after run()). */
+    Json report() const;
+
+  private:
+    struct Cell
+    {
+        std::string row;
+        std::string col;
+        CellFn fn;
+        SweepCellResult result;
+        double seconds = 0.0;
+    };
+
+    std::string name_;
+    std::string reportPath_;
+    unsigned jobs_;
+    std::vector<Cell> cells_;
+    Json summary_ = Json::object();
+    double wallSeconds_ = 0.0;
+    bool ran_ = false;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_PARALLEL_SWEEP_HH_

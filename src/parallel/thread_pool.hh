@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A fixed-size worker thread pool and a blocking parallel-for.
+ *
+ * Sweep benches run every (platform, workload, config) grid cell as
+ * an independent closure; each cell constructs its own simulator
+ * instances, so cells share no mutable state and the pool needs no
+ * more coordination than a work queue. Job count comes from
+ * STREAMPIM_JOBS, defaulting to the hardware concurrency; 1 runs
+ * everything inline on the calling thread, which is the fallback
+ * when thread creation is unavailable and the configuration used by
+ * the determinism check (STREAMPIM_JOBS=1 and =N must print
+ * identical tables).
+ */
+
+#ifndef STREAMPIM_PARALLEL_THREAD_POOL_HH_
+#define STREAMPIM_PARALLEL_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streampim
+{
+
+/** Fixed-size pool executing submitted closures FIFO. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p jobs workers; 0 means defaultJobs(). */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p fn; runs inline immediately when jobs() == 1. */
+    void submit(std::function<void()> fn);
+
+    /**
+     * Block until every submitted task has finished. Rethrows the
+     * first exception a task raised, if any.
+     */
+    void wait();
+
+    /** Worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * STREAMPIM_JOBS when set and positive, else the hardware
+     * concurrency (>= 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+    void recordException(std::exception_ptr e);
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;      //!< wakes workers
+    std::condition_variable idle_cv_; //!< wakes wait()
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0; //!< tasks currently executing
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+/**
+ * Run fn(0..n-1) across @p jobs workers (0 = defaultJobs()) and
+ * block until all complete. Iterations must be independent; the
+ * first exception is rethrown after the join.
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace streampim
+
+#endif // STREAMPIM_PARALLEL_THREAD_POOL_HH_

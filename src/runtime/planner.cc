@@ -111,7 +111,7 @@ Planner::emitBroadcast(LowerCtx &ctx, std::uint32_t home,
     }
 }
 
-void
+std::uint32_t
 Planner::pushCollect(LowerCtx &ctx, std::uint32_t src,
                      std::uint32_t dst, std::uint32_t results,
                      std::uint32_t dep) const
@@ -123,14 +123,14 @@ Planner::pushCollect(LowerCtx &ctx, std::uint32_t src,
     col.vpcCount = results;
     col.vectorLen = 1;
     col.depA = dep;
-    ctx.sched->push(col);
+    return ctx.sched->push(col);
 }
 
 std::uint32_t
 Planner::emitCompute(LowerCtx &ctx, VpcKind kind,
                      std::uint32_t subarray, std::uint32_t vpc_count,
                      std::uint64_t vector_len,
-                     std::uint32_t dep) const
+                     std::uint32_t dep, std::uint32_t dep_b) const
 {
     SPIM_ASSERT(isPimVpc(kind), "emitCompute on TRAN");
     SPIM_ASSERT(vpc_count > 0 && vector_len > 0,
@@ -144,6 +144,7 @@ Planner::emitCompute(LowerCtx &ctx, VpcKind kind,
         b.vpcCount = vpc_count;
         b.vectorLen = std::uint32_t(vector_len);
         b.depA = dep;
+        b.depB = dep_b;
         return ctx.sched->push(b);
     }
 
@@ -163,6 +164,7 @@ Planner::emitCompute(LowerCtx &ctx, VpcKind kind,
         b.vpcCount = vpc_count;
         b.vectorLen = std::uint32_t(len);
         b.depA = last;
+        b.depB = s == 0 ? dep_b : kNoBatch;
         last = ctx.sched->push(b);
         stats_.slicedVpcs += vpc_count;
     }
@@ -195,9 +197,12 @@ Planner::lowerMatVec(LowerCtx &ctx, const TaskGraph &g,
     for (std::uint32_t i = 0; i < slots; ++i)
         if (rowsOnSlot(out_rows, i) > 0)
             copy_dsts[i] = computeSet_[i];
+    // Every bank hop of the broadcast — not only the barrier-
+    // carrying first one — must wait until the producing op's final
+    // collect has landed the vector at x_home.
     std::vector<std::uint32_t> copy_idx;
-    emitBroadcast(ctx, x_home, copy_dsts, k, kNoBatch, barrier,
-                  copy_idx);
+    emitBroadcast(ctx, x_home, copy_dsts, k, ctx.lastWriter[op.b],
+                  barrier, copy_idx);
 
     // Phases 2-3: dot products and per-element result collection.
     // distribute pairs each compute with its collect (the naive
@@ -289,6 +294,7 @@ Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
                 rep.dstSubarray = group_slot(grp, t);
                 rep.vpcCount = 1;
                 rep.vectorLen = rows * k;
+                rep.depA = ctx.lastWriter[op.a];
                 rep.barrier = barrier;
                 barrier = false;
                 ctx.sched->push(rep);
@@ -299,6 +305,7 @@ Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
     const bool unblock = cfg_.optLevel == OptLevel::Unblock;
     const std::uint32_t c_home = vectorHome(op.c);
     std::uint32_t last_comp = kNoBatch;
+    std::uint32_t last_collect = kNoBatch;
 
     for (std::uint32_t j = 0; j < cols_j; ++j) {
         const std::uint32_t home = streamHome(j);
@@ -307,7 +314,10 @@ Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
         std::uint32_t asm_idx = kNoBatch;
         if (need_assembly) {
             // Gather column j of B (row-distributed over group 0)
-            // to the stream home: one element per source row.
+            // to the stream home: one element per source row. A
+            // produced B is published by its op's final collect —
+            // every gather must wait for it, not just the one
+            // carrying the inter-op barrier.
             for (std::uint32_t t = 0; t < g_slots; ++t) {
                 std::uint32_t src_rows =
                     k / g_slots + (t < k % g_slots ? 1 : 0);
@@ -319,6 +329,7 @@ Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
                 gather.dstSubarray = home;
                 gather.vpcCount = src_rows;
                 gather.vectorLen = 1;
+                gather.depA = ctx.lastWriter[op.b];
                 gather.barrier = barrier;
                 barrier = false;
                 asm_idx = ctx.sched->push(gather);
@@ -327,14 +338,17 @@ Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
 
         // Broadcast column j to every slot of its group owning rows
         // (hierarchical: one device-bus hop per bank, then bank-
-        // local fan-out).
+        // local fan-out). A pre-laid column still depends on the
+        // batch that published B.
         std::vector<std::uint32_t> bcast_dsts(g_slots, kNoBatch);
         for (std::uint32_t t = 0; t < g_slots; ++t)
             if (rows_on(t) > 0)
                 bcast_dsts[t] = group_slot(grp, t);
         std::vector<std::uint32_t> bcast_idx;
-        emitBroadcast(ctx, home, bcast_dsts, k, asm_idx, barrier,
-                      bcast_idx);
+        emitBroadcast(ctx, home, bcast_dsts, k,
+                      need_assembly ? asm_idx
+                                    : ctx.lastWriter[op.b],
+                      barrier, bcast_idx);
 
         // Dot products, then collection of the column's results to
         // C's home. Under unblock the collects go to the disjoint
@@ -352,18 +366,23 @@ Planner::lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
                                     bcast_idx[t]);
             comp_idx[t] = last_comp;
             if (!unblock)
-                pushCollect(ctx, group_slot(grp, t), c_home, rows,
-                            last_comp);
+                last_collect = pushCollect(ctx, group_slot(grp, t),
+                                           c_home, rows, last_comp);
         }
         if (unblock) {
             for (std::uint32_t t = 0; t < g_slots; ++t)
                 if (comp_idx[t] != kNoBatch)
-                    pushCollect(ctx, group_slot(grp, t), c_home,
-                                rows_on(t), comp_idx[t]);
+                    last_collect = pushCollect(
+                        ctx, group_slot(grp, t), c_home, rows_on(t),
+                        comp_idx[t]);
         }
     }
     ctx.written[op.c] = true;
-    ctx.lastWriter[op.c] = last_comp;
+    // C is published only once the final collect has landed it at
+    // c_home; recording the last *compute* here would let a
+    // downstream consumer of C start before the collects finish.
+    ctx.lastWriter[op.c] =
+        last_collect != kNoBatch ? last_collect : last_comp;
 }
 
 void
@@ -397,25 +416,29 @@ Planner::lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
             std::uint32_t chunk = chunk_on(i);
             if (chunk == 0)
                 continue;
-            std::uint32_t dep = kNoBatch;
-            // Copy chunk of a (and b) from their vector homes.
+            // Copy chunk of a (and b) from their vector homes; the
+            // compute must wait for *both* copies, not just the
+            // last one pushed.
             VpcBatch ca;
             ca.kind = VpcKind::Tran;
             ca.subarray = vectorHome(op.a);
             ca.dstSubarray = computeSet_[i];
             ca.vpcCount = 1;
             ca.vectorLen = chunk;
+            ca.depA = ctx.lastWriter[op.a];
             ca.barrier = barrier;
             barrier = false;
-            dep = ctx.sched->push(ca);
+            std::uint32_t dep_a = ctx.sched->push(ca);
+            std::uint32_t dep_b = kNoBatch;
             if (is_add) {
                 VpcBatch cb = ca;
                 cb.subarray = vectorHome(op.b);
+                cb.depA = ctx.lastWriter[op.b];
                 cb.barrier = false;
-                dep = ctx.sched->push(cb);
+                dep_b = ctx.sched->push(cb);
             }
-            std::uint32_t comp =
-                emitCompute(ctx, kind, computeSet_[i], 1, chunk, dep);
+            std::uint32_t comp = emitCompute(
+                ctx, kind, computeSet_[i], 1, chunk, dep_a, dep_b);
             VpcBatch out;
             out.kind = VpcKind::Tran;
             out.subarray = computeSet_[i];
@@ -432,9 +455,13 @@ Planner::lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
             std::uint32_t rows = rowsOnSlot(a.rows, i);
             if (rows == 0)
                 continue;
-            // Row-resident operands: no copies needed; the barrier
-            // still orders us after the producing op.
-            std::uint32_t dep = kNoBatch;
+            // Row-resident operands: no copies needed; the batch
+            // that published each operand (and, on the first slot,
+            // the inter-op barrier) still orders us after the
+            // producing op.
+            std::uint32_t dep = ctx.lastWriter[op.a];
+            std::uint32_t dep_b =
+                is_add ? ctx.lastWriter[op.b] : kNoBatch;
             if (barrier) {
                 VpcBatch fence;
                 fence.kind = VpcKind::Tran;
@@ -447,7 +474,8 @@ Planner::lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
                 dep = ctx.sched->push(fence);
             }
             ctx.lastWriter[op.c] = emitCompute(
-                ctx, kind, computeSet_[i], rows, a.cols, dep);
+                ctx, kind, computeSet_[i], rows, a.cols, dep,
+                dep_b);
         }
     }
     ctx.written[op.c] = true;
@@ -479,11 +507,15 @@ Planner::plan(const TaskGraph &graph) const
             lowerElementWise(ctx, graph, op);
             break;
           case MatOpKind::Nonlinear:
-            // Host-side; contributes no VPCs. The DNN harness adds
-            // the host time separately.
+            // Host-side; contributes no VPCs (the DNN harness adds
+            // the host time separately), so it publishes no batch.
+            // Any device-side writer of c stays recorded.
             ctx.written[op.c] = true;
             break;
         }
+        sched.opResultBatch.push_back(
+            op.kind == MatOpKind::Nonlinear ? kNoBatch
+                                            : ctx.lastWriter[op.c]);
     }
 
     stats_.pimVpcs = sched.pimVpcs();

@@ -73,8 +73,14 @@ class Planner
     struct LowerCtx
     {
         VpcSchedule *sched;
-        /** Batch each matrix's data was last written by (kNoBatch if
-         * it is a pristine input). Coarse: one index per matrix. */
+        /**
+         * Batch whose completion publishes each matrix's data at its
+         * placement (kNoBatch if it is a pristine input). For ops
+         * whose results are collected this is the final collect
+         * TRAN, not the last compute. Coarse — one index per matrix
+         * — and consumed as depA of downstream batches that read the
+         * matrix but do not carry the inter-op barrier.
+         */
         std::vector<std::uint32_t> lastWriter;
         /** True once any op wrote the matrix. */
         std::vector<bool> written;
@@ -97,10 +103,15 @@ class Planner
     void lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
                           const MatrixOp &op) const;
 
-    /** Emit one per-result-element collection transfer. */
-    void pushCollect(LowerCtx &ctx, std::uint32_t src,
-                     std::uint32_t dst, std::uint32_t results,
-                     std::uint32_t dep) const;
+    /**
+     * Emit one per-result-element collection transfer.
+     * @return index of the pushed batch, so callers can track the
+     *         final collect as the result's publication point.
+     */
+    std::uint32_t pushCollect(LowerCtx &ctx, std::uint32_t src,
+                              std::uint32_t dst,
+                              std::uint32_t results,
+                              std::uint32_t dep) const;
 
     /**
      * Emit a hierarchical broadcast of a length-@p len vector from
@@ -118,14 +129,17 @@ class Planner
 
     /**
      * Emit one compute batch, applying the slicing rule (Sec. IV-C)
-     * when the vector length exceeds the per-VPC maximum.
+     * when the vector length exceeds the per-VPC maximum. The first
+     * emitted batch depends on both @p dep and @p dep_b (operand
+     * copies); later slices chain on their predecessor.
      * @return index of the last emitted batch.
      */
     std::uint32_t emitCompute(LowerCtx &ctx, VpcKind kind,
                               std::uint32_t subarray,
                               std::uint32_t vpc_count,
                               std::uint64_t vector_len,
-                              std::uint32_t dep) const;
+                              std::uint32_t dep,
+                              std::uint32_t dep_b = kNoBatch) const;
 
     SystemConfig cfg_;
     std::vector<std::uint32_t> computeSet_;

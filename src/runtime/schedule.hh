@@ -75,6 +75,15 @@ struct VpcSchedule
 {
     std::vector<VpcBatch> batches;
 
+    /**
+     * Per task-graph op: index of the batch whose completion
+     * publishes the op's result at its destination (for ops whose
+     * results are collected, the final collect TRAN — not the last
+     * compute). kNoBatch for host-side ops that emit no VPCs.
+     * Parallel to TaskGraph::ops; filled by the planner.
+     */
+    std::vector<std::uint32_t> opResultBatch;
+
     /** Count PIM (MUL/SMUL/ADD) VPCs. */
     std::uint64_t
     pimVpcs() const

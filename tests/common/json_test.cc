@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+using namespace streampim;
+
+TEST(Json, BuildsAndDumpsScalars)
+{
+    EXPECT_EQ(Json().dump(0), "null");
+    EXPECT_EQ(Json(true).dump(0), "true");
+    EXPECT_EQ(Json(false).dump(0), "false");
+    EXPECT_EQ(Json(42).dump(0), "42");
+    EXPECT_EQ(Json(2.5).dump(0), "2.5");
+    EXPECT_EQ(Json("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json o = Json::object();
+    o["zeta"] = 1;
+    o["alpha"] = 2;
+    o["mid"] = 3;
+    EXPECT_EQ(o.dump(0), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+    ASSERT_EQ(o.members().size(), 3u);
+    EXPECT_EQ(o.members()[0].first, "zeta");
+}
+
+TEST(Json, NestedStructure)
+{
+    Json doc = Json::object();
+    doc["name"] = "fig17";
+    Json cells = Json::array();
+    Json c = Json::object();
+    c["row"] = "atax";
+    c["value"] = 39.1;
+    cells.push(std::move(c));
+    doc["cells"] = std::move(cells);
+    const std::string text = doc.dump(2);
+    EXPECT_NE(text.find("\"cells\": ["), std::string::npos);
+    EXPECT_NE(text.find("\"row\": \"atax\""), std::string::npos);
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b\\c\nd").dump(0),
+              "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, ParsesScalars)
+{
+    std::string err;
+    EXPECT_TRUE(Json::parse("null", &err).isNull());
+    EXPECT_TRUE(err.empty());
+    EXPECT_TRUE(Json::parse("true").asBool());
+    EXPECT_DOUBLE_EQ(Json::parse("-12.5e1").asNumber(), -125.0);
+    EXPECT_EQ(Json::parse("\"x\\ny\"").asString(), "x\ny");
+}
+
+TEST(Json, ParsesNested)
+{
+    std::string err;
+    Json doc = Json::parse(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": false}})", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(doc.isObject());
+    const Json *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 3u);
+    EXPECT_DOUBLE_EQ(a->at(1).asNumber(), 2.0);
+    EXPECT_EQ(a->at(2).find("b")->asString(), "c");
+    EXPECT_FALSE(doc.find("d")->find("e")->asBool());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, RoundTrips)
+{
+    const std::string text =
+        R"({"bench":"fig22","jobs":4,"cells":[{"v":1.25},{"v":3}]})";
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(doc.dump(0), text);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    std::string err;
+    Json::parse("{\"a\": }", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("[1, 2", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("12 34", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("\"open", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, UnicodeEscapeParses)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+}

@@ -127,6 +127,29 @@ TEST(EnergyMeterBasics, MergeAddsAllCategories)
     EXPECT_EQ(a.count(EnergyOp::BusShift), 1u);
 }
 
+TEST(StatGroupMerge, FoldsCountersAndAccumulators)
+{
+    StatGroup a("cell0");
+    StatGroup b("cell1");
+    a.counter("reads").inc(10);
+    b.counter("reads").inc(32);
+    b.counter("writes").inc(5); // absent in a: created by merge
+    a.accumulator("lat").sample(2.0);
+    b.accumulator("lat").sample(6.0);
+    b.accumulator("lat").sample(4.0);
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.findCounter("reads").value(), 42u);
+    EXPECT_EQ(a.findCounter("writes").value(), 5u);
+    const auto &lat = a.accumulators().at("lat");
+    EXPECT_EQ(lat.count(), 3u);
+    EXPECT_DOUBLE_EQ(lat.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(lat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(lat.max(), 6.0);
+    // The source group is untouched.
+    EXPECT_EQ(b.findCounter("reads").value(), 32u);
+}
+
 TEST(EnergyMeterBasics, NamesAreStable)
 {
     EXPECT_STREQ(energyOpName(EnergyOp::RmRead), "rm_read");

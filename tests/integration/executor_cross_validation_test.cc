@@ -54,6 +54,56 @@ TEST(ExecutorCrossValidation, ElectricalBusSchedules)
     expectIdentical(cfg, s, "gemm electrical");
 }
 
+/**
+ * The planner's dependency wiring for chained ops: the second
+ * matmul consumes a produced B, so its gathers carry depA pointing
+ * at the first op's final collect, and both executors must agree on
+ * the resulting timing at the levels where assembly happens.
+ */
+TEST(ExecutorCrossValidation, ChainedMatMulProducedBAssembly)
+{
+    TaskGraph g;
+    auto a0 = g.addMatrix("A0", 40, 40);
+    auto b0 = g.addMatrix("B0", 40, 40);
+    auto b1 = g.addMatrix("B1", 40, 40);
+    auto a1 = g.addMatrix("A1", 40, 40);
+    auto c = g.addMatrix("C", 40, 40);
+    g.addOp(MatOpKind::MatMul, a0, b0, b1);
+    g.addOp(MatOpKind::MatMul, a1, b1, c);
+
+    for (OptLevel level : {OptLevel::Distribute, OptLevel::Unblock}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.optLevel = level;
+        Planner p(cfg);
+        VpcSchedule s = p.plan(g);
+        expectIdentical(cfg, s, optLevelName(level));
+    }
+}
+
+/**
+ * Element-wise vector chains: the adds carry both copy
+ * dependencies (depA and depB) after the planner fix; both
+ * executors must process the dual-dependency batches identically.
+ */
+TEST(ExecutorCrossValidation, VectorAddChainsWithDualCopyDeps)
+{
+    TaskGraph g;
+    auto x = g.addMatrix("x", 3000, 1);
+    auto y = g.addMatrix("y", 3000, 1);
+    auto z = g.addMatrix("z", 3000, 1);
+    auto w = g.addMatrix("w", 3000, 1);
+    g.addOp(MatOpKind::MatAdd, x, y, z);
+    g.addOp(MatOpKind::MatAdd, z, x, w);
+
+    for (OptLevel level : {OptLevel::Distribute, OptLevel::Unblock}) {
+        SystemConfig cfg = SystemConfig::paperDefault();
+        cfg.optLevel = level;
+        Planner p(cfg);
+        VpcSchedule s = p.plan(g);
+        expectIdentical(cfg, s, optLevelName(level));
+    }
+}
+
 /** Random schedule generator: arbitrary kinds, subarrays, batched
  * counts, backward dependencies and occasional barriers. */
 VpcSchedule

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "parallel/sweep.hh"
+
+using namespace streampim;
+
+namespace
+{
+
+SweepRunner
+makeGrid(int argc = 0, const char *const *argv = nullptr)
+{
+    SweepRunner sweep("unit_grid", argc, argv);
+    for (const char *row : {"atax", "bicg"})
+        for (const char *col : {"StPIM", "CORUSCANT"}) {
+            std::string r = row, c = col;
+            sweep.add(r, c, [r, c] {
+                SweepCellResult res;
+                res.value = double(r.size()) * double(c.size());
+                res.metrics["rows"] = double(r.size());
+                return res;
+            });
+        }
+    return sweep;
+}
+
+} // namespace
+
+TEST(SweepRunner, RunsCellsAndKeepsDeclarationOrder)
+{
+    SweepRunner sweep = makeGrid();
+    sweep.run();
+    EXPECT_EQ(sweep.rows(),
+              (std::vector<std::string>{"atax", "bicg"}));
+    EXPECT_EQ(sweep.cols(),
+              (std::vector<std::string>{"StPIM", "CORUSCANT"}));
+    EXPECT_DOUBLE_EQ(sweep.value("atax", "StPIM"), 4.0 * 5.0);
+    EXPECT_DOUBLE_EQ(sweep.value("bicg", "CORUSCANT"), 4.0 * 9.0);
+    EXPECT_EQ(sweep.columnValues("StPIM"),
+              (std::vector<double>{20.0, 20.0}));
+}
+
+TEST(SweepRunner, CellsMayRunOnOtherThreads)
+{
+    // Smoke-test the concurrency path: many slow-ish cells, results
+    // still land in their own slots.
+    SweepRunner sweep("unit_threads");
+    for (int i = 0; i < 32; ++i)
+        sweep.add("r" + std::to_string(i), "c", [i] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            return SweepCellResult{double(i), {}};
+        });
+    sweep.run();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(
+            sweep.value("r" + std::to_string(i), "c"), double(i));
+}
+
+TEST(SweepRunner, ReportNotRequestedByDefault)
+{
+    SweepRunner sweep("unit_noreport");
+    EXPECT_FALSE(sweep.reportRequested());
+    sweep.add("r", "c", [] { return SweepCellResult{1.0, {}}; });
+    sweep.run();
+    EXPECT_FALSE(sweep.writeReport());
+}
+
+TEST(SweepRunner, WritesParsableJsonReport)
+{
+    // Relative path: lands in the ctest working directory.
+    const char *path = "BENCH_unit_grid.json";
+    const char *argv[] = {"bench", "--json", path};
+    SweepRunner sweep = makeGrid(3, argv);
+    ASSERT_TRUE(sweep.reportRequested());
+    EXPECT_EQ(sweep.reportPath(), path);
+    sweep.run();
+    sweep.note("paper_mean", 39.1);
+    sweep.note("shape", "StPIM > CORUSCANT");
+    ASSERT_TRUE(sweep.writeReport());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    Json doc = Json::parse(buf.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    EXPECT_EQ(doc.find("bench")->asString(), "unit_grid");
+    EXPECT_GE(doc.find("jobs")->asNumber(), 1.0);
+    EXPECT_GE(doc.find("wall_seconds")->asNumber(), 0.0);
+    ASSERT_NE(doc.find("config"), nullptr);
+    ASSERT_NE(doc.find("config")->find("dim"), nullptr);
+
+    const Json *cells = doc.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->size(), 4u);
+    // Declaration order is preserved in the report.
+    EXPECT_EQ(cells->at(0).find("row")->asString(), "atax");
+    EXPECT_EQ(cells->at(0).find("col")->asString(), "StPIM");
+    EXPECT_DOUBLE_EQ(cells->at(0).find("value")->asNumber(), 20.0);
+    EXPECT_GE(cells->at(0).find("seconds")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        cells->at(0).find("metrics")->find("rows")->asNumber(),
+        4.0);
+
+    const Json *summary = doc.find("summary");
+    ASSERT_NE(summary, nullptr);
+    EXPECT_DOUBLE_EQ(summary->find("paper_mean")->asNumber(), 39.1);
+    EXPECT_EQ(summary->find("shape")->asString(),
+              "StPIM > CORUSCANT");
+
+    std::remove(path);
+}
+
+TEST(SweepRunner, ValuesIndependentOfDeclarationVsExecutionOrder)
+{
+    // Two identical grids; results must match cell for cell even
+    // though execution interleaving differs between runs.
+    SweepRunner a = makeGrid();
+    SweepRunner b = makeGrid();
+    a.run();
+    b.run();
+    for (const auto &row : a.rows())
+        for (const auto &col : a.cols())
+            EXPECT_DOUBLE_EQ(a.value(row, col), b.value(row, col));
+}

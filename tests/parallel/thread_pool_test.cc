@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hh"
+
+using namespace streampim;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SingleJobRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.submit([&] { seen = std::this_thread::get_id(); });
+    pool.wait();
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("cell failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool keeps working.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, CoversTheWholeRangeOnce)
+{
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallelFor(hits.size(), jobs,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp)
+{
+    parallelFor(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ResultsIndependentOfJobCount)
+{
+    auto compute = [](unsigned jobs) {
+        std::vector<double> out(64);
+        parallelFor(out.size(), jobs, [&](std::size_t i) {
+            double v = double(i) + 1.0;
+            for (int it = 0; it < 1000; ++it)
+                v = v * 1.0000001 + 0.5;
+            out[i] = v;
+        });
+        return out;
+    };
+    EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
