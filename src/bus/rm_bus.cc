@@ -1,6 +1,9 @@
 #include "bus/rm_bus.hh"
 
+#include <cstdlib>
+
 #include "common/log.hh"
+#include "rm/fault_injector.hh"
 
 namespace streampim
 {
@@ -20,38 +23,116 @@ RmBusLane::inject(std::uint64_t word)
     // injection to every other cycle in steady state.
     if (slots_[0].has_value() || slots_[1].has_value())
         return false;
-    slots_.front() = word;
+    slots_.front() = Flit{word};
     return true;
 }
 
 unsigned
-RmBusLane::step()
+RmBusLane::step(FaultInjector *faults, unsigned segment_domains)
 {
     // Sweep from the output end so each couple moves at most once
     // per pulse; a data segment advances only into an empty segment.
+    const bool fallible = faults && faults->enabled();
     unsigned moved = 0;
     for (std::size_t i = slots_.size() - 1; i-- > 0;) {
         if (slots_[i].has_value() && !slots_[i + 1].has_value()) {
             slots_[i + 1] = slots_[i];
             slots_[i].reset();
             moved++;
+            if (!fallible)
+                continue;
+            // One pulse of segment_domains domain steps moved this
+            // couple; a fault displaces the word by one domain
+            // within its segment (Sec. III-D per-pulse bound).
+            Flit &f = *slots_[i + 1];
+            switch (faults->samplePulse(segment_domains)) {
+              case ShiftOutcome::Exact:
+                break;
+              case ShiftOutcome::OverShift:
+                f.misalign += 1;
+                break;
+              case ShiftOutcome::UnderShift:
+                f.misalign -= 1;
+                break;
+            }
         }
     }
     return moved;
 }
 
+void
+RmBusLane::realign(Flit &flit, FaultInjector &faults)
+{
+    flit.misalign = realignEpisode(faults, flit.misalign);
+    if (flit.misalign != 0)
+        flit.abandoned = true;
+}
+
+void
+RmBusLane::guardRealign(FaultInjector &faults)
+{
+    if (!faults.enabled())
+        return;
+    for (auto &slot : slots_) {
+        if (!slot.has_value() || slot->abandoned)
+            continue;
+        // One guard sense per occupied segment per pulse; detection
+        // of a misaligned pattern succeeds only with the coverage.
+        const bool detected = faults.inFlightCheck();
+        if (slot->misalign != 0 && detected)
+            realign(*slot, faults);
+    }
+}
+
+std::uint64_t
+RmBusLane::corrupted(const Flit &flit)
+{
+    // The egress port senses domains displaced by the misalignment:
+    // the word's bit-serial stream arrives shifted, with the
+    // positions that ran off the segment edge reading as 0.
+    if (flit.misalign > 0)
+        return flit.value << flit.misalign;
+    return flit.value >> -flit.misalign;
+}
+
 std::optional<std::uint64_t>
 RmBusLane::peekOutput() const
 {
-    return slots_.back();
+    const auto &slot = slots_.back();
+    if (!slot.has_value())
+        return std::nullopt;
+    return slot->value;
 }
 
 std::optional<std::uint64_t>
 RmBusLane::takeOutput()
 {
-    auto out = slots_.back();
+    auto slot = slots_.back();
     slots_.back().reset();
-    return out;
+    if (!slot.has_value())
+        return std::nullopt;
+    return slot->value;
+}
+
+std::optional<std::uint64_t>
+RmBusLane::takeOutputChecked(FaultInjector *faults)
+{
+    auto slot = slots_.back();
+    slots_.back().reset();
+    if (!slot.has_value())
+        return std::nullopt;
+    Flit f = *slot;
+    if (faults && faults->enabled()) {
+        // Egress checkpoint: the word is sensed at a port, so a
+        // misaligned guard pattern is directly visible — this check
+        // is exact, unlike the coverage-limited in-flight senses.
+        faults->noteCheckpointCheck();
+        if (f.misalign != 0 && !f.abandoned)
+            realign(f, *faults);
+    }
+    if (f.misalign != 0)
+        return corrupted(f);
+    return f.value;
 }
 
 unsigned
@@ -79,18 +160,23 @@ RmBus::lane(unsigned i)
 }
 
 unsigned
-RmBus::step()
+RmBus::step(FaultInjector *faults, unsigned segment_domains)
 {
     unsigned moved = 0;
     for (auto &l : lanes_)
-        moved += l.step();
+        moved += l.step(faults, segment_domains);
     return moved;
 }
 
 std::vector<std::uint64_t>
 RmBus::transferAll(const std::vector<std::uint64_t> &words,
-                   Cycle &cycles_taken)
+                   Cycle &cycles_taken, FaultInjector *faults,
+                   unsigned segment_domains)
 {
+    const bool fallible = faults && faults->enabled();
+    const std::uint64_t shifts_before =
+        fallible ? faults->stats().correctionShifts : 0;
+
     std::vector<std::uint64_t> arrived;
     arrived.reserve(words.size());
     std::size_t next = 0;
@@ -104,16 +190,25 @@ RmBus::transferAll(const std::vector<std::uint64_t> &words,
             if (l.inject(words[next]))
                 next++;
         }
-        step();
+        step(faults, segment_domains);
         cycles_taken++;
+        if (fallible)
+            for (auto &l : lanes_)
+                l.guardRealign(*faults);
         // Collect arrivals.
         for (auto &l : lanes_) {
-            if (auto w = l.takeOutput())
+            if (auto w = fallible ? l.takeOutputChecked(faults)
+                                  : l.takeOutput())
                 arrived.push_back(*w);
         }
         SPIM_ASSERT(cycles_taken < 1'000'000'000ULL,
                     "bus transfer failed to make progress");
     }
+    // Every compensating realignment shift serializes one extra bus
+    // cycle on the affected lane couple.
+    if (fallible)
+        cycles_taken += Cycle(faults->stats().correctionShifts -
+                              shifts_before);
     return arrived;
 }
 

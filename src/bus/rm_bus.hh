@@ -26,10 +26,13 @@
 
 #include "common/types.hh"
 #include "rm/energy.hh"
+#include "rm/fault.hh"
 #include "rm/params.hh"
 
 namespace streampim
 {
+
+class FaultInjector;
 
 /** One nanowire lane of the segmented RM bus (functional model). */
 class RmBusLane
@@ -52,16 +55,42 @@ class RmBusLane
     /**
      * Advance one bus clock: every data segment whose successor is
      * empty moves forward one segment (all couples shift with one
-     * pulse each, Fig. 12).
+     * pulse each, Fig. 12). With a fault injector, each couple's
+     * pulse of @p segment_domains domain steps may over- or
+     * under-shift the word by one position within its segment.
      * @return number of data segments that moved.
      */
-    unsigned step();
+    unsigned step(FaultInjector *faults = nullptr,
+                  unsigned segment_domains = 0);
+
+    /**
+     * In-flight guard-domain checks after a pulse: every occupied
+     * segment's guard pattern is sensed (detection succeeds with the
+     * configured coverage), and detected misalignments are realigned
+     * with fallible compensating single-step shifts under the retry
+     * budget. Errors beyond the guard's localization range, or
+     * exhausted budgets, abandon the word (it arrives corrupted and
+     * the current VPC escalates to FaultStatus::Failed).
+     */
+    void guardRealign(FaultInjector &faults);
 
     /** Word waiting at the output segment, if any. */
     std::optional<std::uint64_t> peekOutput() const;
 
     /** Remove and return the word at the output segment. */
     std::optional<std::uint64_t> takeOutput();
+
+    /**
+     * Remove the word at the output segment through the egress
+     * checkpoint: sensing the word at the port makes the guard
+     * pattern directly visible, so this check is exact (not
+     * coverage-limited). Residual misalignment is realigned (still
+     * fallibly) before the word is read; an abandoned word is
+     * returned corrupted — value displaced by the misalignment —
+     * with the failure already escalated via @p faults.
+     */
+    std::optional<std::uint64_t> takeOutputChecked(
+        FaultInjector *faults);
 
     /** Number of data segments currently in flight. */
     unsigned occupancy() const;
@@ -70,7 +99,21 @@ class RmBusLane
     bool drained() const { return occupancy() == 0; }
 
   private:
-    std::vector<std::optional<std::uint64_t>> slots_;
+    /** One in-flight word and its intra-segment alignment state. */
+    struct Flit
+    {
+        std::uint64_t value;
+        int misalign = 0;      //!< accumulated domain displacement
+        bool abandoned = false; //!< recovery given up; data corrupt
+    };
+
+    /** Run one realignment episode on @p flit (budget-bounded). */
+    static void realign(Flit &flit, FaultInjector &faults);
+
+    /** The value a misaligned port sense returns. */
+    static std::uint64_t corrupted(const Flit &flit);
+
+    std::vector<std::optional<Flit>> slots_;
 };
 
 /** A full RM bus: several parallel lanes with shared clocking. */
@@ -85,18 +128,26 @@ class RmBus
     RmBusLane &lane(unsigned i);
 
     /** Step every lane one cycle; returns total segment moves. */
-    unsigned step();
+    unsigned step(FaultInjector *faults = nullptr,
+                  unsigned segment_domains = 0);
 
     /**
      * Functional end-to-end transfer: push all of @p words through
      * the bus (round-robin over lanes), collecting them at the far
      * end in order per lane.
+     *
+     * With a fault injector, every segment pulse is fallible
+     * (@p segment_domains domain steps each), in-flight guard checks
+     * run after every bus cycle, words leave through the exact
+     * egress checkpoint, and each compensating realignment shift
+     * costs one extra bus cycle (charged into @p cycles_taken).
      * @param[out] cycles_taken number of bus cycles consumed.
      * @return the words in arrival order.
      */
     std::vector<std::uint64_t>
     transferAll(const std::vector<std::uint64_t> &words,
-                Cycle &cycles_taken);
+                Cycle &cycles_taken, FaultInjector *faults = nullptr,
+                unsigned segment_domains = 0);
 
   private:
     unsigned segments_;
@@ -173,6 +224,61 @@ class RmBusTiming
     {
         energy.busShift(params_.busSegmentSize,
                         dataSegments(elements) * segmentCount());
+    }
+
+    /** Segment pulses needed to move @p elements end to end. */
+    std::uint64_t
+    pulsesFor(std::uint64_t elements) const
+    {
+        return dataSegments(elements) * segmentCount();
+    }
+
+    /**
+     * Expected compensating realignment shifts for moving
+     * @p elements elements under the configured shiftFaultPStep
+     * (closed form — the timed path stays deterministic and never
+     * samples). Each segment pulse faults with the per-pulse
+     * probability; a detected fault (|error| = 1) needs one
+     * compensating single-step shift, itself fallible, so the
+     * expected episode length is 1 / (1 - p_1) shifts.
+     */
+    double
+    expectedCorrectionShifts(std::uint64_t elements) const
+    {
+        ShiftFaultModel model(params_.shiftFaultPStep);
+        const double p_pulse =
+            model.pulseFaultProbability(params_.busSegmentSize);
+        const double p1 = model.pulseFaultProbability(1);
+        return double(pulsesFor(elements)) * p_pulse / (1.0 - p1);
+    }
+
+    /**
+     * Cycles of reliability overhead exposed on the stream: every
+     * compensating shift stalls its lane couple one bus cycle.
+     * Zero when fault injection is off.
+     */
+    Cycle
+    reliabilityCycles(std::uint64_t elements) const
+    {
+        if (params_.shiftFaultPStep <= 0.0 || elements == 0)
+            return 0;
+        return Cycle(std::ceil(expectedCorrectionShifts(elements)));
+    }
+
+    /**
+     * Record the reliability energy of moving @p elements: one
+     * guard sense per segment pulse plus the expected compensating
+     * shifts at the in-mat shift energy.
+     */
+    void
+    recordReliabilityEnergy(RmEnergyModel &energy,
+                            std::uint64_t elements) const
+    {
+        if (params_.shiftFaultPStep <= 0.0 || elements == 0)
+            return;
+        energy.guardSense(pulsesFor(elements));
+        energy.shift(std::uint64_t(
+            std::ceil(expectedCorrectionShifts(elements))));
     }
 
   private:

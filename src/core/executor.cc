@@ -152,6 +152,19 @@ Executor::runCompute(const VpcBatch &batch, Tick ready)
             fill_time +
             clock_.cyclesToTicks(busTiming_.transferCycles(
                 in_elements + out_elements));
+        // Shift-fault tolerance: expected guard-sense + correction
+        // overhead of the streamed elements (closed form, so the
+        // timed path stays deterministic). Corrections stall the
+        // stream, so they serialize with processing.
+        if (cfg_.rm.shiftFaultPStep > 0.0) {
+            const Tick rel_time =
+                clock_.cyclesToTicks(busTiming_.reliabilityCycles(
+                    in_elements + out_elements));
+            transfer_time += rel_time;
+            breakdown_.shiftTicks += rel_time;
+            busTiming_.recordReliabilityEnergy(
+                energy_, in_elements + out_elements);
+        }
     } else {
         // Electrical bus: per-element electromagnetic conversion,
         // serialized with shift-based computation (RW/shift

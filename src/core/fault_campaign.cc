@@ -1,0 +1,151 @@
+#include "core/fault_campaign.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace streampim
+{
+
+namespace
+{
+
+/** Read-only input bytes per subarray. */
+constexpr std::uint64_t kInputBytes = 4096;
+/** Start of the per-VPC destination slices. */
+constexpr std::uint64_t kDstBase = kInputBytes;
+/** Destination slice stride. A Failed VPC's stray writes land at
+ * most maxCorrectable() + 1 domains (= that many rows of 8 bytes)
+ * from its slice, so the padding between 48-element slices absorbs
+ * them and Failed VPCs cannot cascade into their neighbours'
+ * comparisons. */
+constexpr std::uint64_t kDstStride = 64;
+
+/** The campaign program: a deterministic Add/Smul/Mul/Tran mix
+ * with sources drawn only from the read-only input regions of
+ * subarrays 0 and 1 and one disjoint destination slice per VPC
+ * (some remote, to exercise operand staging and store-out). */
+std::vector<FaultCampaignVpc>
+buildProgram(const FaultCampaignConfig &cfg, std::uint64_t per_sub)
+{
+    const std::uint32_t n = cfg.vectorLen;
+    std::vector<FaultCampaignVpc> prog;
+    prog.reserve(cfg.vpcs);
+    for (unsigned i = 0; i < cfg.vpcs; ++i) {
+        FaultCampaignVpc entry;
+        Vpc &v = entry.vpc;
+        v.kind = static_cast<VpcKind>(i % 4);
+        v.size = n;
+        v.src1 = (std::uint64_t(i) * 131) % (kInputBytes - n);
+        const std::uint32_t operand_len =
+            v.kind == VpcKind::Smul ? 1 : n;
+        const std::uint64_t src2_off =
+            (std::uint64_t(i) * 257 + 512) %
+            (kInputBytes - operand_len);
+        // Every third VPC stages its second operand from the other
+        // subarray (remote collection through read/write commands).
+        v.src2 = (i % 3 == 2 ? per_sub : 0) + src2_off;
+        entry.resultLen = v.kind == VpcKind::Mul ? 4 : n;
+        // Every fifth VPC stores out to the other subarray.
+        v.dst = (i % 5 == 4 ? per_sub : 0) + kDstBase +
+                std::uint64_t(i) * kDstStride;
+        prog.push_back(entry);
+    }
+    return prog;
+}
+
+void
+stageInputs(StreamPimSystem &sys, std::uint64_t per_sub,
+            std::uint64_t seed)
+{
+    // Identical bytes in both systems; staged before injection is
+    // enabled (host-side DMA runs on the controller's own ECC'd
+    // path — the campaign targets the PIM datapath).
+    for (unsigned sub = 0; sub < 2; ++sub) {
+        Rng rng(seed ^ (0xDA7AULL + sub));
+        std::vector<std::uint8_t> blob(kInputBytes);
+        for (auto &b : blob)
+            b = std::uint8_t(rng.next() & 0xFF);
+        sys.write(per_sub * sub, blob);
+    }
+}
+
+} // namespace
+
+FaultCampaignResult
+runFaultCampaign(const FaultCampaignConfig &cfg)
+{
+    SPIM_ASSERT(cfg.vpcs >= 1 && cfg.vpcs <= 128,
+                "campaign program size out of range");
+    SPIM_ASSERT(cfg.vectorLen >= 1 && cfg.vectorLen <= 48,
+                "vector length must fit a destination slice");
+
+    RmParams params = smallFunctionalParams();
+    params.busSegmentSize = cfg.busSegmentSize;
+    params.shiftFaultPStep = cfg.pStep;
+    params.guardCoverage = cfg.guardCoverage;
+    params.guardDomains = cfg.guardDomains;
+    params.realignRetryBudget = cfg.realignRetryBudget;
+    params.validate();
+
+    const std::uint64_t per_sub = params.bytesPerSubarray();
+    auto program = buildProgram(cfg, per_sub);
+
+    StreamPimSystem golden(params);
+    StreamPimSystem faulty(params);
+    stageInputs(golden, per_sub, cfg.seed);
+    stageInputs(faulty, per_sub, cfg.seed);
+
+    FaultConfig fault_cfg;
+    fault_cfg.pStep = cfg.pStep;
+    fault_cfg.guardCoverage = cfg.guardCoverage;
+    fault_cfg.guardDomains = cfg.guardDomains;
+    fault_cfg.realignRetryBudget = cfg.realignRetryBudget;
+    fault_cfg.seed = cfg.seed;
+    faulty.enableFaultInjection(fault_cfg);
+
+    for (const auto &entry : program) {
+        bool ok = golden.submit(entry.vpc);
+        ok = faulty.submit(entry.vpc) && ok;
+        SPIM_ASSERT(ok, "campaign program overflowed the VPC queue");
+    }
+    golden.processQueue();
+    auto faulty_records = faulty.processQueue();
+    SPIM_ASSERT(faulty_records.size() == program.size(),
+                "campaign run lost VPCs");
+
+    // Verification readout must not sample further faults.
+    faulty.disableFaultInjection();
+
+    FaultCampaignResult res;
+    res.stats = faulty.totalFaultStats();
+    res.perVpc = std::move(program);
+    for (std::size_t i = 0; i < res.perVpc.size(); ++i) {
+        FaultCampaignVpc &entry = res.perVpc[i];
+        entry.fault = faulty_records[i].fault;
+        entry.status = entry.fault.status;
+        auto g = golden.read(entry.vpc.dst, entry.resultLen);
+        auto f = faulty.read(entry.vpc.dst, entry.resultLen);
+        entry.bitExact = g == f;
+        switch (entry.status) {
+          case FaultStatus::Clean:
+            res.clean++;
+            break;
+          case FaultStatus::Corrected:
+            res.corrected++;
+            break;
+          case FaultStatus::Retried:
+            res.retried++;
+            break;
+          case FaultStatus::Failed:
+            res.failed++;
+            break;
+        }
+        if (entry.status != FaultStatus::Failed && !entry.bitExact)
+            res.mismatchedRecovered++;
+        if (entry.status == FaultStatus::Failed && entry.bitExact)
+            res.failedButIntact++;
+    }
+    return res;
+}
+
+} // namespace streampim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FaultCampaign: deterministic end-to-end shift-fault injection
+ * campaigns over the functional StreamPimSystem.
+ *
+ * One campaign cell builds two systems with identical geometry and
+ * identical seeded input data: a golden system that executes a VPC
+ * program fault-free, and a faulty system that executes the same
+ * program with a FaultInjector attached to every subarray datapath
+ * (nanowire shifts, bus segment pulses, mat deposits, processor
+ * operand ingest). After both runs the cell compares every VPC's
+ * destination bytes:
+ *
+ *  - a VPC whose FaultStatus is not Failed must be bit-exact
+ *    against the golden run (the two-tier detection model makes
+ *    every surviving misalignment visible at a checkpoint, so
+ *    coverage < 1 can escalate but never silently corrupt);
+ *  - Failed VPCs are allowed to differ — their corruption is
+ *    visible to the host through VpcExecutionRecord::fault.
+ *
+ * The program uses disjoint destination slices fed only from a
+ * read-only input region, so a Failed VPC cannot cascade into the
+ * comparison of its neighbours. Everything is seeded: the same
+ * FaultCampaignConfig always produces the same result, regardless
+ * of sweep parallelism.
+ */
+
+#ifndef STREAMPIM_CORE_FAULT_CAMPAIGN_HH_
+#define STREAMPIM_CORE_FAULT_CAMPAIGN_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stream_pim.hh"
+#include "rm/fault_injector.hh"
+
+namespace streampim
+{
+
+/** One campaign cell's knobs (all deterministic inputs). */
+struct FaultCampaignConfig
+{
+    /** Per-domain-step fault probability of the faulty run. */
+    double pStep = 1e-4;
+    /** In-flight guard-check detection coverage. */
+    double guardCoverage = 0.999;
+    /** Guard domains per segment. */
+    unsigned guardDomains = 2;
+    /** Realignment attempts per episode before escalation. */
+    unsigned realignRetryBudget = 4;
+    /** Bus segment size (must divide the small geometry's 512). */
+    unsigned busSegmentSize = 128;
+    /** VPCs in the campaign program (Add/Smul/Mul/Tran mix). */
+    unsigned vpcs = 12;
+    /** Elements per VPC (<= 48 so slices stay disjoint). */
+    std::uint32_t vectorLen = 48;
+    /** Master seed: drives input data and per-subarray injectors. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Outcome of one VPC in the campaign. */
+struct FaultCampaignVpc
+{
+    Vpc vpc;
+    std::uint32_t resultLen = 0;
+    FaultStatus status = FaultStatus::Clean;
+    VpcFaultInfo fault;
+    /** Destination bytes match the golden run bit-exactly. */
+    bool bitExact = true;
+};
+
+/** Aggregate outcome of one campaign cell. */
+struct FaultCampaignResult
+{
+    unsigned clean = 0;
+    unsigned corrected = 0;
+    unsigned retried = 0;
+    unsigned failed = 0;
+    /** Non-Failed VPCs whose destination differs from golden —
+     * the recovery invariant requires this to be zero. */
+    unsigned mismatchedRecovered = 0;
+    /** Failed VPCs whose destination still matches golden (the
+     * escalation was conservative). */
+    unsigned failedButIntact = 0;
+    /** Sampled-fault statistics of the faulty system. */
+    FaultStats stats;
+    /** Per-VPC details, in program order. */
+    std::vector<FaultCampaignVpc> perVpc;
+
+    unsigned vpcs() const { return unsigned(perVpc.size()); }
+
+    /** The end-to-end recovery invariant held for every VPC. */
+    bool invariantHolds() const { return mismatchedRecovered == 0; }
+};
+
+/**
+ * Run one campaign cell (golden + faulty system, full program,
+ * bit-exact comparison). Deterministic in @p cfg.
+ */
+FaultCampaignResult runFaultCampaign(const FaultCampaignConfig &cfg);
+
+} // namespace streampim
+
+#endif // STREAMPIM_CORE_FAULT_CAMPAIGN_HH_

@@ -57,6 +57,72 @@ StreamPimSystem::subarray(unsigned global_id)
     return *subarrays_[global_id];
 }
 
+void
+StreamPimSystem::enableFaultInjection(const FaultConfig &cfg)
+{
+    cfg.validate();
+    injectors_.clear();
+    injectors_.reserve(subarrays_.size());
+    for (unsigned i = 0; i < subarrays_.size(); ++i) {
+        FaultConfig derived = cfg;
+        // Decorrelate subarrays deterministically (splitmix-style
+        // odd multiplier keeps derived seeds distinct).
+        derived.seed =
+            cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+        injectors_.push_back(
+            std::make_unique<FaultInjector>(derived));
+        subarrays_[i]->setFaultInjector(injectors_.back().get());
+    }
+    faultsAttached_ = true;
+}
+
+void
+StreamPimSystem::disableFaultInjection()
+{
+    for (auto &s : subarrays_)
+        s->setFaultInjector(nullptr);
+    faultsAttached_ = false;
+}
+
+FaultStats
+StreamPimSystem::totalFaultStats() const
+{
+    FaultStats total;
+    for (const auto &inj : injectors_)
+        total.merge(inj->stats());
+    return total;
+}
+
+const FaultInjector *
+StreamPimSystem::faultInjector(unsigned global_id) const
+{
+    if (global_id >= injectors_.size())
+        return nullptr;
+    return injectors_[global_id].get();
+}
+
+void
+StreamPimSystem::beginVpcScopes()
+{
+    if (!faultsAttached_)
+        return;
+    for (auto &inj : injectors_)
+        if (inj->enabled())
+            inj->beginVpc();
+}
+
+VpcFaultInfo
+StreamPimSystem::endVpcScopes()
+{
+    VpcFaultInfo merged;
+    if (!faultsAttached_)
+        return merged;
+    for (auto &inj : injectors_)
+        if (inj->scopeActive())
+            merged.merge(inj->endVpc());
+    return merged;
+}
+
 StreamPimSystem::AddrPlace
 StreamPimSystem::place(Addr addr) const
 {
@@ -168,7 +234,13 @@ StreamPimSystem::processQueue()
     std::vector<VpcExecutionRecord> records;
     while (!queue_.empty()) {
         Vpc vpc = queue_.pop();
-        records.push_back(executeOne(vpc));
+        // All fault activity between scope open and close — operand
+        // staging on remote subarrays included — belongs to this
+        // VPC.
+        beginVpcScopes();
+        VpcExecutionRecord rec = executeOne(vpc);
+        rec.fault = endVpcScopes();
+        records.push_back(std::move(rec));
         queue_.respond();
     }
     return records;

@@ -44,6 +44,10 @@ struct VpcExecutionRecord
     Cycle busCycles = 0;
     Cycle pipelineCycles = 0;
     bool remoteOperands = false; //!< operand collection was needed
+    /** Fault-recovery outcome, merged across every subarray the VPC
+     * touched (Clean when injection is off). A status other than
+     * Failed guarantees the VPC's data is bit-exact. */
+    VpcFaultInfo fault;
 };
 
 /** Top-level functional StreamPIM device. */
@@ -79,6 +83,29 @@ class StreamPimSystem
 
     FunctionalSubarray &subarray(unsigned global_id);
 
+    /**
+     * Shift-fault injection (host API). @{
+     *
+     * enableFaultInjection attaches one FaultInjector per subarray
+     * (seed derived per subarray from cfg.seed, so runs are
+     * deterministic and subarrays decorrelated). Every subsequent
+     * VPC executes through the fallible datapath and reports its
+     * recovery outcome in VpcExecutionRecord::fault.
+     * disableFaultInjection detaches the injectors but keeps their
+     * statistics readable — use it before verification readout so
+     * host reads do not sample further faults.
+     */
+    void enableFaultInjection(const FaultConfig &cfg);
+    void disableFaultInjection();
+    bool faultInjectionActive() const { return faultsAttached_; }
+
+    /** Aggregate sampled-fault statistics across all subarrays. */
+    FaultStats totalFaultStats() const;
+
+    /** Injector of one subarray (nullptr when never enabled). */
+    const FaultInjector *faultInjector(unsigned global_id) const;
+    /** @} */
+
   private:
     struct AddrPlace
     {
@@ -89,11 +116,20 @@ class StreamPimSystem
     AddrPlace place(Addr addr) const;
     VpcExecutionRecord executeOne(const Vpc &vpc);
 
+    /** Open/close the per-VPC fault-attribution scope on every
+     * injector (remote staging faults land on other subarrays).
+     * @{ */
+    void beginVpcScopes();
+    VpcFaultInfo endVpcScopes();
+    /** @} */
+
     RmParams params_;
     AddressMap map_;
     VpcDecoder decoder_;
     VpcQueue queue_;
     std::vector<std::unique_ptr<FunctionalSubarray>> subarrays_;
+    std::vector<std::unique_ptr<FaultInjector>> injectors_;
+    bool faultsAttached_ = false;
 };
 
 } // namespace streampim

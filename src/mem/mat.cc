@@ -1,6 +1,7 @@
 #include "mem/mat.hh"
 
 #include "common/log.hh"
+#include "rm/fault_injector.hh"
 
 namespace streampim
 {
@@ -42,6 +43,86 @@ Mat::checkRange(std::uint64_t offset, std::uint64_t count) const
                 ") beyond capacity ", capacityBytes());
 }
 
+bool
+Mat::alignFallible(Nanowire &t, unsigned domain)
+{
+    if (!faults_ || !faults_->enabled()) {
+        activity_.shiftSteps += t.alignToPort(domain);
+        return true;
+    }
+    int steps = t.stepsToAlign(domain);
+    if (steps != 0) {
+        auto att = t.tryShift(steps < 0 ? ShiftDir::TowardLower
+                                        : ShiftDir::TowardHigher,
+                              unsigned(steps < 0 ? -steps : steps),
+                              faults_);
+        activity_.shiftSteps +=
+            unsigned(att.applied < 0 ? -att.applied : att.applied);
+    }
+    // Port checkpoint: the access port senses the guard pattern
+    // directly, so misalignment detection here is exact.
+    faults_->noteCheckpointCheck();
+    if (t.alignedAtPort(domain))
+        return true;
+    // Mirror realignEpisode() on the real wire: one fallible
+    // compensating single-step shift per misaligned position,
+    // retried up to the budget.
+    const unsigned budget = faults_->config().realignRetryBudget;
+    unsigned attempts = 0;
+    while (!t.alignedAtPort(domain)) {
+        const int m = t.stepsToAlign(domain);
+        const unsigned mag = unsigned(m < 0 ? -m : m);
+        if (mag > faults_->maxCorrectable()) {
+            faults_->noteUncorrectable();
+            return false;
+        }
+        if (attempts >= budget) {
+            faults_->noteBudgetExhausted();
+            return false;
+        }
+        if (attempts > 0)
+            faults_->noteRetry();
+        attempts++;
+        for (unsigned k = 0; k < mag && !t.alignedAtPort(domain);
+             ++k) {
+            const int d = t.stepsToAlign(domain) < 0 ? -1 : 1;
+            faults_->noteCorrectionShifts(1);
+            auto att = t.tryShift(d < 0 ? ShiftDir::TowardLower
+                                        : ShiftDir::TowardHigher,
+                                  1, faults_);
+            activity_.shiftSteps += unsigned(
+                att.applied < 0 ? -att.applied : att.applied);
+        }
+    }
+    faults_->noteCorrected();
+    return true;
+}
+
+int
+Mat::depositDisplacement()
+{
+    if (!faults_ || !faults_->enabled())
+        return 0;
+    int disp = 0;
+    switch (faults_->samplePulse(1)) {
+      case ShiftOutcome::Exact:
+        break;
+      case ShiftOutcome::OverShift:
+        disp = 1;
+        break;
+      case ShiftOutcome::UnderShift:
+        disp = -1;
+        break;
+    }
+    // Pre-commit checkpoint: the port senses the guard pattern
+    // before the domain commits, so detection is exact; recovery is
+    // still fallible and budget-bounded.
+    faults_->noteCheckpointCheck();
+    if (disp != 0)
+        disp = realignEpisode(*faults_, disp);
+    return disp;
+}
+
 void
 Mat::writeBytes(std::uint64_t offset,
                 std::span<const std::uint8_t> data)
@@ -51,8 +132,12 @@ Mat::writeBytes(std::uint64_t offset,
         BytePos pos = locate(offset + i);
         for (unsigned b = 0; b < 8; ++b) {
             Nanowire &t = saveTracks_[pos.trackGroup + b];
-            activity_.shiftSteps += t.alignToPort(pos.domain);
-            t.write(pos.domain, (data[i] >> b) & 1);
+            if (alignFallible(t, pos.domain))
+                t.write(pos.domain, (data[i] >> b) & 1);
+            else
+                // Recovery failed (VPC already escalated): the port
+                // writes whatever domain sits under it.
+                t.writeAtPortOf(pos.domain, (data[i] >> b) & 1);
         }
         // The 8 tracks of a group write their bit in parallel under
         // one port operation.
@@ -71,8 +156,11 @@ Mat::readBytes(std::uint64_t offset, std::uint64_t count)
         std::uint8_t byte = 0;
         for (unsigned b = 0; b < 8; ++b) {
             Nanowire &t = saveTracks_[pos.trackGroup + b];
-            activity_.shiftSteps += t.alignToPort(pos.domain);
-            byte |= std::uint8_t(t.read(pos.domain)) << b;
+            if (alignFallible(t, pos.domain))
+                byte |= std::uint8_t(t.read(pos.domain)) << b;
+            else
+                byte |= std::uint8_t(t.senseAtPortOf(pos.domain))
+                        << b;
         }
         activity_.portReads += 1;
         out.push_back(byte);
@@ -104,9 +192,16 @@ Mat::copyOutViaTransferTracks(std::uint64_t offset,
             // Inspect the save track bit without a port operation:
             // the fan-out copy happens in the magnetic domain.
             bool bit = save.readAll().get(pos.domain);
-            xfer.alignToPort(pos.domain);
-            xfer.write(pos.domain, bit);
-            byte |= std::uint8_t(bit) << b;
+            if (alignFallible(xfer, pos.domain)) {
+                xfer.write(pos.domain, bit);
+                byte |= std::uint8_t(bit) << b;
+            } else {
+                // The replica lands displaced on the transfer track;
+                // return what actually sits at the port.
+                xfer.writeAtPortOf(pos.domain, bit);
+                byte |= std::uint8_t(xfer.senseAtPortOf(pos.domain))
+                        << b;
+            }
             activity_.fanOutCopies += 1;
             activity_.shiftSteps += 1;
         }
@@ -123,14 +218,21 @@ Mat::shiftOutDestructive(std::uint64_t offset, std::uint64_t count)
     out.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         BytePos pos = locate(offset + i);
+        // The 8-track group ejects this byte's domains with one
+        // shared shift pulse; a residual displacement (recovery
+        // failed) ejects the neighboring domain instead.
+        const int disp = depositDisplacement();
+        const long d = long(pos.domain) + disp;
         std::uint8_t byte = 0;
         for (unsigned b = 0; b < 8; ++b) {
             Nanowire &t = saveTracks_[pos.trackGroup + b];
             BitVec all = t.readAll();
-            byte |= std::uint8_t(all.get(pos.domain)) << b;
-            // The domain leaves the track toward the bus.
-            all.set(pos.domain, false);
-            t.writeAll(all);
+            if (d >= 0 && d < long(domainsPerTrack_)) {
+                byte |= std::uint8_t(all.get(unsigned(d))) << b;
+                // The domain leaves the track toward the bus.
+                all.set(unsigned(d), false);
+                t.writeAll(all);
+            }
             activity_.shiftSteps += 1;
         }
         out.push_back(byte);
@@ -145,11 +247,18 @@ Mat::shiftInFromBus(std::uint64_t offset,
     checkRange(offset, data.size());
     for (std::uint64_t i = 0; i < data.size(); ++i) {
         BytePos pos = locate(offset + i);
+        // One shared deposit pulse per byte; a residual displacement
+        // (recovery failed) commits the byte into the neighboring
+        // domain, or loses it past the track end.
+        const int disp = depositDisplacement();
+        const long d = long(pos.domain) + disp;
         for (unsigned b = 0; b < 8; ++b) {
             Nanowire &t = saveTracks_[pos.trackGroup + b];
-            BitVec all = t.readAll();
-            all.set(pos.domain, (data[i] >> b) & 1);
-            t.writeAll(all);
+            if (d >= 0 && d < long(domainsPerTrack_)) {
+                BitVec all = t.readAll();
+                all.set(unsigned(d), (data[i] >> b) & 1);
+                t.writeAll(all);
+            }
             activity_.shiftSteps += 1;
         }
     }

@@ -31,6 +31,8 @@
 namespace streampim
 {
 
+class FaultInjector;
+
 /** Activity counters of one mat (feed stats and tests). */
 struct MatActivity
 {
@@ -102,6 +104,17 @@ class Mat
 
     const MatActivity &activity() const { return activity_; }
 
+    /**
+     * Attach a shift-fault injector: every alignment shift and every
+     * per-byte deposit/eject pulse becomes fallible. Port accesses
+     * and deposit commits act as exact checkpoints (the guard
+     * pattern is visible in the sensed data) with budget-bounded
+     * fallible realignment; exhausted recovery escalates the current
+     * VPC through the injector and the access proceeds misaligned
+     * (visibly corrupt, never silent). Pass nullptr to detach.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
   private:
     struct BytePos
     {
@@ -112,11 +125,34 @@ class Mat
     BytePos locate(std::uint64_t offset) const;
     void checkRange(std::uint64_t offset, std::uint64_t count) const;
 
+    /**
+     * Align @p t's domain @p domain to its port, fallibly when an
+     * injector is attached: the alignment shift is one fallible
+     * pulse, the port check is an exact checkpoint, and detected
+     * misalignment is realigned with fallible single-step shifts
+     * under the retry budget.
+     * @return true when the track ended up aligned; false when
+     * recovery failed (the VPC is escalated to Failed and the caller
+     * must fall back to the misaligned senseAtPortOf/writeAtPortOf).
+     */
+    bool alignFallible(Nanowire &t, unsigned domain);
+
+    /**
+     * Sample the displacement of one per-byte deposit/eject pulse
+     * on the shift-based bus paths. The pre-commit port check is an
+     * exact checkpoint; a detected displacement is realigned
+     * (fallibly, under budget) before the domain commits.
+     * @return residual displacement in domains (0 unless recovery
+     * failed, in which case the VPC is already escalated).
+     */
+    int depositDisplacement();
+
     unsigned domainsPerTrack_;
     unsigned domainsPerPort_;
     std::vector<Nanowire> saveTracks_;
     std::vector<Nanowire> transferTracks_;
     MatActivity activity_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace streampim

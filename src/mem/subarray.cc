@@ -42,6 +42,15 @@ FunctionalSubarray::mat(unsigned i)
     return *mats_[i];
 }
 
+void
+FunctionalSubarray::setFaultInjector(FaultInjector *faults)
+{
+    faults_ = faults;
+    for (auto &m : mats_)
+        m->setFaultInjector(faults);
+    processor_->setFaultInjector(faults);
+}
+
 FunctionalSubarray::Location
 FunctionalSubarray::locate(std::uint64_t offset) const
 {
@@ -116,10 +125,16 @@ FunctionalSubarray::streamOut(std::uint64_t offset,
     // Push the replica through the functional segmented bus.
     std::vector<std::uint64_t> words(data.begin(), data.end());
     Cycle cycles = 0;
-    auto arrived = bus_.transferAll(words, cycles);
+    auto arrived =
+        bus_.transferAll(words, cycles, faults_, params_.busSegmentSize);
     SPIM_ASSERT(arrived.size() == words.size(), "bus lost data");
     bus_cycles += cycles;
     busTiming_.recordTransferEnergy(energy_, size);
+    // The processor computes on what the bus delivered; a recovery
+    // failure reaches it as a visibly displaced word, never as
+    // silently wrong data.
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(arrived[i]);
     return data;
 }
 
@@ -132,13 +147,19 @@ FunctionalSubarray::streamIn(std::uint64_t offset,
     // destination mat (no conversion).
     std::vector<std::uint64_t> words(data.begin(), data.end());
     Cycle cycles = 0;
-    auto arrived = bus_.transferAll(words, cycles);
+    auto arrived =
+        bus_.transferAll(words, cycles, faults_, params_.busSegmentSize);
     SPIM_ASSERT(arrived.size() == words.size(), "bus lost data");
     bus_cycles += cycles;
     busTiming_.recordTransferEnergy(energy_, data.size());
 
+    std::vector<std::uint8_t> delivered;
+    delivered.reserve(arrived.size());
+    for (auto w : arrived)
+        delivered.push_back(std::uint8_t(w));
+
     Location loc = locate(offset);
-    mats_[loc.mat]->shiftInFromBus(loc.offset, data);
+    mats_[loc.mat]->shiftInFromBus(loc.offset, delivered);
 }
 
 SubarrayVpcResult
@@ -148,6 +169,18 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
 {
     SPIM_ASSERT(size > 0, "zero-size VPC");
     SubarrayVpcResult res;
+
+    // Attribute every sampled fault of this execution to one VPC.
+    // The system-level driver may already hold a scope spanning
+    // remote-operand staging; only open one when nobody did.
+    const bool fallible = faults_ && faults_->enabled();
+    const bool own_scope = fallible && !faults_->scopeActive();
+    if (own_scope)
+        faults_->beginVpc();
+    const std::uint64_t shifts_before =
+        fallible ? faults_->stats().correctionShifts : 0;
+    const std::uint64_t checks_before =
+        fallible ? faults_->stats().guardChecks : 0;
 
     std::vector<std::uint8_t> a =
         streamOut(src1, size, res.busCycles);
@@ -197,6 +230,17 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
         streamIn(dst, a, res.busCycles);
         break;
       }
+    }
+
+    if (fallible) {
+        // Charge the recovery overhead: every compensating shift
+        // burns shift energy (its bus-cycle cost is already inside
+        // busCycles via transferAll), every guard check one sense.
+        const FaultStats &after = faults_->stats();
+        energy_.shift(after.correctionShifts - shifts_before);
+        energy_.guardSense(after.guardChecks - checks_before);
+        res.fault = own_scope ? faults_->endVpc()
+                              : faults_->currentInfo();
     }
     return res;
 }

@@ -24,6 +24,7 @@
 #include "mem/mat.hh"
 #include "processor/rm_processor.hh"
 #include "rm/energy.hh"
+#include "rm/fault_injector.hh"
 #include "rm/params.hh"
 #include "vpc/vpc.hh"
 
@@ -37,6 +38,8 @@ struct SubarrayVpcResult
     Cycle busCycles = 0;     //!< functional bus cycles consumed
     Cycle pipelineCycles = 0; //!< processor pipeline cycles (model)
     bool overflow = false;
+    /** Fault-recovery outcome (Clean when no injector attached). */
+    VpcFaultInfo fault;
 };
 
 /** One PIM-capable subarray with functional storage + compute. */
@@ -80,6 +83,19 @@ class FunctionalSubarray
     Mat &mat(unsigned i);
     unsigned mats() const { return unsigned(mats_.size()); }
 
+    /**
+     * Attach a shift-fault injector to the whole datapath: every
+     * mat, the segmented bus, and the processor's operand ingest
+     * draw sampled pulse outcomes from it, and executeVpc charges
+     * the recovery overhead (correction-shift energy + guard-sense
+     * energy + extra bus cycles) and reports the per-VPC
+     * FaultStatus in SubarrayVpcResult::fault. Pass nullptr to
+     * detach (e.g. for fault-free verification readout).
+     */
+    void setFaultInjector(FaultInjector *faults);
+
+    const FaultInjector *faultInjector() const { return faults_; }
+
   private:
     struct Location
     {
@@ -107,6 +123,7 @@ class FunctionalSubarray
     std::unique_ptr<RmProcessor> processor_;
     RmBus bus_;
     RmBusTiming busTiming_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace streampim

@@ -1,6 +1,7 @@
 #include "processor/rm_processor.hh"
 
 #include "common/log.hh"
+#include "rm/fault_injector.hh"
 
 namespace streampim
 {
@@ -21,6 +22,35 @@ RmProcessor::duplicationCycles() const
     return timing_.multiplyII();
 }
 
+std::uint8_t
+RmProcessor::ingestOperand(std::uint8_t value)
+{
+    if (!faults_ || !faults_->enabled())
+        return value;
+    int disp = 0;
+    switch (faults_->samplePulse(1)) {
+      case ShiftOutcome::Exact:
+        break;
+      case ShiftOutcome::OverShift:
+        disp = 1;
+        break;
+      case ShiftOutcome::UnderShift:
+        disp = -1;
+        break;
+    }
+    // Ingest checkpoint: the operand's bit-train is sensed as it
+    // enters the duplicators, so misalignment detection is exact;
+    // recovery is fallible and budget-bounded.
+    faults_->noteCheckpointCheck();
+    if (disp != 0)
+        disp = realignEpisode(*faults_, disp);
+    if (disp > 0)
+        return std::uint8_t(value << disp);
+    if (disp < 0)
+        return std::uint8_t(value >> -disp);
+    return value;
+}
+
 ProcessorResult
 RmProcessor::dotProduct(std::span<const std::uint8_t> a,
                         std::span<const std::uint8_t> b)
@@ -31,7 +61,12 @@ RmProcessor::dotProduct(std::span<const std::uint8_t> a,
 
     circleAdder_.clear();
 
+    const std::uint64_t shifts_before =
+        faults_ ? faults_->stats().correctionShifts : 0;
+
     for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::uint8_t ai = ingestOperand(a[i]);
+        const std::uint8_t bi = ingestOperand(b[i]);
         // Stage 1+2: the first operand enters the duplicators. The
         // hardware duplicators split the replica workload; we use
         // round-robin objects for the bit-accurate path (the counts
@@ -40,14 +75,14 @@ RmProcessor::dotProduct(std::span<const std::uint8_t> a,
         replicas.reserve(kOperandBits);
         for (unsigned r = 0; r < kOperandBits; ++r) {
             Duplicator &dup = duplicators_[r % duplicators_.size()];
-            dup.load(BitVec::fromWord(a[i], kOperandBits));
+            dup.load(BitVec::fromWord(ai, kOperandBits));
             replicas.push_back(dup.duplicate());
             dup.unload();
         }
 
         // Stage 2: partial products, Stage 3: adder tree.
         BitVec product = multiplier_.multiplyReplicas(
-            replicas, BitVec::fromWord(b[i], kOperandBits));
+            replicas, BitVec::fromWord(bi, kOperandBits));
 
         // Stage 4: circle adder accumulation.
         circleAdder_.accumulate(product);
@@ -59,6 +94,11 @@ RmProcessor::dotProduct(std::span<const std::uint8_t> a,
     ProcessorResult res;
     res.values = {std::uint32_t(circleAdder_.accumulatorWord())};
     res.cycles = timing_.dotProductCycles(a.size());
+    // Every compensating realignment shift stalls the pipeline one
+    // cycle.
+    if (faults_)
+        res.cycles +=
+            Cycle(faults_->stats().correctionShifts - shifts_before);
     res.overflow = circleAdder_.overflowed();
     return res;
 }
@@ -71,22 +111,31 @@ RmProcessor::scalarVectorMul(std::uint8_t scalar,
     res.values.reserve(v.size());
     res.overflow = false;
 
+    const std::uint64_t shifts_before =
+        faults_ ? faults_->stats().correctionShifts : 0;
+    // The scalar streams into the duplicators once per operation.
+    const std::uint8_t s = ingestOperand(scalar);
+
     for (std::size_t i = 0; i < v.size(); ++i) {
+        const std::uint8_t vi = ingestOperand(v[i]);
         std::vector<BitVec> replicas;
         replicas.reserve(kOperandBits);
         for (unsigned r = 0; r < kOperandBits; ++r) {
             Duplicator &dup = duplicators_[r % duplicators_.size()];
-            dup.load(BitVec::fromWord(scalar, kOperandBits));
+            dup.load(BitVec::fromWord(s, kOperandBits));
             replicas.push_back(dup.duplicate());
             dup.unload();
         }
         BitVec product = multiplier_.multiplyReplicas(
-            replicas, BitVec::fromWord(v[i], kOperandBits));
+            replicas, BitVec::fromWord(vi, kOperandBits));
         res.values.push_back(std::uint32_t(product.toWord()));
         energy_.pimMul();
     }
 
     res.cycles = timing_.scalarVectorMulCycles(v.size());
+    if (faults_)
+        res.cycles +=
+            Cycle(faults_->stats().correctionShifts - shifts_before);
     return res;
 }
 
@@ -102,18 +151,24 @@ RmProcessor::vectorAdd(std::span<const std::uint8_t> a,
     res.values.reserve(a.size());
     res.overflow = false;
 
+    const std::uint64_t shifts_before =
+        faults_ ? faults_->stats().correctionShifts : 0;
+
     for (std::size_t i = 0; i < a.size(); ++i) {
         // Scalar additions stream across the circle adder without
         // circulating the result (Sec. III-C).
         BitVec sum = circleAdder_.addScalars(
-            BitVec::fromWord(a[i], kOperandBits),
-            BitVec::fromWord(b[i], kOperandBits));
+            BitVec::fromWord(ingestOperand(a[i]), kOperandBits),
+            BitVec::fromWord(ingestOperand(b[i]), kOperandBits));
         sum.resize(kOperandBits + 1);
         res.values.push_back(std::uint32_t(sum.toWord()));
         energy_.pimAdd();
     }
 
     res.cycles = timing_.vectorAddCycles(a.size());
+    if (faults_)
+        res.cycles +=
+            Cycle(faults_->stats().correctionShifts - shifts_before);
     return res;
 }
 

@@ -34,6 +34,8 @@
 namespace streampim
 {
 
+class FaultInjector;
+
 /** Result of one functional processor operation. */
 struct ProcessorResult
 {
@@ -75,14 +77,33 @@ class RmProcessor
 
     const ProcessorTiming &timing() const { return timing_; }
 
+    /**
+     * Attach a shift-fault injector: every operand element streamed
+     * into the processor rides one fallible shift pulse. The ingest
+     * port is an exact checkpoint (misalignment is visible in the
+     * sensed bit-train) with budget-bounded fallible realignment;
+     * a failed recovery escalates the VPC through the injector and
+     * the element arrives bit-displaced. Compensating shifts add
+     * pipeline cycles to the operation's result.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
   private:
     /** Cycles spent duplicating one operand's replicas. */
     Cycle duplicationCycles() const;
+
+    /**
+     * Stream one operand element through the fallible ingest pulse;
+     * returns the (possibly bit-displaced) value that reaches the
+     * logic.
+     */
+    std::uint8_t ingestOperand(std::uint8_t value);
 
     const RmParams &params_;
     ProcessorTiming timing_;
     LogicCounters counters_;
     RmEnergyModel energy_;
+    FaultInjector *faults_ = nullptr;
 
     /** One duplicator object per hardware duplicator (Table III). */
     std::vector<Duplicator> duplicators_;

@@ -17,6 +17,7 @@ energyOpName(EnergyOp op)
       case EnergyOp::DramRefresh: return "dram_refresh";
       case EnergyOp::BusElectrical: return "bus_electrical";
       case EnergyOp::HostCompute: return "host_compute";
+      case EnergyOp::GuardSense: return "guard_sense";
       case EnergyOp::NumOps: break;
     }
     return "unknown";

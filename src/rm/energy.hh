@@ -34,6 +34,7 @@ enum class EnergyOp : unsigned
     DramRefresh,    //!< DRAM refresh (baselines)
     BusElectrical,  //!< electrical bus transfer incl. conversion
     HostCompute,    //!< CPU/GPU arithmetic (baselines)
+    GuardSense,     //!< guard-domain check (fault detection)
     NumOps,
 };
 
@@ -177,6 +178,18 @@ class RmEnergyModel
     pimMul(std::uint64_t count = 1)
     {
         meter_.record(EnergyOp::PimMul, params_.pimMulPj, count);
+    }
+
+    /**
+     * One guard-domain sense: a transverse read of the guard
+     * positions of one segment. Charged at the access-port read
+     * energy — the sense amplifier path is the same; only the
+     * addressed domains differ.
+     */
+    void
+    guardSense(std::uint64_t count = 1)
+    {
+        meter_.record(EnergyOp::GuardSense, params_.readPj, count);
     }
 
   private:

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * End-to-end shift-fault injection state for the functional datapath.
+ *
+ * The ShiftFaultModel (rm/fault.hh) and SegmentGuard (rm/redundancy.hh)
+ * describe fault statistics in closed form; this header supplies the
+ * machinery that threads *sampled* faults through the real datapath:
+ * Nanowire::tryShift, the segmented RM bus, mat save/transfer-track
+ * movement, and the RM processor's operand streaming all draw pulse
+ * outcomes from one FaultInjector, and the subarray controller uses
+ * the same object to model guard-domain detection and bounded
+ * realign-retry (Sec. III-D segmentation bound + Sec. VI redundancy).
+ *
+ * Detection model (two tiers, both architecturally motivated):
+ *  - In-flight guard checks (between shift pulses) succeed only with
+ *    the configured coverage: they are cheap transverse senses of the
+ *    guard pattern. A missed check does not lose information forever —
+ *    misalignment is persistent wire state, so a later check can still
+ *    catch it, at the price of an accumulated |error| that may exceed
+ *    what the guard pattern can localize.
+ *  - Checkpoint checks (at access ports / before a deposit commits /
+ *    when a word leaves the bus) are exact: a misaligned guard pattern
+ *    is directly visible in the sensed data. Consequently a VPC that
+ *    finishes without being marked Failed is bit-exact; coverage < 1
+ *    converts silent corruption into visible escalations, never into
+ *    undetected wrong data.
+ *
+ * Recovery: a detected misalignment of |e| positions is realigned with
+ * |e| compensating single-step shifts, each itself a fallible pulse.
+ * Realignment episodes retry up to the configured budget; exhaustion,
+ * or |e| beyond the guard's localization range (guardDomains - 1),
+ * escalates the current VPC to FaultStatus::Failed.
+ */
+
+#ifndef STREAMPIM_RM_FAULT_INJECTOR_HH_
+#define STREAMPIM_RM_FAULT_INJECTOR_HH_
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "rm/fault.hh"
+
+namespace streampim
+{
+
+/** Per-VPC outcome of fault recovery, worst case over all pulses. */
+enum class FaultStatus : std::uint8_t
+{
+    Clean,     //!< no fault occurred
+    Corrected, //!< faults occurred; every realignment succeeded first try
+    Retried,   //!< some realignment needed extra attempts (all succeeded)
+    Failed,    //!< retry budget exhausted or error beyond guard range
+};
+
+/** Human-readable status name. */
+constexpr const char *
+faultStatusName(FaultStatus s)
+{
+    switch (s) {
+      case FaultStatus::Clean: return "clean";
+      case FaultStatus::Corrected: return "corrected";
+      case FaultStatus::Retried: return "retried";
+      case FaultStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+/** Knobs of one fault-injection session. */
+struct FaultConfig
+{
+    /** Per-domain-step fault probability (0 disables injection). */
+    double pStep = 0.0;
+    /** Fraction of faults that over-shift (rest under-shift). */
+    double overFraction = 0.5;
+    /** Detection probability of one in-flight guard check. */
+    double guardCoverage = 0.999;
+    /** Guard domains per segment; localizes errors up to this - 1. */
+    unsigned guardDomains = 2;
+    /** Realign attempts per episode before escalating to Failed. */
+    unsigned realignRetryBudget = 4;
+    /** RNG seed; campaigns derive one seed per cell/subarray. */
+    std::uint64_t seed = 0x5eed;
+
+    void
+    validate() const
+    {
+        SPIM_ASSERT(pStep >= 0.0 && pStep < 1.0,
+                    "step fault probability out of range");
+        SPIM_ASSERT(guardCoverage > 0.0 && guardCoverage <= 1.0,
+                    "guard coverage out of range");
+        SPIM_ASSERT(guardDomains >= 2,
+                    "need at least 2 guard domains");
+        SPIM_ASSERT(realignRetryBudget >= 1,
+                    "realign retry budget must be >= 1");
+    }
+};
+
+/** Lifetime counters of one injector (all sampled, not expected). */
+struct FaultStats
+{
+    std::uint64_t pulses = 0;           //!< fallible pulses sampled
+    std::uint64_t faultsInjected = 0;   //!< over- + under-shifts
+    std::uint64_t overShifts = 0;
+    std::uint64_t underShifts = 0;
+    std::uint64_t guardChecks = 0;      //!< in-flight + checkpoint senses
+    std::uint64_t checksMissed = 0;     //!< in-flight checks that missed
+    std::uint64_t correctionShifts = 0; //!< compensating single steps
+    std::uint64_t realignRetries = 0;   //!< episodes needing a 2nd+ try
+    std::uint64_t uncorrectable = 0;    //!< |error| beyond guard range
+    std::uint64_t budgetExhausted = 0;  //!< realign episodes given up
+    std::uint64_t clampedAtWireEnd = 0; //!< faulty travel hit the wire end
+
+    /** Fold another injector's counters in (system aggregation). */
+    void
+    merge(const FaultStats &o)
+    {
+        pulses += o.pulses;
+        faultsInjected += o.faultsInjected;
+        overShifts += o.overShifts;
+        underShifts += o.underShifts;
+        guardChecks += o.guardChecks;
+        checksMissed += o.checksMissed;
+        correctionShifts += o.correctionShifts;
+        realignRetries += o.realignRetries;
+        uncorrectable += o.uncorrectable;
+        budgetExhausted += o.budgetExhausted;
+        clampedAtWireEnd += o.clampedAtWireEnd;
+    }
+};
+
+/** Counters + escalation status attributed to one VPC. */
+struct VpcFaultInfo
+{
+    FaultStatus status = FaultStatus::Clean;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsCorrected = 0;
+    std::uint64_t correctionShifts = 0;
+    std::uint64_t realignRetries = 0;
+    std::uint64_t guardChecks = 0;
+
+    /** Fold another record in (cross-subarray VPC attribution). */
+    void
+    merge(const VpcFaultInfo &o)
+    {
+        if (static_cast<int>(o.status) > static_cast<int>(status))
+            status = o.status;
+        faultsInjected += o.faultsInjected;
+        faultsCorrected += o.faultsCorrected;
+        correctionShifts += o.correctionShifts;
+        realignRetries += o.realignRetries;
+        guardChecks += o.guardChecks;
+    }
+};
+
+/**
+ * The sampled-fault source shared by every component of one
+ * subarray's datapath. Not thread-safe: one injector belongs to one
+ * subarray, and campaign cells each own their system instance.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg)
+        : cfg_(cfg), model_(cfg.pStep, cfg.overFraction),
+          rng_(cfg.seed)
+    {
+        cfg_.validate();
+    }
+
+    const FaultConfig &config() const { return cfg_; }
+    const ShiftFaultModel &model() const { return model_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /** True when pStep > 0; hooks may skip sampling otherwise. */
+    bool enabled() const { return cfg_.pStep > 0.0; }
+
+    /** Largest |misalignment| the guard pattern can localize. */
+    unsigned
+    maxCorrectable() const
+    {
+        return cfg_.guardDomains - 1;
+    }
+
+    /** Sample one fallible pulse of @p steps domain positions. */
+    ShiftOutcome
+    samplePulse(unsigned steps)
+    {
+        stats_.pulses++;
+        ShiftOutcome out = model_.samplePulse(rng_, steps);
+        switch (out) {
+          case ShiftOutcome::Exact:
+            break;
+          case ShiftOutcome::OverShift:
+            stats_.faultsInjected++;
+            stats_.overShifts++;
+            noteInjected();
+            break;
+          case ShiftOutcome::UnderShift:
+            stats_.faultsInjected++;
+            stats_.underShifts++;
+            noteInjected();
+            break;
+        }
+        return out;
+    }
+
+    /** One in-flight guard check; detection succeeds with coverage. */
+    bool
+    inFlightCheck()
+    {
+        noteGuardCheck();
+        if (rng_.uniform() < cfg_.guardCoverage)
+            return true;
+        stats_.checksMissed++;
+        return false;
+    }
+
+    /** One exact checkpoint check (port access / deposit / egress). */
+    void noteCheckpointCheck() { noteGuardCheck(); }
+
+    /** Record @p n compensating single-step shifts. */
+    void
+    noteCorrectionShifts(std::uint64_t n)
+    {
+        stats_.correctionShifts += n;
+        if (scopeActive_)
+            scope_.correctionShifts += n;
+    }
+
+    /** Record one realignment episode that restored alignment. */
+    void
+    noteCorrected()
+    {
+        if (scopeActive_) {
+            scope_.faultsCorrected++;
+            if (static_cast<int>(scope_.status) <
+                static_cast<int>(FaultStatus::Corrected))
+                scope_.status = FaultStatus::Corrected;
+        }
+    }
+
+    /** Record a realignment episode that needed extra attempts. */
+    void
+    noteRetry()
+    {
+        stats_.realignRetries++;
+        if (scopeActive_) {
+            scope_.realignRetries++;
+            if (static_cast<int>(scope_.status) <
+                static_cast<int>(FaultStatus::Retried))
+                scope_.status = FaultStatus::Retried;
+        }
+    }
+
+    /** Record |error| beyond the guard's localization range. */
+    void
+    noteUncorrectable()
+    {
+        stats_.uncorrectable++;
+        fail();
+    }
+
+    /** Record an exhausted realign-retry budget. */
+    void
+    noteBudgetExhausted()
+    {
+        stats_.budgetExhausted++;
+        fail();
+    }
+
+    /** Record faulty travel pinned at the physical wire end. */
+    void noteClamped() { stats_.clampedAtWireEnd++; }
+
+    /** Attribution scope: stats between begin/end belong to one VPC.
+     * @{ */
+    void
+    beginVpc()
+    {
+        SPIM_ASSERT(!scopeActive_, "nested fault-attribution scope");
+        scope_ = VpcFaultInfo{};
+        scopeActive_ = true;
+    }
+
+    VpcFaultInfo
+    endVpc()
+    {
+        SPIM_ASSERT(scopeActive_, "endVpc without beginVpc");
+        scopeActive_ = false;
+        return scope_;
+    }
+
+    bool scopeActive() const { return scopeActive_; }
+    const VpcFaultInfo &currentInfo() const { return scope_; }
+    /** @} */
+
+  private:
+    void
+    noteInjected()
+    {
+        if (scopeActive_)
+            scope_.faultsInjected++;
+    }
+
+    void
+    noteGuardCheck()
+    {
+        stats_.guardChecks++;
+        if (scopeActive_)
+            scope_.guardChecks++;
+    }
+
+    void
+    fail()
+    {
+        if (scopeActive_)
+            scope_.status = FaultStatus::Failed;
+    }
+
+    FaultConfig cfg_;
+    ShiftFaultModel model_;
+    Rng rng_;
+    FaultStats stats_;
+    VpcFaultInfo scope_;
+    bool scopeActive_ = false;
+};
+
+/**
+ * One budget-bounded realignment episode on an abstract misalignment
+ * of @p error positions: one fallible compensating single-step shift
+ * per position, retried up to the injector's budget. Escalates
+ * through the injector (uncorrectable / budget exhausted → the
+ * active VPC scope turns Failed) and returns the residual error
+ * (0 on success). Components whose misalignment is plain state (the
+ * bus flits) use this directly; the Nanowire path mirrors it with
+ * real tryShift calls (Mat::alignFallible).
+ */
+inline int
+realignEpisode(FaultInjector &faults, int error)
+{
+    if (error == 0)
+        return 0;
+    const unsigned budget = faults.config().realignRetryBudget;
+    unsigned attempts = 0;
+    while (error != 0) {
+        const unsigned mag = unsigned(error < 0 ? -error : error);
+        if (mag > faults.maxCorrectable()) {
+            faults.noteUncorrectable();
+            return error;
+        }
+        if (attempts >= budget) {
+            faults.noteBudgetExhausted();
+            return error;
+        }
+        if (attempts > 0)
+            faults.noteRetry();
+        attempts++;
+        for (unsigned k = 0; k < mag && error != 0; ++k) {
+            const int dir = error > 0 ? -1 : 1;
+            faults.noteCorrectionShifts(1);
+            switch (faults.samplePulse(1)) {
+              case ShiftOutcome::Exact:
+                error += dir;
+                break;
+              case ShiftOutcome::OverShift:
+                error += 2 * dir; // overshot past the target
+                break;
+              case ShiftOutcome::UnderShift:
+                break; // the train did not move
+            }
+        }
+    }
+    faults.noteCorrected();
+    return 0;
+}
+
+} // namespace streampim
+
+#endif // STREAMPIM_RM_FAULT_INJECTOR_HH_

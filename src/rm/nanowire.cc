@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "rm/fault_injector.hh"
+
 namespace streampim
 {
 
@@ -26,10 +28,66 @@ Nanowire::shift(ShiftDir dir, unsigned steps)
     // The train may travel at most the reserved span in either
     // direction; beyond that, domains fall off the wire ends.
     if (next < -int(reserved_) || next > int(reserved_))
-        SPIM_PANIC("over-shift: offset ", next, " exceeds reserved ",
-                   reserved_);
+        SPIM_PANIC("over-shift: attempted offset ", next,
+                   " (shift by ", delta, " from offset ", offset_,
+                   ") outside reserved region [-", reserved_, ", ",
+                   reserved_, "]");
     offset_ = next;
     totalShiftSteps_ += steps;
+}
+
+ShiftAttempt
+Nanowire::tryShift(ShiftDir dir, unsigned steps, FaultInjector *faults)
+{
+    ShiftAttempt att;
+    if (!faults || !faults->enabled() || steps == 0) {
+        shift(dir, steps);
+        att.applied =
+            (dir == ShiftDir::TowardLower) ? -int(steps) : int(steps);
+        return att;
+    }
+
+    const int delta =
+        (dir == ShiftDir::TowardLower) ? -int(steps) : int(steps);
+    const int intended = offset_ + delta;
+    // The intended target must be legal — violating it is a caller
+    // bug exactly as with shift(); only the sampled fault may push
+    // the train past it.
+    if (intended < -int(reserved_) || intended > int(reserved_))
+        SPIM_PANIC("over-shift: attempted offset ", intended,
+                   " (shift by ", delta, " from offset ", offset_,
+                   ") outside reserved region [-", reserved_, ", ",
+                   reserved_, "]");
+
+    att.outcome = faults->samplePulse(steps);
+    int error = 0;
+    switch (att.outcome) {
+      case ShiftOutcome::Exact:
+        break;
+      case ShiftOutcome::OverShift:
+        error = delta >= 0 ? 1 : -1; // one position past the target
+        break;
+      case ShiftOutcome::UnderShift:
+        error = delta >= 0 ? -1 : 1; // one position short
+        break;
+    }
+    int next = intended + error;
+    // A faulty single-position overtravel is pinned at the physical
+    // wire end: the reserved overhead domains absorb it, so data
+    // survives (misaligned) instead of falling off.
+    if (next < -int(reserved_)) {
+        next = -int(reserved_);
+        att.clamped = true;
+        faults->noteClamped();
+    } else if (next > int(reserved_)) {
+        next = int(reserved_);
+        att.clamped = true;
+        faults->noteClamped();
+    }
+    att.applied = next - offset_;
+    offset_ = next;
+    totalShiftSteps_ += std::uint64_t(std::abs(att.applied));
+    return att;
 }
 
 int
@@ -63,6 +121,30 @@ Nanowire::alignToPort(unsigned index)
     else if (steps > 0)
         shift(ShiftDir::TowardHigher, unsigned(steps));
     return unsigned(std::abs(steps));
+}
+
+bool
+Nanowire::senseAtPortOf(unsigned index) const
+{
+    SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+    // Misaligned by m = offset - target, the port of index's group
+    // has logical domain index - m under it (see physicalPos).
+    const int m = offset_ + int(index % domainsPerPort_);
+    const int j = int(index) - m;
+    if (j < 0 || j >= int(dataDomains_))
+        return false; // reserved overhead domains hold no data
+    return bits_[unsigned(j)];
+}
+
+void
+Nanowire::writeAtPortOf(unsigned index, bool value)
+{
+    SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+    const int m = offset_ + int(index % domainsPerPort_);
+    const int j = int(index) - m;
+    if (j < 0 || j >= int(dataDomains_))
+        return; // the bit lands in a reserved domain and is lost
+    bits_[unsigned(j)] = value;
 }
 
 bool

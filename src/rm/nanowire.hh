@@ -22,15 +22,26 @@
 
 #include "common/bitvec.hh"
 #include "common/log.hh"
+#include "rm/fault.hh"
 
 namespace streampim
 {
+
+class FaultInjector;
 
 /** Shift direction along a nanowire. */
 enum class ShiftDir
 {
     TowardLower,  //!< data index i moves to i-1
     TowardHigher, //!< data index i moves to i+1
+};
+
+/** What one fallible shift pulse actually did to the train. */
+struct ShiftAttempt
+{
+    ShiftOutcome outcome = ShiftOutcome::Exact;
+    int applied = 0;      //!< signed positions the train moved
+    bool clamped = false; //!< faulty travel pinned at the wire end
 };
 
 /** A single racetrack: data domains + reserved overhead domains. */
@@ -57,6 +68,19 @@ class Nanowire
      */
     void shift(ShiftDir dir, unsigned steps = 1);
 
+    /**
+     * Fallible shift: the pulse is sampled from @p faults and may
+     * over- or under-shift by one position (Sec. III-D). The
+     * *intended* target must lie inside the reserved region (a
+     * violation is a caller bug and panics, as shift() does); a
+     * faulty one-position overtravel beyond the region is pinned at
+     * the wire end instead of destroying data, which the reserved
+     * overhead domains exist to absorb. A null or disabled injector
+     * degrades to an exact shift.
+     */
+    ShiftAttempt tryShift(ShiftDir dir, unsigned steps,
+                          FaultInjector *faults);
+
     /** Shift so that logical domain @p index aligns with its port. */
     unsigned alignToPort(unsigned index);
 
@@ -71,6 +95,19 @@ class Nanowire
 
     /** True if logical domain @p index currently sits under a port. */
     bool alignedAtPort(unsigned index) const;
+
+    /**
+     * Sense whatever domain physically sits under @p index's access
+     * port right now, without requiring alignment. Misaligned by m
+     * positions, the port sees logical domain index - m; a reserved
+     * overhead domain senses as 0. Models the corrupted access a
+     * controller commits when realignment failed (FaultStatus::
+     * Failed) — the infallible read()/write() still assert alignment.
+     * @{
+     */
+    bool senseAtPortOf(unsigned index) const;
+    void writeAtPortOf(unsigned index, bool value);
+    /** @} */
 
     /** Shift distance needed to align @p index with its port. */
     int stepsToAlign(unsigned index) const;

@@ -75,6 +75,16 @@ struct RmParams
     /** Physical bus length in domains from mat edge to processor. */
     unsigned busLengthDomains = 4096;
 
+    // --- Shift-fault tolerance (Sec. III-D bound + Sec. VI) ---
+    /** Per-domain-step shift-fault probability (0 = fault free). */
+    double shiftFaultPStep = 0.0;
+    /** Detection probability of one in-flight guard check. */
+    double guardCoverage = 0.999;
+    /** Guard domains per segment; localizes errors up to this - 1. */
+    unsigned guardDomains = 2;
+    /** Realignment attempts per episode before escalating. */
+    unsigned realignRetryBudget = 4;
+
     // --- Derived quantities ---
     std::uint64_t
     bytesPerSubarray() const
@@ -146,6 +156,14 @@ struct RmParams
             SPIM_FATAL("more transfer mats than mats in a subarray");
         if (duplicators == 0)
             SPIM_FATAL("processor needs at least one duplicator");
+        if (shiftFaultPStep < 0.0 || shiftFaultPStep >= 1.0)
+            SPIM_FATAL("shiftFaultPStep out of [0, 1)");
+        if (guardCoverage <= 0.0 || guardCoverage > 1.0)
+            SPIM_FATAL("guardCoverage out of (0, 1]");
+        if (guardDomains < 2)
+            SPIM_FATAL("need at least 2 guard domains");
+        if (realignRetryBudget == 0)
+            SPIM_FATAL("realignRetryBudget must be >= 1");
     }
 };
 

@@ -37,6 +37,11 @@ struct GuardedTransferStats
     std::uint64_t faultsCorrected = 0;
     std::uint64_t correctionShifts = 0; //!< compensating steps
     std::uint64_t guardChecks = 0;      //!< guard sensing reads
+    /** Detected misalignments beyond the guard's localization range
+     * (|error| > guardDomains - 1): the pattern shifted out of its
+     * window, so the controller knows the transfer is bad but cannot
+     * realign it. */
+    std::uint64_t faultsUncorrectable = 0;
     long residualError = 0;             //!< uncorrected misalignment
 
     bool dataIntact() const { return residualError == 0; }
@@ -67,6 +72,14 @@ class SegmentGuard
 
     unsigned guardDomains() const { return guardDomains_; }
 
+    /**
+     * Largest |misalignment| the guard pattern can localize: the
+     * pattern spans guardDomains positions, so an error that moves
+     * it by more than guardDomains - 1 slides it out of the sensing
+     * window and only "misaligned, magnitude unknown" remains.
+     */
+    unsigned maxCorrectable() const { return guardDomains_ - 1; }
+
     /** Capacity overhead of the guards for @p segment_size. */
     double
     overheadFraction(unsigned segment_size) const
@@ -78,6 +91,16 @@ class SegmentGuard
      * Simulate a transfer of @p pulses pulses of @p steps_per_pulse
      * steps under @p faults, checking and correcting after every
      * pulse.
+     *
+     * With imperfect coverage, consecutive missed checks let the
+     * misalignment accumulate (each pulse adds at most +-1, the
+     * Sec. III-D per-pulse bound). A later detection realigns with
+     * one compensating single-step shift per position — but only
+     * while |error| <= maxCorrectable(); beyond that the guard
+     * pattern no longer localizes the error, the event is counted
+     * in faultsUncorrectable, and the controller abandons guarded
+     * correction for the rest of the transfer (it would escalate
+     * architecturally).
      */
     GuardedTransferStats
     run(Rng &rng, const ShiftFaultModel &faults,
@@ -86,6 +109,7 @@ class SegmentGuard
         GuardedTransferStats stats;
         stats.pulses = pulses;
         long misalignment = 0;
+        bool abandoned = false;
         for (std::uint64_t i = 0; i < pulses; ++i) {
             switch (faults.samplePulse(rng, steps_per_pulse)) {
               case ShiftOutcome::Exact:
@@ -99,17 +123,23 @@ class SegmentGuard
                 stats.faultsInjected++;
                 break;
             }
-            // Guard check after the pulse; correction restores the
-            // alignment when detection succeeds. Only +-1 errors
-            // are correctable by a single-step compensation; the
-            // per-pulse bound guarantees that is all that occurs.
+            if (abandoned)
+                continue;
+            // Guard check after the pulse; detection succeeds with
+            // the configured coverage. Realignment costs one
+            // compensating shift per misaligned position.
             stats.guardChecks++;
             if (misalignment != 0 && rng.uniform() < coverage_) {
-                stats.correctionShifts +=
-                    std::uint64_t(misalignment < 0 ? -misalignment
-                                                   : misalignment);
-                stats.faultsCorrected++;
-                misalignment = 0;
+                const std::uint64_t mag = std::uint64_t(
+                    misalignment < 0 ? -misalignment : misalignment);
+                if (mag <= maxCorrectable()) {
+                    stats.correctionShifts += mag;
+                    stats.faultsCorrected += mag;
+                    misalignment = 0;
+                } else {
+                    stats.faultsUncorrectable++;
+                    abandoned = true;
+                }
             }
         }
         stats.residualError = misalignment;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the sampled shift-fault injector and the shared
+ * realignment episode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rm/fault_injector.hh"
+
+namespace streampim
+{
+namespace
+{
+
+FaultConfig
+heavyConfig()
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.9;
+    cfg.overFraction = 1.0; // every fault over-shifts
+    cfg.guardCoverage = 1.0;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(FaultInjector, DisabledAtZeroPStep)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.0;
+    FaultInjector inj(cfg);
+    EXPECT_FALSE(inj.enabled());
+    // Sampling still works and is always exact.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(inj.samplePulse(64), ShiftOutcome::Exact);
+    EXPECT_EQ(inj.stats().faultsInjected, 0u);
+    EXPECT_EQ(inj.stats().pulses, 100u);
+}
+
+TEST(FaultInjector, SameSeedSameOutcomeSequence)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.01;
+    cfg.seed = 123;
+    FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_EQ(a.samplePulse(32), b.samplePulse(32));
+    EXPECT_EQ(a.stats().faultsInjected, b.stats().faultsInjected);
+    EXPECT_EQ(a.stats().overShifts, b.stats().overShifts);
+}
+
+TEST(FaultInjector, CountersClassifyOutcomes)
+{
+    FaultInjector inj(heavyConfig());
+    for (int i = 0; i < 200; ++i)
+        inj.samplePulse(64);
+    const FaultStats &s = inj.stats();
+    EXPECT_EQ(s.pulses, 200u);
+    EXPECT_GT(s.faultsInjected, 0u);
+    EXPECT_EQ(s.faultsInjected, s.overShifts); // overFraction = 1
+    EXPECT_EQ(s.underShifts, 0u);
+}
+
+TEST(FaultInjector, InFlightCheckHonorsCoverage)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.01;
+    cfg.guardCoverage = 1.0;
+    FaultInjector inj(cfg);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(inj.inFlightCheck());
+    EXPECT_EQ(inj.stats().guardChecks, 100u);
+    EXPECT_EQ(inj.stats().checksMissed, 0u);
+
+    cfg.guardCoverage = 1e-9; // essentially never detects
+    FaultInjector blind(cfg);
+    unsigned detected = 0;
+    for (int i = 0; i < 100; ++i)
+        detected += blind.inFlightCheck();
+    EXPECT_EQ(detected, 0u);
+    EXPECT_EQ(blind.stats().checksMissed, 100u);
+}
+
+TEST(FaultInjector, ScopeStatusEscalation)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.01;
+    FaultInjector inj(cfg);
+
+    inj.beginVpc();
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Clean);
+    inj.noteCorrected();
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Corrected);
+    inj.noteRetry();
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Retried);
+    inj.noteCorrected(); // cannot downgrade
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Retried);
+    inj.noteBudgetExhausted();
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Failed);
+    VpcFaultInfo info = inj.endVpc();
+    EXPECT_EQ(info.status, FaultStatus::Failed);
+    EXPECT_EQ(info.faultsCorrected, 2u);
+    EXPECT_EQ(info.realignRetries, 1u);
+    EXPECT_FALSE(inj.scopeActive());
+}
+
+TEST(FaultInjector, VpcInfoMergeTakesWorstStatus)
+{
+    VpcFaultInfo a;
+    a.status = FaultStatus::Corrected;
+    a.faultsInjected = 3;
+    VpcFaultInfo b;
+    b.status = FaultStatus::Failed;
+    b.faultsInjected = 1;
+    a.merge(b);
+    EXPECT_EQ(a.status, FaultStatus::Failed);
+    EXPECT_EQ(a.faultsInjected, 4u);
+
+    VpcFaultInfo c; // Clean cannot downgrade Failed
+    a.merge(c);
+    EXPECT_EQ(a.status, FaultStatus::Failed);
+}
+
+TEST(RealignEpisode, CorrectsWithReliableShifts)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.0; // compensating shifts always land
+    FaultInjector inj(cfg);
+    inj.beginVpc();
+    EXPECT_EQ(realignEpisode(inj, 1), 0);
+    EXPECT_EQ(realignEpisode(inj, -1), 0);
+    EXPECT_EQ(inj.stats().correctionShifts, 2u);
+    EXPECT_EQ(inj.stats().realignRetries, 0u);
+    VpcFaultInfo info = inj.endVpc();
+    EXPECT_EQ(info.status, FaultStatus::Corrected);
+    EXPECT_EQ(info.faultsCorrected, 2u);
+}
+
+TEST(RealignEpisode, ErrorBeyondGuardRangeFails)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.0;
+    cfg.guardDomains = 2; // localizes only |error| <= 1
+    FaultInjector inj(cfg);
+    inj.beginVpc();
+    EXPECT_EQ(realignEpisode(inj, 3), 3);
+    EXPECT_EQ(inj.stats().uncorrectable, 1u);
+    EXPECT_EQ(inj.endVpc().status, FaultStatus::Failed);
+}
+
+TEST(RealignEpisode, WiderGuardCorrectsMultiStepErrors)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.0;
+    cfg.guardDomains = 4; // localizes up to |error| = 3
+    FaultInjector inj(cfg);
+    inj.beginVpc();
+    EXPECT_EQ(realignEpisode(inj, 3), 0);
+    EXPECT_EQ(inj.stats().correctionShifts, 3u);
+    EXPECT_EQ(inj.endVpc().status, FaultStatus::Corrected);
+}
+
+TEST(RealignEpisode, BudgetExhaustionFails)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.9999;      // compensating shifts nearly always fault
+    cfg.overFraction = 0.0;  // always under-shift: the train never moves
+    cfg.realignRetryBudget = 3;
+    cfg.seed = 9;
+    FaultInjector inj(cfg);
+    inj.beginVpc();
+    EXPECT_NE(realignEpisode(inj, 1), 0);
+    EXPECT_EQ(inj.stats().budgetExhausted, 1u);
+    EXPECT_EQ(inj.stats().realignRetries, 2u); // attempts 2 and 3
+    EXPECT_EQ(inj.endVpc().status, FaultStatus::Failed);
+}
+
+TEST(FaultInjectorDeath, BadConfigPanics)
+{
+    FaultConfig cfg;
+    cfg.guardDomains = 1;
+    EXPECT_DEATH(FaultInjector{cfg}, "guard domains");
+    cfg = FaultConfig{};
+    cfg.realignRetryBudget = 0;
+    EXPECT_DEATH(FaultInjector{cfg}, "budget");
+    cfg = FaultConfig{};
+    cfg.guardCoverage = 0.0;
+    EXPECT_DEATH(FaultInjector{cfg}, "coverage");
+}
+
+TEST(FaultInjectorDeath, NestedScopePanics)
+{
+    FaultConfig cfg;
+    FaultInjector inj(cfg);
+    inj.beginVpc();
+    EXPECT_DEATH(inj.beginVpc(), "nested");
+}
+
+} // namespace
+} // namespace streampim

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rm/fault_injector.hh"
 #include "rm/nanowire.hh"
 
 namespace streampim
@@ -83,6 +84,98 @@ TEST(NanowireDeath, OverShiftPanics)
     Nanowire w(128, 64);
     // Reserved span is one port group (64); 65 steps falls off.
     EXPECT_DEATH(w.shift(ShiftDir::TowardLower, 65), "over-shift");
+}
+
+TEST(NanowireDeath, OverShiftPanicNamesOffsetAndBounds)
+{
+    Nanowire w(128, 64);
+    // The message must name the attempted offset and the reserved
+    // region so a failing run is diagnosable without a debugger.
+    EXPECT_DEATH(
+        w.shift(ShiftDir::TowardLower, 65),
+        "attempted offset -65 .*outside reserved region "
+        "\\[-64, 64\\]");
+}
+
+TEST(Nanowire, TryShiftWithoutInjectorMatchesShift)
+{
+    Nanowire a(128, 64), b(128, 64);
+    a.shift(ShiftDir::TowardHigher, 10);
+    ShiftAttempt att = b.tryShift(ShiftDir::TowardHigher, 10, nullptr);
+    EXPECT_EQ(att.outcome, ShiftOutcome::Exact);
+    EXPECT_EQ(att.applied, 10);
+    EXPECT_FALSE(att.clamped);
+    EXPECT_EQ(a.offset(), b.offset());
+    EXPECT_EQ(a.totalShiftSteps(), b.totalShiftSteps());
+}
+
+TEST(Nanowire, TryShiftOverShiftLandsOnePastTarget)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.999999;
+    cfg.overFraction = 1.0;
+    FaultInjector inj(cfg);
+    Nanowire w(128, 64);
+    ShiftAttempt att = w.tryShift(ShiftDir::TowardHigher, 10, &inj);
+    EXPECT_EQ(att.outcome, ShiftOutcome::OverShift);
+    EXPECT_EQ(att.applied, 11);
+    EXPECT_EQ(w.offset(), 11);
+}
+
+TEST(Nanowire, TryShiftUnderShiftStopsOneShort)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.999999;
+    cfg.overFraction = 0.0;
+    FaultInjector inj(cfg);
+    Nanowire w(128, 64);
+    ShiftAttempt att = w.tryShift(ShiftDir::TowardLower, 10, &inj);
+    EXPECT_EQ(att.outcome, ShiftOutcome::UnderShift);
+    EXPECT_EQ(att.applied, -9);
+    EXPECT_EQ(w.offset(), -9);
+}
+
+TEST(Nanowire, TryShiftClampsFaultyTravelAtWireEnd)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.999999;
+    cfg.overFraction = 1.0;
+    FaultInjector inj(cfg);
+    Nanowire w(128, 64);
+    // Intended target is the reserved boundary itself; the faulty
+    // extra step pins at the physical end instead of panicking.
+    ShiftAttempt att = w.tryShift(ShiftDir::TowardHigher, 64, &inj);
+    EXPECT_TRUE(att.clamped);
+    EXPECT_EQ(w.offset(), 64);
+    EXPECT_EQ(inj.stats().clampedAtWireEnd, 1u);
+}
+
+TEST(NanowireDeath, TryShiftStillPanicsOnIllegalIntent)
+{
+    FaultConfig cfg;
+    cfg.pStep = 0.5;
+    FaultInjector inj(cfg);
+    Nanowire w(128, 64);
+    EXPECT_DEATH(w.tryShift(ShiftDir::TowardLower, 65, &inj),
+                 "over-shift");
+}
+
+TEST(Nanowire, MisalignedPortSensesNeighborDomain)
+{
+    Nanowire w(128, 64);
+    BitVec data(128);
+    data.set(9, true);
+    w.writeAll(data);
+    // Align domain 10, then slip the train one extra position: the
+    // port of domain 10's group now senses logical domain 9.
+    w.alignToPort(10);
+    w.shift(ShiftDir::TowardHigher, 1);
+    EXPECT_FALSE(w.alignedAtPort(10));
+    EXPECT_TRUE(w.senseAtPortOf(10));
+    // A write through the misaligned port lands in domain 9 too.
+    w.writeAtPortOf(10, false);
+    w.alignToPort(9);
+    EXPECT_FALSE(w.read(9));
 }
 
 TEST(NanowireDeath, MisalignedReadPanics)

@@ -72,6 +72,61 @@ TEST(SegmentGuard, CorrectionRateMatchesFaultRate)
                 expected * 0.2);
 }
 
+TEST(SegmentGuard, UncorrectableErrorsAreCountedAndAbandoned)
+{
+    // Low coverage lets consecutive missed checks accumulate the
+    // misalignment past the guard's range (|error| > 1 for 2 guard
+    // domains); the run must count the event and stop pretending it
+    // can correct.
+    SegmentGuard g(2, 0.2);
+    ShiftFaultModel noisy(5e-2);
+    Rng rng(13);
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t checks = 0, pulses = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto stats = g.run(rng, noisy, 2000, 64);
+        uncorrectable += stats.faultsUncorrectable;
+        checks += stats.guardChecks;
+        pulses += stats.pulses;
+    }
+    EXPECT_GT(uncorrectable, 0u);
+    // Abandoned transfers stop checking, so fewer checks than
+    // pulses across the batch.
+    EXPECT_LT(checks, pulses);
+}
+
+TEST(SegmentGuard, WiderGuardSurvivesAccumulatedErrors)
+{
+    // With the same fault stream, a 4-domain guard (localizes up to
+    // |error| = 3) abandons far fewer transfers than a 2-domain one.
+    ShiftFaultModel noisy(1e-3);
+    std::uint64_t narrow = 0, wide = 0;
+    for (int i = 0; i < 50; ++i) {
+        Rng rng_n(100 + i), rng_w(100 + i);
+        narrow +=
+            SegmentGuard(2, 0.3).run(rng_n, noisy, 2000, 64)
+                .faultsUncorrectable;
+        wide +=
+            SegmentGuard(4, 0.3).run(rng_w, noisy, 2000, 64)
+                .faultsUncorrectable;
+    }
+    EXPECT_GT(narrow, 0u);
+    EXPECT_LT(wide, narrow);
+}
+
+TEST(SegmentGuard, MultiStepRealignmentCostsOneShiftPerPosition)
+{
+    // Coverage < 1 with a wide guard produces detections at
+    // |error| > 1; every corrected episode must cost exactly its
+    // magnitude in compensating shifts.
+    SegmentGuard g(4, 0.5);
+    ShiftFaultModel noisy(2e-2);
+    Rng rng(17);
+    auto stats = g.run(rng, noisy, 50000, 64);
+    EXPECT_GT(stats.faultsCorrected, 0u);
+    EXPECT_EQ(stats.correctionShifts, stats.faultsCorrected);
+}
+
 TEST(SegmentGuardDeath, BadParametersPanic)
 {
     EXPECT_DEATH(SegmentGuard(1), "guard domains");
