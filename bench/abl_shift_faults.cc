@@ -94,6 +94,10 @@ main(int argc, char **argv)
                 cell.metrics["guard_checks"] =
                     double(res.stats.guardChecks);
                 cell.metrics["pulses"] = double(res.stats.pulses);
+                // Reserved perf metric: bus segment pulses are the
+                // functional unit of work this campaign executes.
+                cell.metrics["functional_ops"] =
+                    double(res.stats.pulses);
                 cell.metrics["observed_pulse_fault_rate"] =
                     res.stats.pulses
                         ? double(res.stats.faultsInjected) /
@@ -140,6 +144,8 @@ main(int argc, char **argv)
                 "Failed counts, never the number of undetected "
                 "mismatches.\n");
 
+    printPerf("bus pulses", sweep.functionalOps(),
+              sweep.wallSeconds());
     sweep.note("vpcs_per_cell", vpcs);
     sweep.note("cell_unit", "failed_vpc_pct");
     sweep.note("invariant_held", invariant_ok ? 1.0 : 0.0);

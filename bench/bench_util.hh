@@ -12,6 +12,7 @@
 #ifndef STREAMPIM_BENCH_BENCH_UTIL_HH_
 #define STREAMPIM_BENCH_BENCH_UTIL_HH_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -98,6 +99,46 @@ class Table
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/** Wall-clock stopwatch for bench perf summaries. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction (or the last reset()). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Rate with a zero-elapsed guard (ops in zero time reads as 0). */
+inline double
+perSecond(double ops, double seconds)
+{
+    return seconds > 0.0 ? ops / seconds : 0.0;
+}
+
+/**
+ * Print the one-line perf footer the benches share: how fast the
+ * simulator itself ran, next to (never mixed into) the simulated
+ * results above it.
+ */
+inline void
+printPerf(const char *what, double ops, double seconds)
+{
+    std::printf("perf: %.0f %s in %.3f s (%.3e %s/s)\n", ops, what,
+                seconds, perSecond(ops, seconds), what);
+}
 
 /** Format a double with the given precision. */
 inline std::string

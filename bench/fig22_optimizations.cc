@@ -50,6 +50,11 @@ main(int argc, char **argv)
                 SweepCellResult res;
                 res.value =
                     stpim.run(makePolybench(k, dim)).seconds;
+                // Reserved perf metric: VPCs executed is the
+                // functional unit of work of this simulation.
+                res.metrics["functional_ops"] =
+                    double(stpim.lastReport().pimVpcs +
+                           stpim.lastReport().moveVpcs);
                 return res;
             });
     sweep.run();
@@ -77,6 +82,8 @@ main(int argc, char **argv)
     std::printf("\nShape target: distribute ~bank-count gain, "
                 "unblock one to two orders beyond it.\n");
 
+    printPerf("VPCs executed", sweep.functionalOps(),
+              sweep.wallSeconds());
     Json means = Json::object();
     means["distribute"] = geoMean(dist_speedups);
     means["unblock"] = geoMean(unb_speedups);

@@ -4,19 +4,39 @@
  * components: the event queue, the bit-accurate domain-wall logic,
  * the functional bus stepping, and schedule execution. These are
  * engineering numbers for simulator developers, not paper results.
+ *
+ * After the microbenchmarks, a fast-vs-strict functional matmul
+ * comparison runs the same deterministic dot-product workload in
+ * both modes (packed word-parallel default, then the
+ * STREAMPIM_STRICT_GATES netlist oracle), interleaved over a few
+ * repetitions with best-of timing, and reports both throughputs,
+ * the speedup, and the mode-invariant outputs (checksum, logic
+ * counters, energy) into BENCH_micro_components.json via the shared
+ * `--json` / STREAMPIM_JSON convention.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "core/executor.hh"
+#include "dwlogic/mode.hh"
 #include "dwlogic/multiplier.hh"
 #include "bus/rm_bus.hh"
+#include "parallel/sweep.hh"
+#include "processor/rm_processor.hh"
 #include "runtime/planner.hh"
 #include "sim/event_queue.hh"
 #include "workloads/polybench.hh"
 
 using namespace streampim;
+using namespace streampim::bench;
 
 namespace
 {
@@ -82,6 +102,174 @@ BM_PlanAndExecuteGemm(benchmark::State &state)
 BENCHMARK(BM_PlanAndExecuteGemm)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+/** One mode's run of the fast-vs-strict matmul workload. */
+struct MatmulModeResult
+{
+    double seconds = 0.0;
+    std::uint64_t checksum = 0; //!< FNV-1a over all result elements
+    Cycle cycles = 0;
+    LogicCounters counters;
+    double energyPj = 0.0;
+};
+
+/**
+ * Run @p rounds deterministic length-@p n dot products in the given
+ * mode. Same seed in both modes, so every mode-invariant output
+ * (checksum, cycles, counters, energy) must match exactly.
+ */
+MatmulModeResult
+runMatmul(bool strict, unsigned rounds, unsigned n)
+{
+    ScopedStrictGates mode(strict);
+    RmParams params;
+    EnergyMeter meter;
+    RmProcessor proc(params, meter);
+    Rng rng(0xF00D);
+    std::vector<std::uint8_t> a(n), b(n);
+    MatmulModeResult res;
+    res.checksum = 0xcbf29ce484222325ULL;
+    WallTimer timer;
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned i = 0; i < n; ++i) {
+            a[i] = std::uint8_t(rng.below(256));
+            b[i] = std::uint8_t(rng.below(256));
+        }
+        auto out = proc.dotProduct(a, b);
+        res.cycles += out.cycles;
+        for (std::uint32_t v : out.values) {
+            res.checksum ^= v;
+            res.checksum *= 0x100000001b3ULL;
+        }
+    }
+    res.seconds = timer.seconds();
+    res.counters = proc.counters();
+    res.energyPj = meter.totalPj();
+    return res;
+}
+
+/** Checksum as a hex string: Json numbers are doubles and would
+ * silently round a 64-bit value. */
+std::string
+checksumHex(std::uint64_t checksum)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)checksum);
+    return buf;
+}
+
+Json
+matmulModeJson(const MatmulModeResult &m, double macs)
+{
+    Json j = Json::object();
+    j["seconds"] = m.seconds;
+    j["macs_per_second"] = perSecond(macs, m.seconds);
+    j["checksum"] = checksumHex(m.checksum);
+    j["cycles"] = std::int64_t(m.cycles);
+    j["gate_ops"] = std::int64_t(m.counters.gateOps);
+    j["shift_steps"] = std::int64_t(m.counters.shiftSteps);
+    j["fan_outs"] = std::int64_t(m.counters.fanOuts);
+    j["diode_passes"] = std::int64_t(m.counters.diodePasses);
+    j["energy_pj"] = m.energyPj;
+    return j;
+}
+
+bool
+modesAgree(const MatmulModeResult &a, const MatmulModeResult &b)
+{
+    return a.checksum == b.checksum && a.cycles == b.cycles &&
+           a.energyPj == b.energyPj &&
+           a.counters.gateOps == b.counters.gateOps &&
+           a.counters.shiftSteps == b.counters.shiftSteps &&
+           a.counters.fanOuts == b.counters.fanOuts &&
+           a.counters.diodePasses == b.counters.diodePasses;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The shared --json convention is ours, not google-benchmark's:
+    // resolve it first, then hand benchmark the remaining args.
+    const std::string json_path =
+        resolveBenchReportPath("micro_components", argc, argv);
+    std::vector<char *> bargs;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            i++;
+            continue;
+        }
+        bargs.push_back(argv[i]);
+    }
+    int bargc = int(bargs.size());
+    benchmark::Initialize(&bargc, bargs.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Fast-vs-strict functional matmul: identical workload, both
+    // functional-model levels.
+    const unsigned rounds =
+        unsigned(Config::envInt("STREAMPIM_MATMUL_ROUNDS", 64));
+    const unsigned reps =
+        unsigned(Config::envInt("STREAMPIM_MATMUL_REPS", 3));
+    const unsigned n = 64;
+    const double macs = double(rounds) * n;
+    // Interleave the modes over several repetitions and keep each
+    // mode's best time: the speedup then reflects the code, not a
+    // transient load spike that happened to hit one of the runs.
+    // The mode-invariant outputs must agree on every repetition.
+    MatmulModeResult packed, strict;
+    bool agree = true;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        MatmulModeResult p = runMatmul(false, rounds, n);
+        MatmulModeResult s = runMatmul(true, rounds, n);
+        agree = agree && modesAgree(p, s) &&
+                (rep == 0 || modesAgree(p, packed));
+        if (rep == 0 || p.seconds < packed.seconds)
+            packed = p;
+        if (rep == 0 || s.seconds < strict.seconds)
+            strict = s;
+    }
+    const double speedup = packed.seconds > 0.0
+                               ? strict.seconds / packed.seconds
+                               : 0.0;
+
+    std::printf("\nfunctional matmul, %u x length-%u dot products "
+                "(%.0f MACs):\n", rounds, n, macs);
+    std::printf("  packed: %.4f s (%.3e MACs/s)\n", packed.seconds,
+                perSecond(macs, packed.seconds));
+    std::printf("  strict: %.4f s (%.3e MACs/s)\n", strict.seconds,
+                perSecond(macs, strict.seconds));
+    std::printf("  speedup packed vs strict: %.1fx\n", speedup);
+    std::printf("  modes %s: checksum %016llx, %llu gate ops, "
+                "%.1f pJ\n", agree ? "agree" : "DISAGREE",
+                (unsigned long long)packed.checksum,
+                (unsigned long long)packed.counters.gateOps,
+                packed.energyPj);
+
+    if (!json_path.empty()) {
+        Json doc = Json::object();
+        doc["bench"] = "micro_components";
+        Json mm = Json::object();
+        mm["rounds"] = std::int64_t(rounds);
+        mm["vector_len"] = std::int64_t(n);
+        mm["macs"] = macs;
+        Json modes = Json::object();
+        modes["packed"] = matmulModeJson(packed, macs);
+        modes["strict"] = matmulModeJson(strict, macs);
+        mm["modes"] = std::move(modes);
+        mm["modes_agree"] = agree;
+        mm["speedup_packed_vs_strict"] = speedup;
+        doc["matmul"] = std::move(mm);
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << doc.dump(2);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return agree ? 0 : 1;
+}

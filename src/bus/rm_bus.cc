@@ -1,5 +1,6 @@
 #include "bus/rm_bus.hh"
 
+#include <bit>
 #include <cstdlib>
 
 #include "common/log.hh"
@@ -8,7 +9,12 @@
 namespace streampim
 {
 
-RmBusLane::RmBusLane(unsigned segments) : slots_(segments)
+RmBusLane::RmBusLane(unsigned segments)
+    : segments_(segments),
+      topMask_(segments % 64 ? (std::uint64_t(1) << (segments % 64))
+                                   - 1
+                             : ~std::uint64_t(0)),
+      occ_((segments + 63) / 64, 0), flits_(segments)
 {
     SPIM_ASSERT(segments >= 2,
                 "a lane needs at least a data and an empty segment");
@@ -21,40 +27,115 @@ RmBusLane::inject(std::uint64_t word)
     // the transfer direction (Fig. 12): injection requires both the
     // entry segment and its successor to be empty, which limits
     // injection to every other cycle in steady state.
-    if (slots_[0].has_value() || slots_[1].has_value())
+    if (occ_[0] & 3)
         return false;
-    slots_.front() = Flit{word};
+    setOccupied(0, true);
+    // The new flit sits at the lowest position = newest = FIFO tail.
+    flitAt(count_) = Flit{word};
+    count_++;
     return true;
 }
 
 unsigned
 RmBusLane::step(FaultInjector *faults, unsigned segment_domains)
 {
-    // Sweep from the output end so each couple moves at most once
-    // per pulse; a data segment advances only into an empty segment.
-    const bool fallible = faults && faults->enabled();
+    if (faults && faults->enabled())
+        return stepFallible(faults, segment_domains);
+    return stepFast();
+}
+
+unsigned
+RmBusLane::stepFast()
+{
+    // One pulse of the sweep "a data segment advances only into an
+    // empty segment", resolved whole-word: sweeping from the output
+    // end, segment i advances exactly when some segment above i is
+    // empty (its successor is either empty already or vacated
+    // earlier in the same sweep). Locate the highest empty segment
+    // h; occupied segments below h are the movers, everything at or
+    // above h stays put.
+    const std::size_t nwords = occ_.size();
+    if (nwords == 1) {
+        // Single-word lane (<= 64 segments, the common geometry):
+        // the whole pulse is a handful of scalar bit operations —
+        // payloads live in the FIFO ring and never move.
+        const std::uint64_t occ = occ_[0];
+        const std::uint64_t empty = ~occ & topMask_;
+        if (!empty)
+            return 0;
+        const int hb = 63 - std::countl_zero(empty);
+        const std::uint64_t movers =
+            occ & ((std::uint64_t(1) << hb) - 1);
+        occ_[0] = (occ ^ movers) | (movers << 1);
+        return unsigned(std::popcount(movers));
+    }
+
+    std::size_t hw = nwords;
+    int hb = -1;
+    for (std::size_t w = nwords; w-- > 0;) {
+        const std::uint64_t valid =
+            w == nwords - 1 ? topMask_ : ~std::uint64_t(0);
+        if (const std::uint64_t empty = ~occ_[w] & valid) {
+            hw = w;
+            hb = 63 - std::countl_zero(empty);
+            break;
+        }
+    }
+    if (hb < 0)
+        return 0; // lane completely full: nothing can advance
+
     unsigned moved = 0;
-    for (std::size_t i = slots_.size() - 1; i-- > 0;) {
-        if (slots_[i].has_value() && !slots_[i + 1].has_value()) {
-            slots_[i + 1] = slots_[i];
-            slots_[i].reset();
-            moved++;
-            if (!fallible)
-                continue;
-            // One pulse of segment_domains domain steps moved this
-            // couple; a fault displaces the word by one domain
-            // within its segment (Sec. III-D per-pulse bound).
-            Flit &f = *slots_[i + 1];
-            switch (faults->samplePulse(segment_domains)) {
-              case ShiftOutcome::Exact:
-                break;
-              case ShiftOutcome::OverShift:
-                f.misalign += 1;
-                break;
-              case ShiftOutcome::UnderShift:
-                f.misalign -= 1;
-                break;
-            }
+    // Words above hw are fully occupied and frozen; process the rest
+    // top-down (a couple crossing a word boundary carries into the
+    // already-finalized word above). Payloads never move: only the
+    // occupancy mask advances.
+    for (std::size_t w = hw + 1; w-- > 0;) {
+        std::uint64_t movers = occ_[w];
+        if (w == hw)
+            movers &= (std::uint64_t(1) << hb) - 1;
+        if (!movers)
+            continue;
+        moved += unsigned(std::popcount(movers));
+        occ_[w] = (occ_[w] ^ movers) | (movers << 1);
+        if (movers >> 63)
+            occ_[w + 1] |= 1; // couple crossing the word boundary
+    }
+    return moved;
+}
+
+unsigned
+RmBusLane::stepFallible(FaultInjector *faults,
+                        unsigned segment_domains)
+{
+    // Per-segment sweep from the output end, kept exactly as the
+    // bit-serial model so the per-move fault sampling order (and
+    // with it every fault-campaign report) is byte-identical. The
+    // k-th occupied position from the top is the k-th-oldest flit;
+    // a move advances the position without reordering the FIFO.
+    unsigned moved = 0;
+    unsigned k = occupied(segments_ - 1) ? 1 : 0;
+    for (std::size_t i = segments_ - 1; i-- > 0;) {
+        if (!occupied(i))
+            continue;
+        Flit &f = flitAt(k);
+        k++;
+        if (occupied(i + 1))
+            continue;
+        setOccupied(i + 1, true);
+        setOccupied(i, false);
+        moved++;
+        // One pulse of segment_domains domain steps moved this
+        // couple; a fault displaces the word by one domain within
+        // its segment (Sec. III-D per-pulse bound).
+        switch (faults->samplePulse(segment_domains)) {
+          case ShiftOutcome::Exact:
+            break;
+          case ShiftOutcome::OverShift:
+            f.misalign += 1;
+            break;
+          case ShiftOutcome::UnderShift:
+            f.misalign -= 1;
+            break;
         }
     }
     return moved;
@@ -73,14 +154,24 @@ RmBusLane::guardRealign(FaultInjector &faults)
 {
     if (!faults.enabled())
         return;
-    for (auto &slot : slots_) {
-        if (!slot.has_value() || slot->abandoned)
-            continue;
-        // One guard sense per occupied segment per pulse; detection
-        // of a misaligned pattern succeeds only with the coverage.
-        const bool detected = faults.inFlightCheck();
-        if (slot->misalign != 0 && detected)
-            realign(*slot, faults);
+    // Visit occupied segments in ascending index order (the order
+    // the bit-serial model sensed them) so the coverage-sampling
+    // sequence is unchanged. The lowest occupied position holds the
+    // newest flit (FIFO index count_ - 1).
+    unsigned k = count_;
+    for (std::size_t w = 0; w < occ_.size(); ++w) {
+        for (std::uint64_t m = occ_[w]; m; m &= m - 1) {
+            k--;
+            Flit &f = flitAt(k);
+            if (f.abandoned)
+                continue;
+            // One guard sense per occupied segment per pulse;
+            // detection of a misaligned pattern succeeds only with
+            // the coverage.
+            const bool detected = faults.inFlightCheck();
+            if (f.misalign != 0 && detected)
+                realign(f, faults);
+        }
     }
 }
 
@@ -98,30 +189,27 @@ RmBusLane::corrupted(const Flit &flit)
 std::optional<std::uint64_t>
 RmBusLane::peekOutput() const
 {
-    const auto &slot = slots_.back();
-    if (!slot.has_value())
+    if (!occupied(segments_ - 1))
         return std::nullopt;
-    return slot->value;
+    return flits_[head_].value; // oldest flit = output segment
 }
 
 std::optional<std::uint64_t>
 RmBusLane::takeOutput()
 {
-    auto slot = slots_.back();
-    slots_.back().reset();
-    if (!slot.has_value())
+    if (!occupied(segments_ - 1))
         return std::nullopt;
-    return slot->value;
+    setOccupied(segments_ - 1, false);
+    return popHead().value;
 }
 
 std::optional<std::uint64_t>
 RmBusLane::takeOutputChecked(FaultInjector *faults)
 {
-    auto slot = slots_.back();
-    slots_.back().reset();
-    if (!slot.has_value())
+    if (!occupied(segments_ - 1))
         return std::nullopt;
-    Flit f = *slot;
+    setOccupied(segments_ - 1, false);
+    Flit f = popHead();
     if (faults && faults->enabled()) {
         // Egress checkpoint: the word is sensed at a port, so a
         // misaligned guard pattern is directly visible — this check
@@ -138,10 +226,7 @@ RmBusLane::takeOutputChecked(FaultInjector *faults)
 unsigned
 RmBusLane::occupancy() const
 {
-    unsigned n = 0;
-    for (const auto &s : slots_)
-        n += s.has_value();
-    return n;
+    return count_;
 }
 
 RmBus::RmBus(unsigned lanes, unsigned segments) : segments_(segments)

@@ -41,7 +41,7 @@ class RmBusLane
     /** @param segments number of segments along the lane. */
     explicit RmBusLane(unsigned segments);
 
-    unsigned segments() const { return unsigned(slots_.size()); }
+    unsigned segments() const { return segments_; }
 
     /**
      * Inject a word into segment 0.
@@ -102,7 +102,7 @@ class RmBusLane
     /** One in-flight word and its intra-segment alignment state. */
     struct Flit
     {
-        std::uint64_t value;
+        std::uint64_t value = 0;
         int misalign = 0;      //!< accumulated domain displacement
         bool abandoned = false; //!< recovery given up; data corrupt
     };
@@ -113,7 +113,76 @@ class RmBusLane
     /** The value a misaligned port sense returns. */
     static std::uint64_t corrupted(const Flit &flit);
 
-    std::vector<std::optional<Flit>> slots_;
+    bool
+    occupied(std::size_t i) const
+    {
+        return (occ_[i / 64] >> (i % 64)) & 1u;
+    }
+
+    void
+    setOccupied(std::size_t i, bool v)
+    {
+        const std::uint64_t mask = std::uint64_t(1) << (i % 64);
+        if (v)
+            occ_[i / 64] |= mask;
+        else
+            occ_[i / 64] &= ~mask;
+    }
+
+    /** One fault-free pulse, word-packed over the occupancy mask. */
+    unsigned stepFast();
+
+    /**
+     * One fallible pulse: the exact per-segment sweep, preserving
+     * the fault-sampling order of the bit-serial model so fault
+     * campaigns stay byte-identical.
+     */
+    unsigned stepFallible(FaultInjector *faults,
+                          unsigned segment_domains);
+
+    /**
+     * Payload of the @p k-th flit in descending-position order
+     * (k = 0 is the oldest word, sitting at the highest occupied
+     * segment).
+     */
+    Flit &
+    flitAt(unsigned k)
+    {
+        std::size_t idx = head_ + k;
+        if (idx >= flits_.size())
+            idx -= flits_.size();
+        return flits_[idx];
+    }
+
+    /** Remove and return the oldest flit from the FIFO ring. */
+    Flit
+    popHead()
+    {
+        Flit f = flits_[head_];
+        head_ = head_ + 1 == flits_.size() ? 0 : head_ + 1;
+        count_--;
+        return f;
+    }
+
+    unsigned segments_;
+    /** Valid-bit mask of the top occupancy word. */
+    std::uint64_t topMask_;
+    /**
+     * Packed occupancy bitmask: bit s of word s/64 = segment s
+     * holds a data wave. A pulse advances whole words of couples
+     * with bitwise ops.
+     */
+    std::vector<std::uint64_t> occ_;
+    /**
+     * Payloads as a ring-buffer FIFO. Flits never overtake each
+     * other on the lane, so the occupied positions in descending
+     * order are exactly the flits in injection order starting at
+     * @p head_ — a pulse only rewrites the occupancy mask and never
+     * touches the payload store.
+     */
+    std::vector<Flit> flits_;
+    std::size_t head_ = 0;   //!< ring index of the oldest flit
+    unsigned count_ = 0;     //!< flits in flight (== occupancy)
 };
 
 /** A full RM bus: several parallel lanes with shared clocking. */

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "dwlogic/mode.hh"
 
 namespace streampim
 {
@@ -39,6 +40,19 @@ DwRippleCarryAdder::add(const BitVec &a, const BitVec &b, bool cin)
                 "operand a wider than adder: ", a.size(), " > ", width_);
     SPIM_ASSERT(b.size() <= width_,
                 "operand b wider than adder: ", b.size(), " > ", width_);
+
+    if (!strictGates()) {
+        // Packed fast path: one word-parallel addition; the netlist
+        // would evaluate width_ full adders of kGatesPerBit NANDs,
+        // one gate op and one shift step each.
+        counters_.gateOps +=
+            std::uint64_t(DwFullAdder::kGatesPerBit) * width_;
+        counters_.shiftSteps +=
+            std::uint64_t(DwFullAdder::kGatesPerBit) * width_;
+        BitVec sum(width_);
+        bool carry = BitVec::addPacked(sum, a, b, cin);
+        return {std::move(sum), carry};
+    }
 
     BitVec sum(width_);
     bool carry = cin;

@@ -1,6 +1,7 @@
 #include "dwlogic/extension.hh"
 
 #include "common/log.hh"
+#include "dwlogic/mode.hh"
 
 namespace streampim
 {
@@ -18,10 +19,20 @@ DwSubtractor::sub(const BitVec &a, const BitVec &b)
                 "subtractor operands too wide");
     // a - b = a + ~b + 1: invert b through domain-wall inverters,
     // then reuse the NAND full-adder chain with carry-in = 1.
-    DwGate inv(DwGateType::Not, counters_);
     BitVec nb(width_);
-    for (unsigned i = 0; i < width_; ++i)
-        nb.set(i, inv.evalNot(i < b.size() && b.get(i)));
+    if (!strictGates()) {
+        // Packed fast path: word-parallel complement; the netlist
+        // pushes every bit through one inverter (1 gate op + 1 shift
+        // step each).
+        counters_.gateOps += width_;
+        counters_.shiftSteps += width_;
+        nb.copyRange(b, 0, 0, b.size());
+        nb.invert();
+    } else {
+        DwGate inv(DwGateType::Not, counters_);
+        for (unsigned i = 0; i < width_; ++i)
+            nb.set(i, inv.evalNot(i < b.size() && b.get(i)));
+    }
     auto r = adder_.add(a, nb, true);
     Result res;
     res.difference = std::move(r.sum);
@@ -65,10 +76,10 @@ DwDivider::divide(const BitVec &dividend, const BitVec &divisor)
 
     for (unsigned step = 0; step < width_; ++step) {
         const unsigned bit = width_ - 1 - step;
-        // Shift the remainder left by one and bring in the bit.
-        BitVec shifted(width_ + 1);
-        for (unsigned i = width_; i-- > 0;)
-            shifted.set(i + 1, rem.get(i));
+        // Shift the remainder left by one and bring in the bit
+        // (word-wise; the top remainder bit falls off as before).
+        BitVec shifted = rem;
+        shifted <<= 1;
         shifted.set(0, bit < dividend.size() && dividend.get(bit));
         counters_.shiftSteps += width_ + 1;
 
@@ -77,9 +88,16 @@ DwDivider::divide(const BitVec &dividend, const BitVec &divisor)
             // Restore: the original value flows back through the
             // enabled diode.
             restoreDiode_.enable();
-            for (unsigned i = 0; i <= width_; ++i) {
-                bool b = shifted.get(i);
-                restoreDiode_.passForward(b);
+            if (!strictGates()) {
+                // Fast path: values are unchanged by the diode;
+                // charge the width_+1 per-bit passes in closed form.
+                counters_.diodePasses += width_ + 1;
+                counters_.shiftSteps += width_ + 1;
+            } else {
+                for (unsigned i = 0; i <= width_; ++i) {
+                    bool b = shifted.get(i);
+                    restoreDiode_.passForward(b);
+                }
             }
             restoreDiode_.disable();
             rem = shifted;

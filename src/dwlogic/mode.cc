@@ -1,0 +1,33 @@
+#include "dwlogic/mode.hh"
+
+#include <atomic>
+
+#include "common/config.hh"
+
+namespace streampim
+{
+
+namespace
+{
+
+/**
+ * Initialized once from the environment; benches toggle it only
+ * before spawning sweep workers, tests through ScopedStrictGates.
+ */
+std::atomic<bool> g_strict{Config::envFlag("STREAMPIM_STRICT_GATES")};
+
+} // namespace
+
+bool
+strictGates()
+{
+    return g_strict.load(std::memory_order_relaxed);
+}
+
+void
+setStrictGates(bool strict)
+{
+    g_strict.store(strict, std::memory_order_relaxed);
+}
+
+} // namespace streampim

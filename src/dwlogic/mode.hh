@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The two-level functional model switch.
+ *
+ * Every dwlogic component has two equivalent implementations:
+ *
+ *  - the *gate netlist*: NAND-by-NAND evaluation of the domain-wall
+ *    constructions of Figs. 6/8, charging LogicCounters per gate
+ *    traversal — the bit-accurate oracle;
+ *  - the *packed fast path*: word-parallel arithmetic on the packed
+ *    BitVec store, charging the same counters through closed-form
+ *    formulas proven equal to the netlist counts (pinned by the
+ *    dwlogic fast-path equivalence tests).
+ *
+ * The fast path is the default; setting STREAMPIM_STRICT_GATES=1 in
+ * the environment (or calling setStrictGates(true)) re-enables the
+ * netlist everywhere. Values, counters and energy are identical in
+ * both modes — strict mode exists for cross-validation, debugging
+ * new netlist constructions, and auditing the closed-form charges.
+ */
+
+#ifndef STREAMPIM_DWLOGIC_MODE_HH_
+#define STREAMPIM_DWLOGIC_MODE_HH_
+
+namespace streampim
+{
+
+/** True when the gate netlist must be evaluated NAND by NAND. */
+bool strictGates();
+
+/** Override the mode at runtime (tests, cross-validation). */
+void setStrictGates(bool strict);
+
+/** RAII mode override for equivalence tests. */
+class ScopedStrictGates
+{
+  public:
+    explicit ScopedStrictGates(bool strict) : prev_(strictGates())
+    {
+        setStrictGates(strict);
+    }
+
+    ~ScopedStrictGates() { setStrictGates(prev_); }
+
+    ScopedStrictGates(const ScopedStrictGates &) = delete;
+    ScopedStrictGates &operator=(const ScopedStrictGates &) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_DWLOGIC_MODE_HH_

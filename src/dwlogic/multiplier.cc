@@ -1,6 +1,7 @@
 #include "dwlogic/multiplier.hh"
 
 #include "common/log.hh"
+#include "dwlogic/mode.hh"
 
 namespace streampim
 {
@@ -18,6 +19,17 @@ DwMultiplier::partialProduct(const BitVec &replica, bool b_bit,
     SPIM_ASSERT(replica.size() == width_, "replica width mismatch");
     SPIM_ASSERT(row < width_, "partial product row out of range");
     BitVec pp(productWidth());
+    if (!strictGates()) {
+        // Packed fast path: the row is the replica ANDed with b_bit
+        // and deposited at the row offset — a word-wise copy. The
+        // netlist evaluates width_ AND gates (2 gate ops + 2 shift
+        // steps each: DMI cell + output inverter).
+        counters_.gateOps += std::uint64_t(2) * width_;
+        counters_.shiftSteps += std::uint64_t(2) * width_;
+        if (b_bit)
+            pp.copyRange(replica, 0, row, width_);
+        return pp;
+    }
     DwGate and_gate(DwGateType::And, counters_);
     for (unsigned i = 0; i < width_; ++i)
         pp.set(row + i, and_gate.eval(replica.get(i), b_bit));
@@ -60,12 +72,14 @@ DwMultiplier::multiply(Duplicator &dup, const BitVec &b)
 std::uint64_t
 DwMultiplier::multiplyWords(std::uint64_t a, std::uint64_t b)
 {
-    SPIM_ASSERT(width_ <= 32, "word multiply limited to 32 bits");
+    SPIM_ASSERT(width_ <= 64, "word multiply limited to 64 bits");
     LogicCounters scratch;
     Duplicator dup(width_, scratch);
     dup.load(BitVec::fromWord(a, width_));
     BitVec product = multiply(dup, BitVec::fromWord(b, width_));
-    return product.toWord();
+    // A product wider than one machine word (width_ > 32) is exact
+    // in the BitVec; return its low 64 bits.
+    return product.size() <= 64 ? product.toWord() : product.word(0);
 }
 
 } // namespace streampim

@@ -59,7 +59,11 @@ class DwMultiplier
      */
     BitVec multiply(Duplicator &dup, const BitVec &b);
 
-    /** Convenience for word inputs (width <= 32). */
+    /**
+     * Convenience for word inputs (width <= 64). Products wider
+     * than 64 bits return their low 64 bits; the full product is
+     * available through multiply()/multiplyReplicas().
+     */
     std::uint64_t multiplyWords(std::uint64_t a, std::uint64_t b);
 
   private:

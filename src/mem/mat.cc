@@ -191,7 +191,7 @@ Mat::copyOutViaTransferTracks(std::uint64_t offset,
             Nanowire &xfer = transferTracks_[pos.trackGroup + b];
             // Inspect the save track bit without a port operation:
             // the fan-out copy happens in the magnetic domain.
-            bool bit = save.readAll().get(pos.domain);
+            bool bit = save.peekDomain(pos.domain);
             if (alignFallible(xfer, pos.domain)) {
                 xfer.write(pos.domain, bit);
                 byte |= std::uint8_t(bit) << b;
@@ -226,12 +226,10 @@ Mat::shiftOutDestructive(std::uint64_t offset, std::uint64_t count)
         std::uint8_t byte = 0;
         for (unsigned b = 0; b < 8; ++b) {
             Nanowire &t = saveTracks_[pos.trackGroup + b];
-            BitVec all = t.readAll();
             if (d >= 0 && d < long(domainsPerTrack_)) {
-                byte |= std::uint8_t(all.get(unsigned(d))) << b;
+                byte |= std::uint8_t(t.peekDomain(unsigned(d))) << b;
                 // The domain leaves the track toward the bus.
-                all.set(unsigned(d), false);
-                t.writeAll(all);
+                t.pokeDomain(unsigned(d), false);
             }
             activity_.shiftSteps += 1;
         }
@@ -254,11 +252,8 @@ Mat::shiftInFromBus(std::uint64_t offset,
         const long d = long(pos.domain) + disp;
         for (unsigned b = 0; b < 8; ++b) {
             Nanowire &t = saveTracks_[pos.trackGroup + b];
-            if (d >= 0 && d < long(domainsPerTrack_)) {
-                BitVec all = t.readAll();
-                all.set(unsigned(d), (data[i] >> b) & 1);
-                t.writeAll(all);
-            }
+            if (d >= 0 && d < long(domainsPerTrack_))
+                t.pokeDomain(unsigned(d), (data[i] >> b) & 1);
             activity_.shiftSteps += 1;
         }
     }

@@ -12,12 +12,9 @@
 namespace streampim
 {
 
-namespace
-{
-
 std::string
-resolveReportPath(const std::string &name, int argc,
-                  const char *const *argv)
+resolveBenchReportPath(const std::string &name, int argc,
+                       const char *const *argv)
 {
     for (int i = 1; i + 1 < argc; ++i)
         if (std::strcmp(argv[i], "--json") == 0)
@@ -34,12 +31,10 @@ resolveReportPath(const std::string &name, int argc,
     return dir + file;
 }
 
-} // namespace
-
 SweepRunner::SweepRunner(std::string name, int argc,
                          const char *const *argv)
     : name_(std::move(name)),
-      reportPath_(resolveReportPath(name_, argc, argv)),
+      reportPath_(resolveBenchReportPath(name_, argc, argv)),
       jobs_(ThreadPool::defaultJobs())
 {
 }
@@ -147,6 +142,19 @@ SweepRunner::note(const std::string &key, Json value)
     summary_[key] = std::move(value);
 }
 
+double
+SweepRunner::functionalOps() const
+{
+    SPIM_ASSERT(ran_, "SweepRunner: functionalOps() before run()");
+    double total = 0.0;
+    for (const Cell &c : cells_) {
+        auto it = c.result.metrics.find("functional_ops");
+        if (it != c.result.metrics.end())
+            total += it->second;
+    }
+    return total;
+}
+
 Json
 SweepRunner::report() const
 {
@@ -171,10 +179,26 @@ SweepRunner::report() const
             for (const auto &[k, v] : c.result.metrics)
                 m[k] = v;
             jc["metrics"] = std::move(m);
+            auto it = c.result.metrics.find("functional_ops");
+            if (it != c.result.metrics.end() && c.seconds > 0.0)
+                jc["ops_per_second"] = it->second / c.seconds;
         }
         cells.push(std::move(jc));
     }
     doc["cells"] = std::move(cells);
+    // Perf section: simulator throughput, for regression tracking.
+    // Everything here (and every *per_second / seconds field above)
+    // is timing — tooling diffing runs must strip these; all other
+    // fields are deterministic at any STREAMPIM_JOBS.
+    const double ops = functionalOps();
+    if (ops > 0.0) {
+        Json perf = Json::object();
+        perf["functional_ops"] = ops;
+        perf["wall_seconds"] = wallSeconds_;
+        perf["functional_ops_per_second"] =
+            wallSeconds_ > 0.0 ? ops / wallSeconds_ : 0.0;
+        doc["perf"] = std::move(perf);
+    }
     doc["summary"] = summary_;
     return doc;
 }

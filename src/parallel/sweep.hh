@@ -31,12 +31,29 @@
 namespace streampim
 {
 
+/**
+ * Resolve the report path for bench @p name from its command line
+ * (`--json <path>`) or STREAMPIM_JSON (see the file comment); empty
+ * when no report was requested. SweepRunner uses this internally;
+ * benches with hand-rolled reports share the same convention.
+ */
+std::string resolveBenchReportPath(const std::string &name, int argc,
+                                   const char *const *argv);
+
 /** What one sweep cell produces. */
 struct SweepCellResult
 {
     /** The cell's headline scalar (speedup, joules, ...). */
     double value = 0.0;
-    /** Optional named metrics carried into the report. */
+    /**
+     * Optional named metrics carried into the report. The key
+     * "functional_ops" is reserved: cells reporting it are summed
+     * into the report's perf section (total functional operations,
+     * wall seconds, ops/second) so regression tooling can track
+     * simulator throughput next to the simulated results. The count
+     * itself must be deterministic; only the derived rates are
+     * timing-dependent.
+     */
     std::map<std::string, double> metrics;
 };
 
@@ -81,6 +98,12 @@ class SweepRunner
 
     /** Worker count run() will use / used. */
     unsigned jobs() const { return jobs_; }
+
+    /** Wall-clock seconds of the whole run() (valid after run()). */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Sum of the cells' reserved "functional_ops" metric. */
+    double functionalOps() const;
 
     /** True when --json or STREAMPIM_JSON asked for a report. */
     bool reportRequested() const { return !reportPath_.empty(); }

@@ -11,7 +11,7 @@ Nanowire::Nanowire(unsigned data_domains, unsigned domains_per_port)
     : dataDomains_(data_domains),
       domainsPerPort_(domains_per_port),
       reserved_(domains_per_port),
-      bits_(data_domains, false)
+      bits_(data_domains)
 {
     SPIM_ASSERT(data_domains > 0, "empty nanowire");
     SPIM_ASSERT(domains_per_port > 0, "domainsPerPort must be > 0");
@@ -133,7 +133,7 @@ Nanowire::senseAtPortOf(unsigned index) const
     const int j = int(index) - m;
     if (j < 0 || j >= int(dataDomains_))
         return false; // reserved overhead domains hold no data
-    return bits_[unsigned(j)];
+    return bits_.get(unsigned(j));
 }
 
 void
@@ -144,7 +144,7 @@ Nanowire::writeAtPortOf(unsigned index, bool value)
     const int j = int(index) - m;
     if (j < 0 || j >= int(dataDomains_))
         return; // the bit lands in a reserved domain and is lost
-    bits_[unsigned(j)] = value;
+    bits_.set(unsigned(j), value);
 }
 
 bool
@@ -154,7 +154,7 @@ Nanowire::read(unsigned index) const
     SPIM_ASSERT(alignedAtPort(index),
                 "read of domain ", index, " while misaligned (offset ",
                 offset_, ")");
-    return bits_[index];
+    return bits_.get(index);
 }
 
 void
@@ -164,16 +164,15 @@ Nanowire::write(unsigned index, bool value)
     SPIM_ASSERT(alignedAtPort(index),
                 "write of domain ", index, " while misaligned (offset ",
                 offset_, ")");
-    bits_[index] = value;
+    bits_.set(index, value);
 }
 
 BitVec
 Nanowire::readAll() const
 {
-    BitVec v(dataDomains_);
-    for (unsigned i = 0; i < dataDomains_; ++i)
-        v.set(i, bits_[i]);
-    return v;
+    // The backing store is already a packed BitVec: a whole-track
+    // read is an O(words) copy.
+    return bits_;
 }
 
 void
@@ -182,8 +181,7 @@ Nanowire::writeAll(const BitVec &bits)
     SPIM_ASSERT(bits.size() == dataDomains_,
                 "writeAll size mismatch: ", bits.size(), " vs ",
                 dataDomains_);
-    for (unsigned i = 0; i < dataDomains_; ++i)
-        bits_[i] = bits.get(i);
+    bits_ = bits;
 }
 
 } // namespace streampim

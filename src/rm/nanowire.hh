@@ -117,6 +117,28 @@ class Nanowire
     void writeAll(const BitVec &bits);
     /** @} */
 
+    /**
+     * Direct domain access from the wire end, used by the shift-based
+     * bus paths (deposit/eject): the domain is reached by shift
+     * pulses, not through an access port, so no alignment is
+     * involved. The caller accounts the shift steps; these accessors
+     * only touch the backing store. @{
+     */
+    bool
+    peekDomain(unsigned index) const
+    {
+        SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+        return bits_.get(index);
+    }
+
+    void
+    pokeDomain(unsigned index, bool value)
+    {
+        SPIM_ASSERT(index < dataDomains_, "domain index out of range");
+        bits_.set(index, value);
+    }
+    /** @} */
+
     /** Total shift steps performed over the lifetime (for stats). */
     std::uint64_t totalShiftSteps() const { return totalShiftSteps_; }
 
@@ -129,11 +151,12 @@ class Nanowire
     unsigned reserved_; //!< overhead domains on each side
 
     /**
-     * Backing store indexed by logical domain. Shifting changes
-     * offset_ rather than moving storage; the physical position of
-     * logical domain i is i + offset_ + reserved_.
+     * Backing store indexed by logical domain, packed 64 domains per
+     * word. Shifting changes offset_ rather than moving storage; the
+     * physical position of logical domain i is i + offset_ +
+     * reserved_.
      */
-    std::vector<bool> bits_;
+    BitVec bits_;
     int offset_ = 0;
     std::uint64_t totalShiftSteps_ = 0;
 };

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Randomized equivalence between the two functional-model levels:
+ * the packed word-parallel fast path (default) must produce, for
+ * every component, exactly the values, LogicCounters and energy of
+ * the gate-netlist oracle (STREAMPIM_STRICT_GATES). These tests pin
+ * the closed-form counter charges against the per-gate counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dwlogic/adder.hh"
+#include "dwlogic/circle_adder.hh"
+#include "dwlogic/duplicator.hh"
+#include "dwlogic/extension.hh"
+#include "dwlogic/fp16.hh"
+#include "dwlogic/mode.hh"
+#include "dwlogic/multiplier.hh"
+#include "processor/rm_processor.hh"
+
+namespace streampim
+{
+namespace
+{
+
+void
+expectCountersEqual(const LogicCounters &fast,
+                    const LogicCounters &strict)
+{
+    EXPECT_EQ(fast.gateOps, strict.gateOps);
+    EXPECT_EQ(fast.shiftSteps, strict.shiftSteps);
+    EXPECT_EQ(fast.fanOuts, strict.fanOuts);
+    EXPECT_EQ(fast.diodePasses, strict.diodePasses);
+    EXPECT_DOUBLE_EQ(fast.gateEnergyPj(), strict.gateEnergyPj());
+}
+
+/**
+ * Run @p body once per mode with fresh counters and compare the
+ * counters afterwards; @p body returns the value under test, which
+ * must also match.
+ */
+template <typename Body>
+void
+expectModesMatch(Body body)
+{
+    LogicCounters fast_c, strict_c;
+    std::uint64_t fast_v, strict_v;
+    {
+        ScopedStrictGates mode(false);
+        fast_v = body(fast_c);
+    }
+    {
+        ScopedStrictGates mode(true);
+        strict_v = body(strict_c);
+    }
+    EXPECT_EQ(fast_v, strict_v);
+    expectCountersEqual(fast_c, strict_c);
+}
+
+TEST(FastPathEquivalence, RippleAdderRandom)
+{
+    for (unsigned width : {1u, 7u, 8u, 16u, 33u, 48u, 64u}) {
+        Rng rng(width);
+        for (int i = 0; i < 50; ++i) {
+            const std::uint64_t mask =
+                width == 64 ? ~0ull : (1ull << width) - 1;
+            const std::uint64_t a = rng.next() & mask;
+            const std::uint64_t b = rng.next() & mask;
+            expectModesMatch([&](LogicCounters &c) {
+                DwRippleCarryAdder add(width, c);
+                auto r = add.add(BitVec::fromWord(a, width),
+                                 BitVec::fromWord(b, width));
+                return r.sum.toWord() | (std::uint64_t(r.carry)
+                                         << 63);
+            });
+        }
+    }
+}
+
+TEST(FastPathEquivalence, AdderCarryIn)
+{
+    expectModesMatch([](LogicCounters &c) {
+        DwRippleCarryAdder add(8, c);
+        auto r = add.add(BitVec::fromWord(0xFF, 8),
+                         BitVec::fromWord(0x00, 8), true);
+        return r.sum.toWord() | (std::uint64_t(r.carry) << 63);
+    });
+}
+
+TEST(FastPathEquivalence, SubtractorRandom)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t a = rng.below(1u << 16);
+        const std::uint64_t b = rng.below(1u << 16);
+        expectModesMatch([&](LogicCounters &c) {
+            DwSubtractor sub(16, c);
+            auto r = sub.sub(BitVec::fromWord(a, 16),
+                             BitVec::fromWord(b, 16));
+            return r.difference.toWord() |
+                   (std::uint64_t(r.borrow) << 63);
+        });
+    }
+}
+
+TEST(FastPathEquivalence, MultiplierRandomIncludingWide)
+{
+    // Widths beyond the old 32-bit multiplyWords limit included.
+    for (unsigned width : {4u, 8u, 16u, 33u, 48u}) {
+        Rng rng(width * 3 + 1);
+        for (int i = 0; i < 20; ++i) {
+            const std::uint64_t mask = (1ull << width) - 1;
+            const std::uint64_t a = rng.next() & mask;
+            const std::uint64_t b = rng.next() & mask;
+            expectModesMatch([&](LogicCounters &c) {
+                DwMultiplier mul(width, c);
+                return mul.multiplyWords(a, b);
+            });
+        }
+    }
+}
+
+TEST(FastPathEquivalence, MultiplierFullFlowWithDuplicator)
+{
+    Rng rng(23);
+    for (int i = 0; i < 20; ++i) {
+        const std::uint64_t a = rng.below(256);
+        const std::uint64_t b = rng.below(256);
+        expectModesMatch([&](LogicCounters &c) {
+            DwMultiplier mul(8, c);
+            Duplicator dup(8, c);
+            dup.load(BitVec::fromWord(a, 8));
+            BitVec product = mul.multiply(dup, BitVec::fromWord(b, 8));
+            dup.unload();
+            return product.toWord();
+        });
+    }
+}
+
+TEST(FastPathEquivalence, DividerRandom)
+{
+    Rng rng(31);
+    for (int i = 0; i < 30; ++i) {
+        const std::uint64_t a = rng.below(1u << 12);
+        const std::uint64_t b = 1 + rng.below((1u << 12) - 1);
+        expectModesMatch([&](LogicCounters &c) {
+            DwDivider div(12, c);
+            auto r = div.divideWords(a, b);
+            return r.quotient | (r.remainder << 16);
+        });
+    }
+}
+
+TEST(FastPathEquivalence, CircleAdderAccumulation)
+{
+    Rng rng(41);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<std::uint64_t> products;
+        for (int i = 0; i < 8; ++i)
+            products.push_back(rng.below(1u << 16));
+        expectModesMatch([&](LogicCounters &c) {
+            CircleAdder acc(32, c);
+            for (std::uint64_t p : products)
+                acc.accumulateWord(p, 16);
+            return acc.accumulatorWord();
+        });
+    }
+}
+
+TEST(FastPathEquivalence, DuplicatorReplicas)
+{
+    Rng rng(43);
+    for (int i = 0; i < 20; ++i) {
+        const std::uint64_t word = rng.below(1u << 16);
+        expectModesMatch([&](LogicCounters &c) {
+            Duplicator dup(16, c);
+            dup.load(BitVec::fromWord(word, 16));
+            std::uint64_t acc = 0;
+            for (int r = 0; r < 4; ++r)
+                acc = acc * 31 + dup.duplicate().toWord();
+            acc = acc * 31 + dup.unload().toWord();
+            return acc;
+        });
+    }
+}
+
+TEST(FastPathEquivalence, Fp16SpecialValues)
+{
+    // FP16 bit patterns: NaN, +-inf, +-0, subnormals, and a spread
+    // of normals — the flush-to-zero and special-case branches must
+    // behave identically in both modes.
+    const std::vector<std::uint16_t> specials = {
+        0x7E00, // NaN
+        0x7C01, // signaling-style NaN payload
+        0x7C00, // +inf
+        0xFC00, // -inf
+        0x0000, // +0
+        0x8000, // -0
+        0x0001, // smallest subnormal
+        0x03FF, // largest subnormal
+        0x0400, // smallest normal
+        0x7BFF, // largest normal
+        0x3C00, // 1.0
+        0xBC00, // -1.0
+        0x3555, // ~0.333
+        0x4248, // ~3.14
+    };
+    for (std::uint16_t a : specials)
+        for (std::uint16_t b : specials) {
+            expectModesMatch([&](LogicCounters &c) {
+                DwFp16 fp(c);
+                return std::uint64_t(fp.add(a, b));
+            });
+            expectModesMatch([&](LogicCounters &c) {
+                DwFp16 fp(c);
+                return std::uint64_t(fp.mul(a, b));
+            });
+        }
+}
+
+TEST(FastPathEquivalence, Fp16RandomArithmetic)
+{
+    Rng rng(47);
+    for (int i = 0; i < 200; ++i) {
+        const auto a = std::uint16_t(rng.below(0x10000));
+        const auto b = std::uint16_t(rng.below(0x10000));
+        expectModesMatch([&](LogicCounters &c) {
+            DwFp16 fp(c);
+            return std::uint64_t(fp.add(a, b)) |
+                   (std::uint64_t(fp.mul(a, b)) << 16);
+        });
+    }
+}
+
+TEST(FastPathEquivalence, ProcessorDotProduct)
+{
+    Rng rng(53);
+    std::vector<std::uint8_t> a(37), b(37);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = std::uint8_t(rng.below(256));
+        b[i] = std::uint8_t(rng.below(256));
+    }
+
+    auto run = [&](bool strict, LogicCounters &counters,
+                   double &energy) {
+        ScopedStrictGates mode(strict);
+        RmParams params;
+        EnergyMeter meter;
+        RmProcessor proc(params, meter);
+        auto r = proc.dotProduct(a, b);
+        counters = proc.counters();
+        energy = meter.totalPj();
+        EXPECT_EQ(r.values.size(), 1u);
+        return std::uint64_t(r.values[0]) |
+               (std::uint64_t(r.cycles) << 32);
+    };
+    LogicCounters fast_c, strict_c;
+    double fast_e, strict_e;
+    const std::uint64_t fast_v = run(false, fast_c, fast_e);
+    const std::uint64_t strict_v = run(true, strict_c, strict_e);
+    EXPECT_EQ(fast_v, strict_v);
+    expectCountersEqual(fast_c, strict_c);
+    EXPECT_DOUBLE_EQ(fast_e, strict_e);
+}
+
+TEST(FastPathEquivalence, ModeSwitchIsRuntime)
+{
+    // The mode is a runtime switch, not a build-time one: flipping
+    // it mid-process changes which implementation runs without
+    // changing any observable output.
+    const bool prev = strictGates();
+    LogicCounters c1, c2;
+    DwRippleCarryAdder a1(8, c1), a2(8, c2);
+    setStrictGates(false);
+    auto r1 = a1.add(BitVec::fromWord(200, 8),
+                     BitVec::fromWord(100, 8));
+    setStrictGates(true);
+    auto r2 = a2.add(BitVec::fromWord(200, 8),
+                     BitVec::fromWord(100, 8));
+    setStrictGates(prev);
+    EXPECT_EQ(r1.sum.toWord(), r2.sum.toWord());
+    EXPECT_EQ(r1.carry, r2.carry);
+    expectCountersEqual(c1, c2);
+}
+
+} // namespace
+} // namespace streampim
