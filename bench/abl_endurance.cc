@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Ablation — save-track endurance lifetime campaigns (Sec. III-B
+ * deposit path + the wear/remap model of rm/endurance.hh).
+ *
+ * Each cell runs an EnduranceCampaign: one persistent golden/faulty
+ * system pair executes the same VPC program for many rounds, so
+ * save-track wear accumulates and the Weibull nucleation hazard
+ * climbs. Re-deposit retries absorb early failures, spare-track
+ * remapping absorbs worn-out tracks, and once the spare pools drain
+ * VPCs start to Fail. The sweep crosses the per-mat spare budget
+ * (rows) against Weibull characteristic-life operating points
+ * (columns) and records, per cell, when the first Failed VPC
+ * appeared and after how many committed deposit pulses.
+ *
+ * Two properties are asserted (nonzero exit on violation):
+ *  - the recovery invariant: every VPC not marked Failed is
+ *    bit-exact against its golden twin, even across remaps;
+ *  - spares extend lifetime: at every operating point where the
+ *    spare-less device fails, the first Failed VPC with spares
+ *    enabled arrives after strictly more committed deposits
+ *    (surviving the whole campaign counts as a later failure), and
+ *    at least one operating point must produce such a baseline
+ *    failure so the claim is never vacuous.
+ *
+ * Every cell is deterministic in its config, so the table and JSON
+ * report are identical at any STREAMPIM_JOBS and in fast vs
+ * strict-gates mode.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/fault_campaign.hh"
+#include "parallel/sweep.hh"
+
+using namespace streampim;
+using namespace streampim::bench;
+
+namespace
+{
+
+struct OperatingPoint
+{
+    const char *name;
+    double endurance; //!< Weibull characteristic life (writes/track)
+};
+
+/** First-failure deposit volume with "never failed" = infinity. */
+double
+lifetimeDeposits(const SweepCellResult &c)
+{
+    if (c.metrics.at("first_failed_round") < 0.0)
+        return 1e30;
+    return c.metrics.at("first_failed_writes");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Ablation: save-track endurance lifetime campaigns "
+                "(wear-aware write faults,\nre-deposit retries and "
+                "spare-track remapping)\n\n");
+
+    const std::vector<unsigned> spares = {0, 4};
+    const std::vector<OperatingPoint> points = {
+        {"eta450", 450.0},
+        {"eta600", 600.0},
+        {"eta900", 900.0},
+    };
+    const unsigned rounds = 28;
+
+    SweepRunner sweep("abl_endurance", argc, argv);
+    for (unsigned sp : spares)
+        for (const auto &pt : points) {
+            EnduranceCampaignConfig cfg;
+            // Shift faults off: every escalation in this sweep is
+            // endurance-driven.
+            cfg.base.pStep = 0.0;
+            cfg.base.pWrite0 = 1e-4;
+            cfg.base.writeEndurance = pt.endurance;
+            cfg.base.weibullShape = 6.0;
+            cfg.base.redepositRetryBudget = 3;
+            cfg.base.remapAfterExhaustions = 1;
+            cfg.base.spareTracks = sp;
+            cfg.rounds = rounds;
+            // Per-cell seed derived from the cell coordinates, so
+            // streams are decorrelated and independent of execution
+            // order.
+            cfg.base.seed = 0xead5eedULL ^
+                            (std::uint64_t(sp + 1) * 0x9e3779b9ULL) ^
+                            std::uint64_t(pt.endurance);
+            sweep.add(std::to_string(sp), pt.name, [cfg] {
+                auto res = runEnduranceCampaign(cfg);
+                SweepCellResult cell;
+                cell.value = double(res.firstFailedVpc);
+                cell.metrics["clean"] = res.clean;
+                cell.metrics["corrected"] = res.corrected;
+                cell.metrics["retried"] = res.retried;
+                cell.metrics["failed"] = res.failed;
+                cell.metrics["mismatched_recovered"] =
+                    res.mismatchedRecovered;
+                cell.metrics["failed_but_intact"] =
+                    res.failedButIntact;
+                cell.metrics["first_failed_vpc"] =
+                    double(res.firstFailedVpc);
+                cell.metrics["first_failed_round"] =
+                    double(res.firstFailedRound);
+                cell.metrics["first_failed_writes"] =
+                    double(res.firstFailedDeposits);
+                cell.metrics["deposit_pulses"] =
+                    double(res.stats.depositPulses);
+                cell.metrics["write_faults_injected"] =
+                    double(res.stats.writeFaultsInjected);
+                cell.metrics["redeposits"] =
+                    double(res.stats.redeposits);
+                cell.metrics["redeposit_exhausted"] =
+                    double(res.stats.redepositExhausted);
+                cell.metrics["track_remaps"] =
+                    double(res.stats.trackRemaps);
+                cell.metrics["remap_copy_bytes"] =
+                    double(res.stats.remapCopyBytes);
+                cell.metrics["write_failures"] =
+                    double(res.stats.writeFailures);
+                std::uint64_t max_wear = 0;
+                unsigned spares_used = 0, spares_total = 0;
+                for (const SubarrayWear &w : res.wear) {
+                    if (w.maxTrackWear > max_wear)
+                        max_wear = w.maxTrackWear;
+                    spares_used += w.sparesUsed;
+                    spares_total += w.sparesTotal;
+                }
+                cell.metrics["max_track_wear"] = double(max_wear);
+                cell.metrics["spares_used"] = double(spares_used);
+                cell.metrics["spares_total"] = double(spares_total);
+                // Reserved perf metric: sampled deposit pulses are
+                // the functional unit of work this campaign commits.
+                cell.metrics["functional_ops"] =
+                    double(res.stats.depositPulses);
+                return cell;
+            });
+        }
+    sweep.run();
+
+    bool invariant_ok = true;
+    bool lifetime_ok = true;
+    bool baseline_failed_somewhere = false;
+    for (const auto &pt : points) {
+        std::printf("characteristic life %s (%.0f writes/track, "
+                    "shape 6):\n", pt.name, pt.endurance);
+        Table t({"spares/mat", "failed", "1st fail round",
+                 "1st fail writes", "redeposits", "remaps",
+                 "spares used", "max wear"});
+        for (unsigned sp : spares) {
+            const auto &c = sweep.cell(std::to_string(sp), pt.name);
+            if (c.metrics.at("mismatched_recovered") != 0.0)
+                invariant_ok = false;
+            const bool survived =
+                c.metrics.at("first_failed_round") < 0.0;
+            t.addRow({std::to_string(sp),
+                      fmt(c.metrics.at("failed"), 0),
+                      survived ? std::string("-")
+                               : fmt(c.metrics.at(
+                                         "first_failed_round"),
+                                     0),
+                      survived ? std::string("-")
+                               : fmt(c.metrics.at(
+                                         "first_failed_writes"),
+                                     0),
+                      fmt(c.metrics.at("redeposits"), 0),
+                      fmt(c.metrics.at("track_remaps"), 0),
+                      fmt(c.metrics.at("spares_used"), 0) + "/" +
+                          fmt(c.metrics.at("spares_total"), 0),
+                      fmt(c.metrics.at("max_track_wear"), 0)});
+        }
+        t.print();
+        // Lifetime claim: wherever the spare-less baseline dies
+        // inside the campaign, every spared row must strictly
+        // outlive it. Points where the baseline survives (safe
+        // operating region) are vacuous here; the
+        // baseline_failed_somewhere check below keeps the whole
+        // sweep from being vacuous.
+        const auto &base = sweep.cell("0", pt.name);
+        if (base.metrics.at("first_failed_round") >= 0.0) {
+            baseline_failed_somewhere = true;
+            for (unsigned sp : spares) {
+                if (sp == 0)
+                    continue;
+                const auto &c =
+                    sweep.cell(std::to_string(sp), pt.name);
+                if (!(lifetimeDeposits(c) > lifetimeDeposits(base)))
+                    lifetime_ok = false;
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%s: every VPC not marked Failed was bit-exact "
+                "against its golden run.\n",
+                invariant_ok ? "invariant held"
+                             : "INVARIANT VIOLATED");
+    lifetime_ok = lifetime_ok && baseline_failed_somewhere;
+    std::printf("%s: wherever the spare-less device failed, the "
+                "first Failed VPC with spares\nenabled came after "
+                "strictly more committed deposits.\n",
+                lifetime_ok ? "lifetime extended"
+                            : "LIFETIME CLAIM VIOLATED");
+
+    printPerf("deposit pulses", sweep.functionalOps(),
+              sweep.wallSeconds());
+    sweep.note("rounds_per_cell", rounds);
+    sweep.note("cell_unit", "first_failed_vpc_index");
+    sweep.note("invariant_held", invariant_ok ? 1.0 : 0.0);
+    sweep.note("lifetime_extended", lifetime_ok ? 1.0 : 0.0);
+    sweep.writeReport();
+    return invariant_ok && lifetime_ok ? 0 : 1;
+}

@@ -250,6 +250,8 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         Json doc = Json::object();
+        doc["schema_version"] =
+            std::int64_t(kBenchReportSchemaVersion);
         doc["bench"] = "micro_components";
         Json mm = Json::object();
         mm["rounds"] = std::int64_t(rounds);

@@ -1,6 +1,7 @@
 #include "core/executor.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/log.hh"
 
@@ -10,12 +11,32 @@ namespace streampim
 Executor::Executor(const SystemConfig &config)
     : cfg_(config), clock_(cfg_.rm.coreFreqHz),
       procTiming_(cfg_.rm), busTiming_(cfg_.rm),
-      eBusTiming_(cfg_.rm), energy_(cfg_.rm, meter_),
+      eBusTiming_(cfg_.rm),
+      writeModel_(cfg_.rm.writeFaultP0, cfg_.rm.writeEndurance,
+                  cfg_.rm.weibullShape),
+      energy_(cfg_.rm, meter_),
       subarrays_(cfg_.rm.totalSubarrays()),
       bankIssueFree_(cfg_.rm.banks, 0),
       bankBusFwd_(cfg_.rm.banks), bankBusRet_(cfg_.rm.banks)
 {
     cfg_.validate();
+}
+
+Tick
+Executor::redepositTicks(std::uint64_t deposit_bytes)
+{
+    if (cfg_.rm.writeFaultP0 <= 0.0 || deposit_bytes == 0)
+        return 0;
+    // One nucleation per bit track, matching the functional model's
+    // depositPulses granularity. Each expected failure re-drives the
+    // write pulse, stalling the destination stream one write
+    // quantum (conservative: re-driven tracks do not overlap).
+    const std::uint64_t redeposits = std::uint64_t(std::ceil(
+        writeModel_.expectedRedeposits(deposit_bytes * 8)));
+    if (redeposits == 0)
+        return 0;
+    energy_.redeposit(redeposits);
+    return redeposits * cfg_.rm.writeTicks();
 }
 
 unsigned
@@ -102,8 +123,10 @@ Executor::runTransfer(const VpcBatch &batch, Tick ready)
     const Cycle bus_cycles = (bytes + bus_bpc - 1) / bus_bpc;
     TickSpan bs = bus.acquire(rd.end, clock_.cyclesToTicks(bus_cycles));
 
-    // Destination write: conversion again, one row op per row.
-    const Tick write_time = rows * cfg_.rm.writeTicks();
+    // Destination write: conversion again, one row op per row, plus
+    // the expected re-driven deposits under write-endurance faults.
+    const Tick write_time =
+        rows * cfg_.rm.writeTicks() + redepositTicks(bytes);
     TickSpan wr = subarrays_[batch.dstSubarray].acquire(bs.end,
                                                         write_time);
 
@@ -165,6 +188,11 @@ Executor::runCompute(const VpcBatch &batch, Tick ready)
             busTiming_.recordReliabilityEnergy(
                 energy_, in_elements + out_elements);
         }
+        // Write-endurance tolerance: expected re-driven deposits of
+        // the result stream committing into the destination mats.
+        const Tick red = redepositTicks(out_elements);
+        transfer_time += red;
+        breakdown_.writeTicks += red;
     } else {
         // Electrical bus: per-element electromagnetic conversion,
         // serialized with shift-based computation (RW/shift

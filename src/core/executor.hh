@@ -38,6 +38,7 @@
 #include "common/types.hh"
 #include "core/system_config.hh"
 #include "processor/timing.hh"
+#include "rm/endurance.hh"
 #include "rm/energy.hh"
 #include "runtime/schedule.hh"
 #include "sim/clocked.hh"
@@ -122,6 +123,16 @@ class Executor
     ProcessorTiming procTiming_;
     RmBusTiming busTiming_;
     ElectricalBusTiming eBusTiming_;
+    WriteFaultModel writeModel_;
+
+    /**
+     * Expected re-deposit overhead of committing @p deposit_bytes at
+     * the destination (closed form at the wear-independent floor, so
+     * the timed path stays deterministic): records Redeposit energy
+     * and returns the extra write time. Zero when write faults are
+     * off.
+     */
+    Tick redepositTicks(std::uint64_t deposit_bytes);
 
     // Mutable per-run state.
     EnergyMeter meter_;

@@ -69,6 +69,43 @@ stageInputs(StreamPimSystem &sys, std::uint64_t per_sub,
     }
 }
 
+/** Device parameters of one campaign cell. */
+RmParams
+campaignParams(const FaultCampaignConfig &cfg)
+{
+    RmParams params = smallFunctionalParams();
+    params.busSegmentSize = cfg.busSegmentSize;
+    params.shiftFaultPStep = cfg.pStep;
+    params.guardCoverage = cfg.guardCoverage;
+    params.guardDomains = cfg.guardDomains;
+    params.realignRetryBudget = cfg.realignRetryBudget;
+    params.writeFaultP0 = cfg.pWrite0;
+    params.writeEndurance = cfg.writeEndurance;
+    params.weibullShape = cfg.weibullShape;
+    params.redepositRetryBudget = cfg.redepositRetryBudget;
+    params.spareTracksPerMat = cfg.spareTracks;
+    params.validate();
+    return params;
+}
+
+/** Injector knobs of one campaign cell. */
+FaultConfig
+campaignFaultConfig(const FaultCampaignConfig &cfg)
+{
+    FaultConfig fault_cfg;
+    fault_cfg.pStep = cfg.pStep;
+    fault_cfg.guardCoverage = cfg.guardCoverage;
+    fault_cfg.guardDomains = cfg.guardDomains;
+    fault_cfg.realignRetryBudget = cfg.realignRetryBudget;
+    fault_cfg.seed = cfg.seed;
+    fault_cfg.pWrite0 = cfg.pWrite0;
+    fault_cfg.writeEndurance = cfg.writeEndurance;
+    fault_cfg.weibullShape = cfg.weibullShape;
+    fault_cfg.redepositRetryBudget = cfg.redepositRetryBudget;
+    fault_cfg.remapAfterExhaustions = cfg.remapAfterExhaustions;
+    return fault_cfg;
+}
+
 } // namespace
 
 FaultCampaignResult
@@ -79,13 +116,7 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     SPIM_ASSERT(cfg.vectorLen >= 1 && cfg.vectorLen <= 48,
                 "vector length must fit a destination slice");
 
-    RmParams params = smallFunctionalParams();
-    params.busSegmentSize = cfg.busSegmentSize;
-    params.shiftFaultPStep = cfg.pStep;
-    params.guardCoverage = cfg.guardCoverage;
-    params.guardDomains = cfg.guardDomains;
-    params.realignRetryBudget = cfg.realignRetryBudget;
-    params.validate();
+    RmParams params = campaignParams(cfg);
 
     const std::uint64_t per_sub = params.bytesPerSubarray();
     auto program = buildProgram(cfg, per_sub);
@@ -95,13 +126,7 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     stageInputs(golden, per_sub, cfg.seed);
     stageInputs(faulty, per_sub, cfg.seed);
 
-    FaultConfig fault_cfg;
-    fault_cfg.pStep = cfg.pStep;
-    fault_cfg.guardCoverage = cfg.guardCoverage;
-    fault_cfg.guardDomains = cfg.guardDomains;
-    fault_cfg.realignRetryBudget = cfg.realignRetryBudget;
-    fault_cfg.seed = cfg.seed;
-    faulty.enableFaultInjection(fault_cfg);
+    faulty.enableFaultInjection(campaignFaultConfig(cfg));
 
     for (const auto &entry : program) {
         bool ok = golden.submit(entry.vpc);
@@ -145,6 +170,106 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         if (entry.status == FaultStatus::Failed && entry.bitExact)
             res.failedButIntact++;
     }
+    return res;
+}
+
+EnduranceCampaignResult
+runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
+{
+    const FaultCampaignConfig &base = cfg.base;
+    SPIM_ASSERT(base.vpcs >= 1 && base.vpcs <= 128,
+                "campaign program size out of range");
+    SPIM_ASSERT(base.vectorLen >= 1 && base.vectorLen <= 48,
+                "vector length must fit a destination slice");
+    SPIM_ASSERT(cfg.rounds >= 1 && cfg.rounds <= 512,
+                "endurance campaign rounds out of range");
+
+    RmParams params = campaignParams(base);
+    const std::uint64_t per_sub = params.bytesPerSubarray();
+    auto program = buildProgram(base, per_sub);
+
+    StreamPimSystem golden(params);
+    StreamPimSystem faulty(params);
+    stageInputs(golden, per_sub, base.seed);
+    stageInputs(faulty, per_sub, base.seed);
+
+    faulty.enableFaultInjection(campaignFaultConfig(base));
+
+    EnduranceCampaignResult res;
+    res.perRound.reserve(cfg.rounds);
+    // Deposit pulses committed up to and including each inspected
+    // VPC, accumulated from the per-VPC attribution records (exact,
+    // unlike a round-end snapshot).
+    std::uint64_t deposits_seen = 0;
+    std::uint64_t remaps_prev = 0;
+    std::uint64_t redeposits_prev = 0;
+
+    for (unsigned round = 0; round < cfg.rounds; ++round) {
+        for (const auto &entry : program) {
+            bool ok = golden.submit(entry.vpc);
+            ok = faulty.submit(entry.vpc) && ok;
+            SPIM_ASSERT(ok,
+                        "campaign program overflowed the VPC queue");
+        }
+        golden.processQueue();
+        auto faulty_records = faulty.processQueue();
+        SPIM_ASSERT(faulty_records.size() == program.size(),
+                    "campaign run lost VPCs");
+
+        // Verification readout must not sample further faults (and
+        // host reads do not wear tracks: only deposits do).
+        faulty.disableFaultInjection();
+
+        EnduranceRound rr;
+        for (std::size_t i = 0; i < program.size(); ++i) {
+            const VpcFaultInfo &fault = faulty_records[i].fault;
+            deposits_seen += fault.depositPulses;
+            auto g = golden.read(program[i].vpc.dst,
+                                 program[i].resultLen);
+            auto f = faulty.read(program[i].vpc.dst,
+                                 program[i].resultLen);
+            const bool exact = g == f;
+            switch (fault.status) {
+              case FaultStatus::Clean:
+                res.clean++;
+                break;
+              case FaultStatus::Corrected:
+                res.corrected++;
+                break;
+              case FaultStatus::Retried:
+                res.retried++;
+                break;
+              case FaultStatus::Failed:
+                res.failed++;
+                rr.failed++;
+                if (res.firstFailedVpc < 0) {
+                    res.firstFailedVpc =
+                        long(round) * long(program.size()) + long(i);
+                    res.firstFailedRound = long(round);
+                    res.firstFailedDeposits = deposits_seen;
+                }
+                break;
+            }
+            if (fault.status != FaultStatus::Failed && !exact)
+                res.mismatchedRecovered++;
+            if (fault.status == FaultStatus::Failed && exact)
+                res.failedButIntact++;
+        }
+
+        const FaultStats snap = faulty.totalFaultStats();
+        rr.remaps = unsigned(snap.trackRemaps - remaps_prev);
+        rr.redeposits = snap.redeposits - redeposits_prev;
+        rr.depositPulses = snap.depositPulses;
+        remaps_prev = snap.trackRemaps;
+        redeposits_prev = snap.redeposits;
+        res.perRound.push_back(rr);
+
+        if (round + 1 < cfg.rounds)
+            faulty.resumeFaultInjection();
+    }
+
+    res.stats = faulty.totalFaultStats();
+    res.wear = faulty.wearSummaries();
     return res;
 }
 

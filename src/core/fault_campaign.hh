@@ -56,6 +56,20 @@ struct FaultCampaignConfig
     std::uint32_t vectorLen = 48;
     /** Master seed: drives input data and per-subarray injectors. */
     std::uint64_t seed = 0x5eed;
+
+    // --- Write/endurance faults (rm/endurance.hh) ---
+    /** Wear-independent nucleation failure floor (0 disables). */
+    double pWrite0 = 0.0;
+    /** Weibull characteristic life in writes per save track. */
+    double writeEndurance = 1e6;
+    /** Weibull shape (>= 1: wear-out regime). */
+    double weibullShape = 2.0;
+    /** Re-deposit attempts per commit before the episode gives up. */
+    unsigned redepositRetryBudget = 3;
+    /** Budget exhaustions before a track is retired onto a spare. */
+    unsigned remapAfterExhaustions = 1;
+    /** Spare save tracks per mat (0 = no remapping headroom). */
+    unsigned spareTracks = 4;
 };
 
 /** Outcome of one VPC in the campaign. */
@@ -98,6 +112,67 @@ struct FaultCampaignResult
  * bit-exact comparison). Deterministic in @p cfg.
  */
 FaultCampaignResult runFaultCampaign(const FaultCampaignConfig &cfg);
+
+/**
+ * A lifetime (endurance) campaign: the FaultCampaignConfig program
+ * repeated for several rounds on ONE persistent pair of systems, so
+ * save-track wear accumulates across rounds and the Weibull hazard
+ * climbs until re-deposit budgets exhaust, spares absorb the worn
+ * tracks, and — once the pools drain — VPCs start to Fail. Between
+ * rounds the faulty system's injection is disabled for the
+ * verification readout and resumed (same RNG streams) afterwards,
+ * so the whole run is one deterministic sample path.
+ */
+struct EnduranceCampaignConfig
+{
+    /** Per-round program + fault knobs (write faults usually on,
+     * shift faults usually off so failures are endurance-driven). */
+    FaultCampaignConfig base;
+    /** Program repetitions; wear carries over between rounds. */
+    unsigned rounds = 8;
+};
+
+/** One round's outcome inside an endurance campaign. */
+struct EnduranceRound
+{
+    unsigned failed = 0;       //!< Failed VPCs this round
+    unsigned remaps = 0;       //!< tracks retired this round
+    std::uint64_t redeposits = 0;
+    /** Cumulative sampled deposit pulses at round end. */
+    std::uint64_t depositPulses = 0;
+};
+
+/** Aggregate outcome of one endurance campaign. */
+struct EnduranceCampaignResult
+{
+    unsigned clean = 0;
+    unsigned corrected = 0;
+    unsigned retried = 0;
+    unsigned failed = 0;
+    /** Non-Failed VPCs that differed from golden (invariant: 0). */
+    unsigned mismatchedRecovered = 0;
+    /** Failed VPCs whose destination still matched golden. */
+    unsigned failedButIntact = 0;
+    /** Global sequence index (round * vpcs + i) of the first Failed
+     * VPC, or -1 when every VPC survived. */
+    long firstFailedVpc = -1;
+    long firstFailedRound = -1;
+    /** Sampled deposit pulses committed up to and including the
+     * first Failed VPC — the write volume the device survived. */
+    std::uint64_t firstFailedDeposits = 0;
+    /** Final sampled-fault statistics of the faulty system. */
+    FaultStats stats;
+    /** Final per-subarray wear summaries of the faulty system. */
+    std::vector<SubarrayWear> wear;
+    std::vector<EnduranceRound> perRound;
+
+    unsigned rounds() const { return unsigned(perRound.size()); }
+    bool invariantHolds() const { return mismatchedRecovered == 0; }
+};
+
+/** Run one endurance campaign. Deterministic in @p cfg. */
+EnduranceCampaignResult
+runEnduranceCampaign(const EnduranceCampaignConfig &cfg);
 
 } // namespace streampim
 

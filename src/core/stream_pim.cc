@@ -61,6 +61,13 @@ void
 StreamPimSystem::enableFaultInjection(const FaultConfig &cfg)
 {
     cfg.validate();
+    // A second enable while injection runs would silently reseed
+    // every injector mid-campaign; make the misuse loud. After a
+    // disableFaultInjection() the reset below is intentional.
+    SPIM_ASSERT(!faultsAttached_,
+                "fault injection already enabled; call "
+                "disableFaultInjection() first (or "
+                "resumeFaultInjection() to keep the RNG streams)");
     injectors_.clear();
     injectors_.reserve(subarrays_.size());
     for (unsigned i = 0; i < subarrays_.size(); ++i) {
@@ -84,6 +91,19 @@ StreamPimSystem::disableFaultInjection()
     faultsAttached_ = false;
 }
 
+void
+StreamPimSystem::resumeFaultInjection()
+{
+    SPIM_ASSERT(!faultsAttached_,
+                "fault injection already active; nothing to resume");
+    SPIM_ASSERT(!injectors_.empty(),
+                "resumeFaultInjection without a prior "
+                "enableFaultInjection");
+    for (unsigned i = 0; i < subarrays_.size(); ++i)
+        subarrays_[i]->setFaultInjector(injectors_[i].get());
+    faultsAttached_ = true;
+}
+
 FaultStats
 StreamPimSystem::totalFaultStats() const
 {
@@ -101,13 +121,31 @@ StreamPimSystem::faultInjector(unsigned global_id) const
     return injectors_[global_id].get();
 }
 
+std::vector<SubarrayWear>
+StreamPimSystem::wearSummaries() const
+{
+    std::vector<SubarrayWear> out;
+    out.reserve(subarrays_.size());
+    for (const auto &s : subarrays_)
+        out.push_back(s->wearSummary());
+    return out;
+}
+
+SubarrayWear
+StreamPimSystem::subarrayWear(unsigned global_id) const
+{
+    SPIM_ASSERT(global_id < subarrays_.size(),
+                "subarray ", global_id, " out of range");
+    return subarrays_[global_id]->wearSummary();
+}
+
 void
 StreamPimSystem::beginVpcScopes()
 {
     if (!faultsAttached_)
         return;
     for (auto &inj : injectors_)
-        if (inj->enabled())
+        if (inj->anyEnabled())
             inj->beginVpc();
 }
 

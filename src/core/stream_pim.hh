@@ -91,12 +91,21 @@ class StreamPimSystem
      * deterministic and subarrays decorrelated). Every subsequent
      * VPC executes through the fallible datapath and reports its
      * recovery outcome in VpcExecutionRecord::fault.
+     * Calling it while injection is active is a fatal error — it
+     * would silently reseed every injector mid-run; disable first.
+     * Re-enabling after a disable resets cleanly: fresh injectors,
+     * fresh seeds, fresh statistics.
      * disableFaultInjection detaches the injectors but keeps their
      * statistics readable — use it before verification readout so
      * host reads do not sample further faults.
+     * resumeFaultInjection re-attaches the injectors of a prior
+     * enable without reseeding or clearing anything, so lifetime
+     * campaigns can interleave fault-free readouts with further
+     * injected rounds on one continuous RNG stream.
      */
     void enableFaultInjection(const FaultConfig &cfg);
     void disableFaultInjection();
+    void resumeFaultInjection();
     bool faultInjectionActive() const { return faultsAttached_; }
 
     /** Aggregate sampled-fault statistics across all subarrays. */
@@ -105,6 +114,12 @@ class StreamPimSystem
     /** Injector of one subarray (nullptr when never enabled). */
     const FaultInjector *faultInjector(unsigned global_id) const;
     /** @} */
+
+    /** Per-subarray wear summaries (planner placement input). */
+    std::vector<SubarrayWear> wearSummaries() const;
+
+    /** Wear summary of one subarray. */
+    SubarrayWear subarrayWear(unsigned global_id) const;
 
   private:
     struct AddrPlace

@@ -1,5 +1,7 @@
 #include "mem/mat.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "rm/fault_injector.hh"
 
@@ -7,16 +9,24 @@ namespace streampim
 {
 
 Mat::Mat(unsigned tracks, unsigned domains_per_track,
-         unsigned domains_per_port, bool has_transfer_tracks)
-    : domainsPerTrack_(domains_per_track),
-      domainsPerPort_(domains_per_port)
+         unsigned domains_per_port, bool has_transfer_tracks,
+         unsigned spare_tracks)
+    : dataTracks_(tracks),
+      domainsPerTrack_(domains_per_track),
+      domainsPerPort_(domains_per_port),
+      spareNext_(tracks)
 {
     SPIM_ASSERT(tracks >= 8 && tracks % 8 == 0,
                 "a mat needs a multiple of 8 save tracks, got ",
                 tracks);
-    saveTracks_.reserve(tracks);
-    for (unsigned i = 0; i < tracks; ++i)
+    saveTracks_.reserve(tracks + spare_tracks);
+    for (unsigned i = 0; i < tracks + spare_tracks; ++i)
         saveTracks_.emplace_back(domains_per_track, domains_per_port);
+    trackMap_.resize(tracks);
+    for (unsigned i = 0; i < tracks; ++i)
+        trackMap_[i] = i;
+    wear_.assign(tracks + spare_tracks, 0);
+    exhaustions_.assign(tracks + spare_tracks, 0);
     if (has_transfer_tracks) {
         transferTracks_.reserve(tracks);
         for (unsigned i = 0; i < tracks; ++i)
@@ -41,6 +51,20 @@ Mat::checkRange(std::uint64_t offset, std::uint64_t count) const
     SPIM_ASSERT(offset + count <= capacityBytes(),
                 "mat access [", offset, ", ", offset + count,
                 ") beyond capacity ", capacityBytes());
+}
+
+MatWear
+Mat::wear() const
+{
+    MatWear w;
+    w.sparesTotal = unsigned(saveTracks_.size()) - dataTracks_;
+    w.sparesUsed = spareNext_ - dataTracks_;
+    w.remaps = remaps_;
+    for (std::uint64_t v : wear_)
+        w.deposits += v;
+    for (unsigned l = 0; l < dataTracks_; ++l)
+        w.maxTrackWear = std::max(w.maxTrackWear, wear_[trackMap_[l]]);
+    return w;
 }
 
 bool
@@ -123,6 +147,78 @@ Mat::depositDisplacement()
     return disp;
 }
 
+bool
+Mat::nucleateBounded(unsigned phys, unsigned &redeposits)
+{
+    redeposits = 0;
+    const unsigned budget = faults_->config().redepositRetryBudget;
+    for (unsigned attempt = 0; attempt <= budget; ++attempt) {
+        if (attempt > 0)
+            faults_->noteRedeposit();
+        wear_[phys]++;
+        if (faults_->sampleDeposit(wear_[phys] - 1)) {
+            redeposits = attempt;
+            return true;
+        }
+    }
+    redeposits = budget;
+    return false;
+}
+
+bool
+Mat::remapTrack(unsigned logical)
+{
+    if (spareNext_ >= saveTracks_.size())
+        return false; // spare pool exhausted
+    const unsigned worn = trackMap_[logical];
+    const unsigned spare = spareNext_++;
+    // Controller-managed migration over the maintenance path: the
+    // sensed contents are rewritten verbatim onto the spare (not
+    // sampled — like host DMA it is ECC-protected), but the rewrite
+    // still nucleates every domain of the spare once.
+    saveTracks_[spare].writeAll(saveTracks_[worn].readAll());
+    wear_[spare] += domainsPerTrack_;
+    trackMap_[logical] = spare;
+    remaps_++;
+    faults_->noteRemap(domainsPerTrack_ / 8);
+    return true;
+}
+
+bool
+Mat::depositCommit(unsigned logical, bool &remapped)
+{
+    remapped = false;
+    unsigned phys = trackMap_[logical];
+    if (!faults_ || !faults_->writeFaultsEnabled()) {
+        // Wear is physical reality, counted with or without an
+        // injector; only the sampling needs one.
+        wear_[phys]++;
+        return true;
+    }
+    unsigned redeposits = 0;
+    if (nucleateBounded(phys, redeposits)) {
+        if (redeposits > 0)
+            faults_->noteWriteCorrected(redeposits > 1);
+        return true;
+    }
+    faults_->noteRedepositExhausted();
+    exhaustions_[phys]++;
+    if (exhaustions_[phys] >=
+            faults_->config().remapAfterExhaustions &&
+        remapTrack(logical)) {
+        remapped = true;
+        phys = trackMap_[logical];
+        // One fresh episode on the spare; the remap itself already
+        // escalated the VPC to at least Retried.
+        if (nucleateBounded(phys, redeposits))
+            return true;
+        faults_->noteRedepositExhausted();
+        exhaustions_[phys]++;
+    }
+    faults_->noteWriteFailed();
+    return false;
+}
+
 void
 Mat::writeBytes(std::uint64_t offset,
                 std::span<const std::uint8_t> data)
@@ -131,13 +227,25 @@ Mat::writeBytes(std::uint64_t offset,
     for (std::uint64_t i = 0; i < data.size(); ++i) {
         BytePos pos = locate(offset + i);
         for (unsigned b = 0; b < 8; ++b) {
-            Nanowire &t = saveTracks_[pos.trackGroup + b];
-            if (alignFallible(t, pos.domain))
-                t.write(pos.domain, (data[i] >> b) & 1);
+            const unsigned logical = pos.trackGroup + b;
+            const bool bit = (data[i] >> b) & 1;
+            const bool aligned =
+                alignFallible(save(logical), pos.domain);
+            bool remapped = false;
+            if (!depositCommit(logical, remapped))
+                continue; // nucleation failed; domain keeps stale data
+            // Re-fetch: the commit may have remapped the track onto
+            // a spare, which sits at rest position and needs its own
+            // (fallible) alignment.
+            Nanowire &t = save(logical);
+            const bool ok =
+                remapped ? alignFallible(t, pos.domain) : aligned;
+            if (ok)
+                t.write(pos.domain, bit);
             else
                 // Recovery failed (VPC already escalated): the port
                 // writes whatever domain sits under it.
-                t.writeAtPortOf(pos.domain, (data[i] >> b) & 1);
+                t.writeAtPortOf(pos.domain, bit);
         }
         // The 8 tracks of a group write their bit in parallel under
         // one port operation.
@@ -155,7 +263,7 @@ Mat::readBytes(std::uint64_t offset, std::uint64_t count)
         BytePos pos = locate(offset + i);
         std::uint8_t byte = 0;
         for (unsigned b = 0; b < 8; ++b) {
-            Nanowire &t = saveTracks_[pos.trackGroup + b];
+            Nanowire &t = save(pos.trackGroup + b);
             if (alignFallible(t, pos.domain))
                 byte |= std::uint8_t(t.read(pos.domain)) << b;
             else
@@ -180,18 +288,20 @@ Mat::copyOutViaTransferTracks(std::uint64_t offset,
     // The fan-out nanowires replicate each save-track domain onto
     // the adjacent transfer track: no port access, one fan-out event
     // plus one shift step per bit copied (the replica propagates one
-    // branch length).
+    // branch length). Transfer tracks carry no wear state: the
+    // replica is driven by the fan-out current, not a port
+    // nucleation (and they are rewritten wholesale on every copy).
     std::vector<std::uint8_t> out;
     out.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         BytePos pos = locate(offset + i);
         std::uint8_t byte = 0;
         for (unsigned b = 0; b < 8; ++b) {
-            Nanowire &save = saveTracks_[pos.trackGroup + b];
+            Nanowire &src = save(pos.trackGroup + b);
             Nanowire &xfer = transferTracks_[pos.trackGroup + b];
             // Inspect the save track bit without a port operation:
             // the fan-out copy happens in the magnetic domain.
-            bool bit = save.peekDomain(pos.domain);
+            bool bit = src.peekDomain(pos.domain);
             if (alignFallible(xfer, pos.domain)) {
                 xfer.write(pos.domain, bit);
                 byte |= std::uint8_t(bit) << b;
@@ -220,12 +330,14 @@ Mat::shiftOutDestructive(std::uint64_t offset, std::uint64_t count)
         BytePos pos = locate(offset + i);
         // The 8-track group ejects this byte's domains with one
         // shared shift pulse; a residual displacement (recovery
-        // failed) ejects the neighboring domain instead.
+        // failed) ejects the neighboring domain instead. Ejection
+        // vacates domains rather than nucleating them, so it does
+        // not wear the track.
         const int disp = depositDisplacement();
         const long d = long(pos.domain) + disp;
         std::uint8_t byte = 0;
         for (unsigned b = 0; b < 8; ++b) {
-            Nanowire &t = saveTracks_[pos.trackGroup + b];
+            Nanowire &t = save(pos.trackGroup + b);
             if (d >= 0 && d < long(domainsPerTrack_)) {
                 byte |= std::uint8_t(t.peekDomain(unsigned(d))) << b;
                 // The domain leaves the track toward the bus.
@@ -251,9 +363,13 @@ Mat::shiftInFromBus(std::uint64_t offset,
         const int disp = depositDisplacement();
         const long d = long(pos.domain) + disp;
         for (unsigned b = 0; b < 8; ++b) {
-            Nanowire &t = saveTracks_[pos.trackGroup + b];
-            if (d >= 0 && d < long(domainsPerTrack_))
-                t.pokeDomain(unsigned(d), (data[i] >> b) & 1);
+            const unsigned logical = pos.trackGroup + b;
+            if (d >= 0 && d < long(domainsPerTrack_)) {
+                bool remapped = false;
+                if (depositCommit(logical, remapped))
+                    save(logical).pokeDomain(unsigned(d),
+                                             (data[i] >> b) & 1);
+            }
             activity_.shiftSteps += 1;
         }
     }

@@ -10,6 +10,16 @@
  * shifted out to the RM bus — a non-destructive read without
  * electromagnetic conversion.
  *
+ * Endurance: every deposit onto a save track nucleates a domain
+ * wall, so the mat keeps a per-physical-track wear counter
+ * (incremented on every commit, injector or not). With a
+ * write-fault injector attached, each commit samples the Weibull
+ * endurance model (rm/endurance.hh) at the track's current wear;
+ * failed nucleations retry under the re-deposit budget, and a track
+ * that exhausts its budget is retired onto one of the mat's spare
+ * save tracks through the remap table. Logical track indices are
+ * stable — only the mapping to physical nanowires changes.
+ *
  * Only small geometries are instantiated functionally (tests and
  * examples); the timed simulation uses capacity/latency parameters
  * only.
@@ -42,21 +52,34 @@ struct MatActivity
     std::uint64_t fanOutCopies = 0; //!< save->transfer track copies
 };
 
+/** Wear/endurance summary of one mat. */
+struct MatWear
+{
+    std::uint64_t deposits = 0;    //!< nucleations across all tracks
+    std::uint64_t maxTrackWear = 0; //!< worst wear among live tracks
+    std::uint64_t remaps = 0;      //!< tracks retired onto spares
+    unsigned sparesUsed = 0;
+    unsigned sparesTotal = 0;
+};
+
 /** One mat: @p tracks save tracks (+ optional transfer tracks). */
 class Mat
 {
   public:
     /**
-     * @param tracks number of save tracks (multiple of 8)
+     * @param tracks number of data save tracks (multiple of 8)
      * @param domains_per_track domains per track
      * @param domains_per_port domains sharing an access port
      * @param has_transfer_tracks whether this mat carries transfer
      *        tracks (only transferMatsPerSubarray mats do)
+     * @param spare_tracks spare save tracks for retiring worn ones
      */
     Mat(unsigned tracks, unsigned domains_per_track,
-        unsigned domains_per_port, bool has_transfer_tracks);
+        unsigned domains_per_port, bool has_transfer_tracks,
+        unsigned spare_tracks = 0);
 
-    unsigned tracks() const { return unsigned(saveTracks_.size()); }
+    /** Data (logical) save tracks; spares are not addressable. */
+    unsigned tracks() const { return dataTracks_; }
     unsigned domainsPerTrack() const { return domainsPerTrack_; }
     bool hasTransferTracks() const { return !transferTracks_.empty(); }
 
@@ -104,6 +127,9 @@ class Mat
 
     const MatActivity &activity() const { return activity_; }
 
+    /** Wear/endurance summary (deposits, remaps, spare usage). */
+    MatWear wear() const;
+
     /**
      * Attach a shift-fault injector: every alignment shift and every
      * per-byte deposit/eject pulse becomes fallible. Port accesses
@@ -111,7 +137,10 @@ class Mat
      * pattern is visible in the sensed data) with budget-bounded
      * fallible realignment; exhausted recovery escalates the current
      * VPC through the injector and the access proceeds misaligned
-     * (visibly corrupt, never silent). Pass nullptr to detach.
+     * (visibly corrupt, never silent). When the injector carries
+     * write faults (pWrite0 > 0), every deposit commit additionally
+     * samples the wear-dependent nucleation model. Pass nullptr to
+     * detach.
      */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
@@ -124,6 +153,14 @@ class Mat
 
     BytePos locate(std::uint64_t offset) const;
     void checkRange(std::uint64_t offset, std::uint64_t count) const;
+
+    /** Physical nanowire currently backing logical track @p l. */
+    Nanowire &save(unsigned l) { return saveTracks_[trackMap_[l]]; }
+    const Nanowire &
+    save(unsigned l) const
+    {
+        return saveTracks_[trackMap_[l]];
+    }
 
     /**
      * Align @p t's domain @p domain to its port, fallibly when an
@@ -147,10 +184,51 @@ class Mat
      */
     int depositDisplacement();
 
+    /**
+     * Commit one domain-wall nucleation on logical track @p logical:
+     * bumps the physical track's wear and, when write-fault
+     * injection is active, samples the endurance model with bounded
+     * re-deposit retries and — on repeated budget exhaustion —
+     * spare-track remapping.
+     * @param[out] remapped set when the episode retired the track
+     *             onto a spare (the caller must re-fetch save() and
+     *             re-align, since the spare sits at rest position).
+     * @return true when the new domain committed; false when
+     * nucleation ultimately failed — the domain keeps its previous
+     * magnetization (visibly stale, never silently wrong: the VPC is
+     * already escalated to Failed).
+     */
+    bool depositCommit(unsigned logical, bool &remapped);
+
+    /** One bounded nucleation episode on physical track @p phys:
+     * first pulse + up to redepositRetryBudget re-deposits.
+     * @param[out] redeposits re-driven pulses the episode used. */
+    bool nucleateBounded(unsigned phys, unsigned &redeposits);
+
+    /**
+     * Retire logical track @p logical onto the next free spare: the
+     * controller migrates the worn track's contents (its own
+     * ECC-protected maintenance path — not sampled — but the rewrite
+     * wears the spare by one nucleation per domain) and updates the
+     * remap table.
+     * @return false when the spare pool is exhausted.
+     */
+    bool remapTrack(unsigned logical);
+
+    unsigned dataTracks_;
     unsigned domainsPerTrack_;
     unsigned domainsPerPort_;
+    /** Data tracks first, then spares; indexed via trackMap_. */
     std::vector<Nanowire> saveTracks_;
     std::vector<Nanowire> transferTracks_;
+    /** Logical -> physical save-track mapping (remap table). */
+    std::vector<unsigned> trackMap_;
+    /** Per-physical-track nucleation count. */
+    std::vector<std::uint64_t> wear_;
+    /** Per-physical-track re-deposit budget exhaustions. */
+    std::vector<unsigned> exhaustions_;
+    unsigned spareNext_;     //!< next unused physical spare index
+    std::uint64_t remaps_ = 0;
     MatActivity activity_;
     FaultInjector *faults_ = nullptr;
 };

@@ -24,7 +24,7 @@ FunctionalSubarray::FunctionalSubarray(const RmParams &params,
         bool has_transfer = i < params.transferMatsPerSubarray;
         mats_.push_back(std::make_unique<Mat>(
             tracks_per_mat, domains_per_track, params.domainsPerPort,
-            has_transfer));
+            has_transfer, params.spareTracksPerMat));
     }
     processor_ = std::make_unique<RmProcessor>(params_, meter_);
 }
@@ -40,6 +40,15 @@ FunctionalSubarray::mat(unsigned i)
 {
     SPIM_ASSERT(i < mats_.size(), "mat index out of range");
     return *mats_[i];
+}
+
+SubarrayWear
+FunctionalSubarray::wearSummary() const
+{
+    SubarrayWear w;
+    for (const auto &m : mats_)
+        w.merge(m->wear());
+    return w;
 }
 
 void
@@ -173,7 +182,7 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
     // Attribute every sampled fault of this execution to one VPC.
     // The system-level driver may already hold a scope spanning
     // remote-operand staging; only open one when nobody did.
-    const bool fallible = faults_ && faults_->enabled();
+    const bool fallible = faults_ && faults_->anyEnabled();
     const bool own_scope = fallible && !faults_->scopeActive();
     if (own_scope)
         faults_->beginVpc();
@@ -181,6 +190,10 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
         fallible ? faults_->stats().correctionShifts : 0;
     const std::uint64_t checks_before =
         fallible ? faults_->stats().guardChecks : 0;
+    const std::uint64_t redeposits_before =
+        fallible ? faults_->stats().redeposits : 0;
+    const std::uint64_t remap_bytes_before =
+        fallible ? faults_->stats().remapCopyBytes : 0;
 
     std::vector<std::uint8_t> a =
         streamOut(src1, size, res.busCycles);
@@ -235,10 +248,17 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
     if (fallible) {
         // Charge the recovery overhead: every compensating shift
         // burns shift energy (its bus-cycle cost is already inside
-        // busCycles via transferAll), every guard check one sense.
+        // busCycles via transferAll), every guard check one sense,
+        // every re-driven deposit a write quantum, and every remap
+        // migration one read + write pass over the retired track.
         const FaultStats &after = faults_->stats();
         energy_.shift(after.correctionShifts - shifts_before);
         energy_.guardSense(after.guardChecks - checks_before);
+        energy_.redeposit(after.redeposits - redeposits_before);
+        const std::uint64_t remap_bytes =
+            after.remapCopyBytes - remap_bytes_before;
+        energy_.read(remap_bytes);
+        energy_.write(remap_bytes);
         res.fault = own_scope ? faults_->endVpc()
                               : faults_->currentInfo();
     }

@@ -16,6 +16,7 @@
 #ifndef STREAMPIM_MEM_SUBARRAY_HH_
 #define STREAMPIM_MEM_SUBARRAY_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -30,6 +31,26 @@
 
 namespace streampim
 {
+
+/** Wear/endurance summary aggregated over one subarray's mats. */
+struct SubarrayWear
+{
+    std::uint64_t deposits = 0;     //!< nucleations across all mats
+    std::uint64_t maxTrackWear = 0; //!< worst live save track
+    std::uint64_t remaps = 0;       //!< tracks retired onto spares
+    unsigned sparesUsed = 0;
+    unsigned sparesTotal = 0;
+
+    void
+    merge(const MatWear &m)
+    {
+        deposits += m.deposits;
+        maxTrackWear = std::max(maxTrackWear, m.maxTrackWear);
+        remaps += m.remaps;
+        sparesUsed += m.sparesUsed;
+        sparesTotal += m.sparesTotal;
+    }
+};
 
 /** Result of one functionally executed VPC. */
 struct SubarrayVpcResult
@@ -82,6 +103,9 @@ class FunctionalSubarray
     const RmProcessor &processor() const { return *processor_; }
     Mat &mat(unsigned i);
     unsigned mats() const { return unsigned(mats_.size()); }
+
+    /** Aggregate wear/endurance state across all mats. */
+    SubarrayWear wearSummary() const;
 
     /**
      * Attach a shift-fault injector to the whole datapath: every

@@ -160,6 +160,7 @@ SweepRunner::report() const
 {
     SPIM_ASSERT(ran_, "SweepRunner: report() before run()");
     Json doc = Json::object();
+    doc["schema_version"] = kBenchReportSchemaVersion;
     doc["bench"] = name_;
     doc["jobs"] = jobs_;
     doc["wall_seconds"] = wallSeconds_;

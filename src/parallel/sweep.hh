@@ -32,6 +32,15 @@ namespace streampim
 {
 
 /**
+ * Version of the BENCH_*.json report shape. Bump it whenever the
+ * report layout changes (fields added/removed/renamed), so CI jobs
+ * that diff reports fail loudly on format drift instead of silently
+ * comparing mismatched shapes. History: 1 = the PR 1-3 shape
+ * (implicit, no version field); 2 = schema_version added.
+ */
+constexpr int kBenchReportSchemaVersion = 2;
+
+/**
  * Resolve the report path for bench @p name from its command line
  * (`--json <path>`) or STREAMPIM_JSON (see the file comment); empty
  * when no report was requested. SweepRunner uses this internally;

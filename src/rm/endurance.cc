@@ -1,0 +1,45 @@
+#include "rm/endurance.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+WriteFaultModel::WriteFaultModel(double p0, double eta, double beta)
+    : p0_(p0), eta_(eta), beta_(beta)
+{
+    SPIM_ASSERT(p0 >= 0.0 && p0 < 1.0,
+                "write-fault floor p0 out of [0, 1)");
+    SPIM_ASSERT(eta > 0.0, "Weibull characteristic life must be > 0");
+    SPIM_ASSERT(beta >= 1.0,
+                "Weibull shape must be >= 1 (wear-out regime)");
+}
+
+double
+WriteFaultModel::depositFailureProbability(std::uint64_t wear) const
+{
+    if (p0_ <= 0.0)
+        return 0.0;
+    // Discrete Weibull hazard of write wear+1 given survival to
+    // wear: 1 - S(wear+1)/S(wear) with S(w) = exp(-(w/eta)^beta).
+    const double w0 = std::pow(double(wear) / eta_, beta_);
+    const double w1 = std::pow(double(wear + 1) / eta_, beta_);
+    const double hazard = 1.0 - std::exp(w0 - w1);
+    const double p = p0_ + (1.0 - p0_) * hazard;
+    // Keep a nonzero success chance so retry episodes terminate in
+    // expectation even on extremely worn tracks.
+    constexpr double kMaxP = 1.0 - 1e-9;
+    return p < kMaxP ? p : kMaxP;
+}
+
+double
+WriteFaultModel::expectedRedeposits(std::uint64_t deposits) const
+{
+    if (p0_ <= 0.0)
+        return 0.0;
+    return double(deposits) * p0_ / (1.0 - p0_);
+}
+
+} // namespace streampim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Save-track write-endurance model.
+ *
+ * Every deposit onto a save track nucleates a domain wall, and
+ * nucleation failure rates grow with the track's accumulated write
+ * count — a first-order racetrack reliability concern (see
+ * *Perspectives of Racetrack Memory for Large-Capacity On-Chip
+ * Memory* on device endurance and PIRM on write-path reliability).
+ * WriteFaultModel captures this as a two-term per-deposit failure
+ * probability:
+ *
+ *   p(w) = p0 + (1 - p0) * h(w)
+ *
+ * where p0 is the wear-independent nucleation floor (drive-current
+ * margin, thermal noise) and h(w) is the discrete Weibull hazard of
+ * the (w+1)-th write given survival of the first w:
+ *
+ *   h(w) = 1 - S(w+1)/S(w),   S(w) = exp(-(w/eta)^beta)
+ *
+ * with characteristic life eta (writes at which ~63% of tracks have
+ * failed at least once) and shape beta >= 1 (wear-out: the hazard
+ * is non-decreasing in w). The same model serves both fidelity
+ * levels: the functional datapath samples p(w) per deposit commit
+ * through the FaultInjector, while the timed Executor charges the
+ * closed-form expected re-deposit count so it stays deterministic
+ * and never samples.
+ */
+
+#ifndef STREAMPIM_RM_ENDURANCE_HH_
+#define STREAMPIM_RM_ENDURANCE_HH_
+
+#include <cstdint>
+
+namespace streampim
+{
+
+/** Wear-dependent per-deposit nucleation failure probability. */
+class WriteFaultModel
+{
+  public:
+    /**
+     * @param p0 wear-independent failure floor in [0, 1); 0 disables
+     *        write-fault injection entirely.
+     * @param eta Weibull characteristic life in writes (> 0).
+     * @param beta Weibull shape (>= 1: wear-out regime).
+     */
+    WriteFaultModel(double p0, double eta, double beta);
+
+    double p0() const { return p0_; }
+    double eta() const { return eta_; }
+    double beta() const { return beta_; }
+
+    /** True when p0 > 0 (hooks skip sampling otherwise). */
+    bool enabled() const { return p0_ > 0.0; }
+
+    /**
+     * Failure probability of the next deposit on a track that has
+     * already absorbed @p wear nucleations. Monotonic in @p wear and
+     * clamped below 1 so a bounded retry episode always has a
+     * nonzero success chance.
+     */
+    double depositFailureProbability(std::uint64_t wear) const;
+
+    /**
+     * Expected extra deposit pulses needed to commit @p deposits
+     * domains at the wear-independent floor: each commit is a
+     * geometric trial, so E[extras per deposit] = p0 / (1 - p0).
+     * This is what the timed Executor charges — lifetime (wear-term)
+     * effects are a functional-campaign concern, the timed model
+     * covers the steady-state reliability tax.
+     */
+    double expectedRedeposits(std::uint64_t deposits) const;
+
+  private:
+    double p0_;
+    double eta_;
+    double beta_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_RM_ENDURANCE_HH_

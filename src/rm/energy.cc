@@ -18,6 +18,7 @@ energyOpName(EnergyOp op)
       case EnergyOp::BusElectrical: return "bus_electrical";
       case EnergyOp::HostCompute: return "host_compute";
       case EnergyOp::GuardSense: return "guard_sense";
+      case EnergyOp::Redeposit: return "redeposit";
       case EnergyOp::NumOps: break;
     }
     return "unknown";

@@ -35,6 +35,7 @@ enum class EnergyOp : unsigned
     BusElectrical,  //!< electrical bus transfer incl. conversion
     HostCompute,    //!< CPU/GPU arithmetic (baselines)
     GuardSense,     //!< guard-domain check (fault detection)
+    Redeposit,      //!< re-driven deposit after nucleation failure
     NumOps,
 };
 
@@ -190,6 +191,17 @@ class RmEnergyModel
     guardSense(std::uint64_t count = 1)
     {
         meter_.record(EnergyOp::GuardSense, params_.readPj, count);
+    }
+
+    /**
+     * One re-driven deposit pulse after a nucleation failure: the
+     * write driver re-nucleates the domain, costing a full write
+     * quantum (the failed pulse already dissipated one).
+     */
+    void
+    redeposit(std::uint64_t count = 1)
+    {
+        meter_.record(EnergyOp::Redeposit, params_.writePj, count);
     }
 
   private:

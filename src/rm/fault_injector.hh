@@ -30,6 +30,16 @@
  * Realignment episodes retry up to the configured budget; exhaustion,
  * or |e| beyond the guard's localization range (guardDomains - 1),
  * escalates the current VPC to FaultStatus::Failed.
+ *
+ * Write/endurance faults (rm/endurance.hh) ride the same escalation
+ * ladder: every deposit commit on a save track is a fallible
+ * nucleation whose failure probability grows with the track's
+ * accumulated wear (Weibull hazard over the per-track write count
+ * kept by Mat). Detection is at the deposit-commit exact checkpoint
+ * (the written domain is sensed back), recovery is a bounded
+ * re-deposit retry episode, and a track that exhausts its budget is
+ * retired onto a spare by the mat's remap table — the VPC escalates
+ * to Failed only when the spare pool is exhausted too.
  */
 
 #ifndef STREAMPIM_RM_FAULT_INJECTOR_HH_
@@ -39,6 +49,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "rm/endurance.hh"
 #include "rm/fault.hh"
 
 namespace streampim
@@ -82,6 +93,20 @@ struct FaultConfig
     /** RNG seed; campaigns derive one seed per cell/subarray. */
     std::uint64_t seed = 0x5eed;
 
+    // --- Write/endurance faults (rm/endurance.hh) ---
+    /** Wear-independent nucleation failure floor (0 disables). */
+    double pWrite0 = 0.0;
+    /** Weibull characteristic life in writes per track. */
+    double writeEndurance = 1e6;
+    /** Weibull shape (>= 1: wear-out regime). */
+    double weibullShape = 2.0;
+    /** Re-deposit attempts per commit before the episode gives up. */
+    unsigned redepositRetryBudget = 3;
+    /** Budget exhaustions on one physical track before the
+     * controller retires it onto a spare (1 = remap immediately, so
+     * the spare pool can still save the current VPC). */
+    unsigned remapAfterExhaustions = 1;
+
     void
     validate() const
     {
@@ -93,6 +118,16 @@ struct FaultConfig
                     "need at least 2 guard domains");
         SPIM_ASSERT(realignRetryBudget >= 1,
                     "realign retry budget must be >= 1");
+        SPIM_ASSERT(pWrite0 >= 0.0 && pWrite0 < 1.0,
+                    "write fault floor out of range");
+        SPIM_ASSERT(writeEndurance > 0.0,
+                    "write endurance must be > 0");
+        SPIM_ASSERT(weibullShape >= 1.0,
+                    "Weibull shape must be >= 1");
+        SPIM_ASSERT(redepositRetryBudget >= 1,
+                    "re-deposit retry budget must be >= 1");
+        SPIM_ASSERT(remapAfterExhaustions >= 1,
+                    "remap threshold must be >= 1");
     }
 };
 
@@ -111,6 +146,15 @@ struct FaultStats
     std::uint64_t budgetExhausted = 0;  //!< realign episodes given up
     std::uint64_t clampedAtWireEnd = 0; //!< faulty travel hit the wire end
 
+    // --- Write/endurance counters ---
+    std::uint64_t depositPulses = 0;      //!< sampled deposit commits
+    std::uint64_t writeFaultsInjected = 0; //!< nucleations that failed
+    std::uint64_t redeposits = 0;         //!< re-driven deposit pulses
+    std::uint64_t redepositExhausted = 0; //!< episodes out of budget
+    std::uint64_t trackRemaps = 0;        //!< tracks retired to spares
+    std::uint64_t remapCopyBytes = 0;     //!< bytes migrated by remaps
+    std::uint64_t writeFailures = 0;      //!< commits lost for good
+
     /** Fold another injector's counters in (system aggregation). */
     void
     merge(const FaultStats &o)
@@ -126,6 +170,13 @@ struct FaultStats
         uncorrectable += o.uncorrectable;
         budgetExhausted += o.budgetExhausted;
         clampedAtWireEnd += o.clampedAtWireEnd;
+        depositPulses += o.depositPulses;
+        writeFaultsInjected += o.writeFaultsInjected;
+        redeposits += o.redeposits;
+        redepositExhausted += o.redepositExhausted;
+        trackRemaps += o.trackRemaps;
+        remapCopyBytes += o.remapCopyBytes;
+        writeFailures += o.writeFailures;
     }
 };
 
@@ -138,6 +189,10 @@ struct VpcFaultInfo
     std::uint64_t correctionShifts = 0;
     std::uint64_t realignRetries = 0;
     std::uint64_t guardChecks = 0;
+    std::uint64_t depositPulses = 0;      //!< incl. re-deposits
+    std::uint64_t writeFaultsInjected = 0;
+    std::uint64_t redeposits = 0;
+    std::uint64_t trackRemaps = 0;
 
     /** Fold another record in (cross-subarray VPC attribution). */
     void
@@ -150,6 +205,10 @@ struct VpcFaultInfo
         correctionShifts += o.correctionShifts;
         realignRetries += o.realignRetries;
         guardChecks += o.guardChecks;
+        depositPulses += o.depositPulses;
+        writeFaultsInjected += o.writeFaultsInjected;
+        redeposits += o.redeposits;
+        trackRemaps += o.trackRemaps;
     }
 };
 
@@ -163,6 +222,8 @@ class FaultInjector
   public:
     explicit FaultInjector(const FaultConfig &cfg)
         : cfg_(cfg), model_(cfg.pStep, cfg.overFraction),
+          writeModel_(cfg.pWrite0, cfg.writeEndurance,
+                      cfg.weibullShape),
           rng_(cfg.seed)
     {
         cfg_.validate();
@@ -170,10 +231,17 @@ class FaultInjector
 
     const FaultConfig &config() const { return cfg_; }
     const ShiftFaultModel &model() const { return model_; }
+    const WriteFaultModel &writeModel() const { return writeModel_; }
     const FaultStats &stats() const { return stats_; }
 
     /** True when pStep > 0; hooks may skip sampling otherwise. */
     bool enabled() const { return cfg_.pStep > 0.0; }
+
+    /** True when pWrite0 > 0: deposit commits sample nucleation. */
+    bool writeFaultsEnabled() const { return writeModel_.enabled(); }
+
+    /** Any fault class active (shift or write). */
+    bool anyEnabled() const { return enabled() || writeFaultsEnabled(); }
 
     /** Largest |misalignment| the guard pattern can localize. */
     unsigned
@@ -272,6 +340,91 @@ class FaultInjector
     /** Record faulty travel pinned at the physical wire end. */
     void noteClamped() { stats_.clampedAtWireEnd++; }
 
+    /** Write/endurance fault hooks (deposit commits on save tracks).
+     * @{ */
+
+    /**
+     * Sample one deposit commit on a track whose accumulated wear
+     * (before this pulse) is @p wear.
+     * @return true when nucleation succeeded; false when the
+     * deposit-commit checkpoint sensed a failed nucleation.
+     */
+    bool
+    sampleDeposit(std::uint64_t wear)
+    {
+        stats_.depositPulses++;
+        if (scopeActive_)
+            scope_.depositPulses++;
+        if (rng_.uniform() >=
+            writeModel_.depositFailureProbability(wear))
+            return true;
+        stats_.writeFaultsInjected++;
+        if (scopeActive_)
+            scope_.writeFaultsInjected++;
+        return false;
+    }
+
+    /** Record one re-driven deposit pulse of a retry episode. */
+    void
+    noteRedeposit()
+    {
+        stats_.redeposits++;
+        if (scopeActive_)
+            scope_.redeposits++;
+    }
+
+    /**
+     * Record a re-deposit episode that finally committed:
+     * escalates to Corrected (one retry) or Retried (several).
+     */
+    void
+    noteWriteCorrected(bool retried)
+    {
+        if (!scopeActive_)
+            return;
+        scope_.faultsCorrected++;
+        const FaultStatus at_least = retried ? FaultStatus::Retried
+                                             : FaultStatus::Corrected;
+        if (static_cast<int>(scope_.status) <
+            static_cast<int>(at_least))
+            scope_.status = at_least;
+    }
+
+    /**
+     * Record a re-deposit episode that ran out of budget. Does not
+     * escalate to Failed by itself — the mat may still retire the
+     * track onto a spare and commit there.
+     */
+    void noteRedepositExhausted() { stats_.redepositExhausted++; }
+
+    /**
+     * Record one worn track retired onto a spare (@p copy_bytes
+     * migrated by the controller). The remap machinery is a heavy
+     * recovery action, so the VPC escalates to at least Retried.
+     */
+    void
+    noteRemap(std::uint64_t copy_bytes)
+    {
+        stats_.trackRemaps++;
+        stats_.remapCopyBytes += copy_bytes;
+        if (scopeActive_) {
+            scope_.trackRemaps++;
+            if (static_cast<int>(scope_.status) <
+                static_cast<int>(FaultStatus::Retried))
+                scope_.status = FaultStatus::Retried;
+        }
+    }
+
+    /** Record a deposit lost for good (no spare left / spare episode
+     * also exhausted): the domain keeps stale data, VPC Failed. */
+    void
+    noteWriteFailed()
+    {
+        stats_.writeFailures++;
+        fail();
+    }
+    /** @} */
+
     /** Attribution scope: stats between begin/end belong to one VPC.
      * @{ */
     void
@@ -319,6 +472,7 @@ class FaultInjector
 
     FaultConfig cfg_;
     ShiftFaultModel model_;
+    WriteFaultModel writeModel_;
     Rng rng_;
     FaultStats stats_;
     VpcFaultInfo scope_;

@@ -85,6 +85,18 @@ struct RmParams
     /** Realignment attempts per episode before escalating. */
     unsigned realignRetryBudget = 4;
 
+    // --- Save-track write endurance (rm/endurance.hh) ---
+    /** Wear-independent nucleation failure floor (0 = fault free). */
+    double writeFaultP0 = 0.0;
+    /** Weibull characteristic life in writes per save track. */
+    double writeEndurance = 1e6;
+    /** Weibull shape parameter (>= 1: wear-out regime). */
+    double weibullShape = 2.0;
+    /** Re-deposit attempts per commit before the episode gives up. */
+    unsigned redepositRetryBudget = 3;
+    /** Spare save tracks per mat for retiring worn tracks. */
+    unsigned spareTracksPerMat = 8;
+
     // --- Derived quantities ---
     std::uint64_t
     bytesPerSubarray() const
@@ -164,6 +176,14 @@ struct RmParams
             SPIM_FATAL("need at least 2 guard domains");
         if (realignRetryBudget == 0)
             SPIM_FATAL("realignRetryBudget must be >= 1");
+        if (writeFaultP0 < 0.0 || writeFaultP0 >= 1.0)
+            SPIM_FATAL("writeFaultP0 out of [0, 1)");
+        if (writeEndurance <= 0.0)
+            SPIM_FATAL("writeEndurance must be > 0");
+        if (weibullShape < 1.0)
+            SPIM_FATAL("weibullShape must be >= 1");
+        if (redepositRetryBudget == 0)
+            SPIM_FATAL("redepositRetryBudget must be >= 1");
     }
 };
 

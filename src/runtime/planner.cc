@@ -42,6 +42,27 @@ Planner::Planner(const SystemConfig &config) : cfg_(config)
     }
 }
 
+void
+Planner::observeWear(const std::vector<std::uint64_t> &wear)
+{
+    auto wear_of = [&wear](std::uint32_t id) {
+        return id < wear.size() ? wear[id] : 0;
+    };
+    auto rank = [&wear_of](std::vector<std::uint32_t> &set) {
+        std::stable_sort(set.begin(), set.end(),
+                         [&wear_of](std::uint32_t a,
+                                    std::uint32_t b) {
+                             return wear_of(a) < wear_of(b);
+                         });
+    };
+    rank(computeSet_);
+    if (cfg_.optLevel == OptLevel::Unblock)
+        rank(stagingSet_);
+    else
+        // Non-unblock staging follows the compute front-runner.
+        stagingSet_ = {computeSet_.front()};
+}
+
 std::uint32_t
 Planner::rowsOnSlot(std::uint32_t rows, std::uint32_t slot) const
 {

@@ -69,6 +69,20 @@ class Planner
         return stagingSet_;
     }
 
+    /**
+     * Wear-aware placement (save-track endurance): re-rank the
+     * compute and staging sets by the supplied per-subarray wear,
+     * ascending with ties broken by the previous order. Row
+     * distribution hands the remainder rows of rowsOnSlot to the
+     * leading slots and vector homes hash into the staging set in
+     * order, so after re-ranking, hot operands and the extra rows
+     * land on the least-worn subarrays. @p wear is indexed by
+     * global subarray id (e.g. SubarrayWear::deposits or
+     * maxTrackWear from StreamPimSystem::wearSummaries); ids
+     * beyond the vector count as pristine.
+     */
+    void observeWear(const std::vector<std::uint64_t> &wear);
+
   private:
     struct LowerCtx
     {

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * End-to-end tests for the endurance (lifetime) campaign: wear
+ * accumulates across rounds on one persistent system pair, the
+ * non-Failed => bit-exact invariant holds through re-deposit retries
+ * and spare-track remaps, spares strictly extend lifetime, and the
+ * whole campaign is byte-identical regardless of sweep parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/fault_campaign.hh"
+#include "parallel/sweep.hh"
+
+namespace streampim
+{
+namespace
+{
+
+/** Wear-out operating point that fails within a few dozen rounds. */
+EnduranceCampaignConfig
+wearOutConfig(unsigned spare_tracks, unsigned rounds = 24)
+{
+    EnduranceCampaignConfig cfg;
+    cfg.base.pStep = 0.0; // endurance-driven failures only
+    cfg.base.pWrite0 = 1e-4;
+    cfg.base.writeEndurance = 500.0;
+    cfg.base.weibullShape = 6.0;
+    cfg.base.redepositRetryBudget = 3;
+    cfg.base.remapAfterExhaustions = 1;
+    cfg.base.spareTracks = spare_tracks;
+    cfg.rounds = rounds;
+    return cfg;
+}
+
+TEST(EnduranceCampaign, NoWriteFaultsMeansEveryRoundClean)
+{
+    EnduranceCampaignConfig cfg;
+    cfg.base.pStep = 0.0;
+    cfg.base.pWrite0 = 0.0;
+    cfg.rounds = 3;
+    auto res = runEnduranceCampaign(cfg);
+    EXPECT_EQ(res.rounds(), 3u);
+    EXPECT_EQ(res.clean, 3 * cfg.base.vpcs);
+    EXPECT_EQ(res.failed, 0u);
+    EXPECT_EQ(res.firstFailedVpc, -1);
+    EXPECT_EQ(res.stats.writeFaultsInjected, 0u);
+    EXPECT_TRUE(res.invariantHolds());
+    // Wear still accumulates: deposits are physical, not sampled.
+    std::uint64_t deposits = 0;
+    for (const SubarrayWear &w : res.wear)
+        deposits += w.deposits;
+    EXPECT_GT(deposits, 0u);
+}
+
+TEST(EnduranceCampaign, WearOutFailsLateNotEarly)
+{
+    EnduranceCampaignConfig cfg = wearOutConfig(0);
+    auto res = runEnduranceCampaign(cfg);
+    ASSERT_GT(res.failed, 0u)
+        << "operating point never wore out — retune the test";
+    EXPECT_TRUE(res.invariantHolds());
+    // Early rounds ride the p0 floor; failures need accumulated
+    // wear, so the first Failed VPC cannot be in round 0.
+    EXPECT_GT(res.firstFailedRound, 0);
+    EXPECT_GT(res.firstFailedDeposits, 0u);
+    EXPECT_GE(res.firstFailedVpc,
+              long(res.firstFailedRound) * long(cfg.base.vpcs));
+    // Per-round failure counts sum to the total.
+    unsigned failed = 0;
+    for (const EnduranceRound &r : res.perRound)
+        failed += r.failed;
+    EXPECT_EQ(failed, res.failed);
+}
+
+TEST(EnduranceCampaign, SparesStrictlyExtendLifetime)
+{
+    auto none = runEnduranceCampaign(wearOutConfig(0));
+    auto spared = runEnduranceCampaign(wearOutConfig(4));
+    ASSERT_GT(none.failed, 0u);
+    EXPECT_TRUE(none.invariantHolds());
+    EXPECT_TRUE(spared.invariantHolds());
+    EXPECT_GT(spared.stats.trackRemaps, 0u);
+    // The spared device either survives the whole campaign or dies
+    // after strictly more committed deposit pulses.
+    if (spared.firstFailedVpc >= 0) {
+        EXPECT_GT(spared.firstFailedDeposits,
+                  none.firstFailedDeposits);
+    }
+    unsigned spares_used = 0;
+    for (const SubarrayWear &w : spared.wear)
+        spares_used += w.sparesUsed;
+    EXPECT_GT(spares_used, 0u);
+}
+
+TEST(EnduranceCampaign, RecoveredVpcsAreBitExactAcrossRemaps)
+{
+    // Several seeds; the invariant must hold in every run even while
+    // tracks are being retired mid-program.
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        EnduranceCampaignConfig cfg = wearOutConfig(4);
+        cfg.base.seed = seed;
+        auto res = runEnduranceCampaign(cfg);
+        EXPECT_TRUE(res.invariantHolds())
+            << "seed " << seed << ": " << res.mismatchedRecovered
+            << " recovered VPC(s) mismatched golden";
+    }
+}
+
+TEST(EnduranceCampaign, SameConfigSameSamplePath)
+{
+    EnduranceCampaignConfig cfg = wearOutConfig(4, 12);
+    auto a = runEnduranceCampaign(cfg);
+    auto b = runEnduranceCampaign(cfg);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.firstFailedVpc, b.firstFailedVpc);
+    EXPECT_EQ(a.firstFailedDeposits, b.firstFailedDeposits);
+    EXPECT_EQ(a.stats.depositPulses, b.stats.depositPulses);
+    EXPECT_EQ(a.stats.writeFaultsInjected,
+              b.stats.writeFaultsInjected);
+    EXPECT_EQ(a.stats.redeposits, b.stats.redeposits);
+    EXPECT_EQ(a.stats.trackRemaps, b.stats.trackRemaps);
+    EXPECT_EQ(a.stats.writeFailures, b.stats.writeFailures);
+    ASSERT_EQ(a.rounds(), b.rounds());
+    for (unsigned r = 0; r < a.rounds(); ++r) {
+        EXPECT_EQ(a.perRound[r].failed, b.perRound[r].failed) << r;
+        EXPECT_EQ(a.perRound[r].remaps, b.perRound[r].remaps) << r;
+        EXPECT_EQ(a.perRound[r].depositPulses,
+                  b.perRound[r].depositPulses)
+            << r;
+    }
+    ASSERT_EQ(a.wear.size(), b.wear.size());
+    for (std::size_t i = 0; i < a.wear.size(); ++i) {
+        EXPECT_EQ(a.wear[i].deposits, b.wear[i].deposits) << i;
+        EXPECT_EQ(a.wear[i].maxTrackWear, b.wear[i].maxTrackWear)
+            << i;
+        EXPECT_EQ(a.wear[i].remaps, b.wear[i].remaps) << i;
+    }
+}
+
+/** Small endurance grid shared by the parallelism test. */
+SweepRunner
+enduranceGrid()
+{
+    SweepRunner sweep("endurance_determinism");
+    for (unsigned sp : {0u, 4u})
+        for (double eta : {400.0, 600.0}) {
+            EnduranceCampaignConfig cfg;
+            cfg.base.pStep = 0.0;
+            cfg.base.pWrite0 = 1e-4;
+            cfg.base.writeEndurance = eta;
+            cfg.base.weibullShape = 6.0;
+            cfg.base.spareTracks = sp;
+            cfg.base.vpcs = 8;
+            cfg.rounds = 10;
+            cfg.base.seed = 0xFACE ^ (sp * 131) ^
+                            std::uint64_t(eta);
+            sweep.add("sp" + std::to_string(sp),
+                      "eta" + std::to_string(unsigned(eta)),
+                      [cfg] {
+                          auto res = runEnduranceCampaign(cfg);
+                          SweepCellResult cell;
+                          cell.value = double(res.firstFailedVpc);
+                          cell.metrics["failed"] = res.failed;
+                          cell.metrics["deposit_pulses"] =
+                              double(res.stats.depositPulses);
+                          cell.metrics["write_faults"] = double(
+                              res.stats.writeFaultsInjected);
+                          cell.metrics["redeposits"] =
+                              double(res.stats.redeposits);
+                          cell.metrics["remaps"] =
+                              double(res.stats.trackRemaps);
+                          cell.metrics["write_failures"] =
+                              double(res.stats.writeFailures);
+                          cell.metrics["mismatched_recovered"] =
+                              res.mismatchedRecovered;
+                          return cell;
+                      });
+        }
+    return sweep;
+}
+
+TEST(EnduranceCampaign, ResultsIdenticalAcrossSweepJobCounts)
+{
+    // Write-fault counters included: every cell owns its persistent
+    // system pair, so sweep parallelism cannot leak into the wear
+    // trajectories or the sampled nucleation streams.
+    setenv("STREAMPIM_JOBS", "1", 1);
+    SweepRunner serial = enduranceGrid();
+    ASSERT_EQ(serial.jobs(), 1u);
+    serial.run();
+
+    setenv("STREAMPIM_JOBS", "4", 1);
+    SweepRunner parallel = enduranceGrid();
+    ASSERT_EQ(parallel.jobs(), 4u);
+    parallel.run();
+    unsetenv("STREAMPIM_JOBS");
+
+    for (const auto &row : serial.rows())
+        for (const auto &col : serial.cols()) {
+            EXPECT_DOUBLE_EQ(serial.value(row, col),
+                             parallel.value(row, col))
+                << row << "/" << col;
+            const auto &sm = serial.cell(row, col).metrics;
+            const auto &pm = parallel.cell(row, col).metrics;
+            ASSERT_EQ(sm.size(), pm.size());
+            for (const auto &[key, val] : sm) {
+                auto it = pm.find(key);
+                ASSERT_NE(it, pm.end()) << key;
+                EXPECT_DOUBLE_EQ(val, it->second)
+                    << row << "/" << col << "/" << key;
+            }
+        }
+}
+
+TEST(EnduranceCampaignDeath, RejectsOversizedCampaigns)
+{
+    EnduranceCampaignConfig cfg;
+    cfg.rounds = 0;
+    EXPECT_DEATH(runEnduranceCampaign(cfg), "round");
+    cfg = EnduranceCampaignConfig{};
+    cfg.rounds = 100000;
+    EXPECT_DEATH(runEnduranceCampaign(cfg), "round");
+}
+
+} // namespace
+} // namespace streampim

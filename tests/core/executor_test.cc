@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/executor.hh"
 #include "runtime/schedule.hh"
 
@@ -237,6 +239,54 @@ TEST(Executor, HostLinkThrottlesVpcIssue)
     Executor fast(baseConfig());
     Tick fast_time = fast.run(s).makespan;
     EXPECT_GT(slow_time, fast_time);
+}
+
+TEST(Executor, WriteFaultFloorChargesRedeposits)
+{
+    // The timed model charges the closed-form expected re-deposit
+    // overhead of the write-endurance floor: deterministic (never
+    // sampled), visible in both time and energy.
+    SystemConfig clean_cfg = baseConfig();
+    SystemConfig worn_cfg = baseConfig();
+    worn_cfg.rm.writeFaultP0 = 0.01;
+    Executor clean(clean_cfg);
+    Executor worn(worn_cfg);
+
+    VpcSchedule s;
+    s.push(tran(0, 1, 4, 256));
+    ExecutionReport a = clean.run(s);
+    ExecutionReport b = worn.run(s);
+
+    EXPECT_EQ(a.energy.count(EnergyOp::Redeposit), 0u);
+    // ceil(bytes * 8 tracks * p0 / (1 - p0)) re-driven pulses.
+    const double expected =
+        std::ceil(4 * 256 * 8 * 0.01 / (1.0 - 0.01));
+    EXPECT_EQ(b.energy.count(EnergyOp::Redeposit),
+              std::uint64_t(expected));
+    EXPECT_GT(b.energy.energyPj(EnergyOp::Redeposit), 0.0);
+    EXPECT_GT(b.makespan, a.makespan);
+
+    // Deterministic: the same schedule charges the same overhead.
+    Executor again(worn_cfg);
+    ExecutionReport c = again.run(s);
+    EXPECT_EQ(c.makespan, b.makespan);
+    EXPECT_EQ(c.energy.count(EnergyOp::Redeposit),
+              b.energy.count(EnergyOp::Redeposit));
+}
+
+TEST(Executor, ComputeChargesRedepositsOnResultWriteback)
+{
+    SystemConfig clean_cfg = baseConfig();
+    SystemConfig worn_cfg = baseConfig();
+    worn_cfg.rm.writeFaultP0 = 0.01;
+    Executor clean(clean_cfg);
+    Executor worn(worn_cfg);
+    VpcSchedule s;
+    s.push(compute(0, 8, 100));
+    ExecutionReport a = clean.run(s);
+    ExecutionReport b = worn.run(s);
+    EXPECT_GT(b.energy.count(EnergyOp::Redeposit), 0u);
+    EXPECT_GE(b.makespan, a.makespan);
 }
 
 TEST(ExecutorDeath, OutOfRangeSubarrayPanics)

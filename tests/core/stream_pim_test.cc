@@ -167,5 +167,93 @@ TEST(StreamPimSystem, RandomProgramMatchesHostSimulation)
     EXPECT_EQ(sys.read(0, shadow.size()), shadow);
 }
 
+TEST(StreamPimSystem, WearSummariesTrackDeposits)
+{
+    StreamPimSystem sys;
+    auto pristine = sys.wearSummaries();
+    ASSERT_EQ(pristine.size(), sys.params().totalSubarrays());
+    for (const SubarrayWear &w : pristine) {
+        EXPECT_EQ(w.deposits, 0u);
+        EXPECT_EQ(w.remaps, 0u);
+        // Spare pools are plumbed from RmParams even without any
+        // injector attached.
+        EXPECT_GT(w.sparesTotal, 0u);
+        EXPECT_EQ(w.sparesUsed, 0u);
+    }
+
+    // Every byte written nucleates its 8 bit tracks once, injector
+    // or not — wear is physical, not sampled.
+    std::vector<std::uint8_t> data(10, 0xAB);
+    sys.write(0, data);
+    EXPECT_EQ(sys.subarrayWear(0).deposits, 10u * 8u);
+    EXPECT_EQ(sys.subarrayWear(1).deposits, 0u);
+}
+
+TEST(StreamPimSystem, ResumeKeepsInjectorStreams)
+{
+    // disable + resume must be invisible to the sampled RNG
+    // streams: a run with a fault-free readout window in the middle
+    // ends with byte-identical stats to an uninterrupted run.
+    FaultConfig fc;
+    fc.pWrite0 = 0.3;
+    fc.seed = 321;
+    std::vector<std::uint8_t> data(32, 0x5C);
+
+    StreamPimSystem paused;
+    paused.enableFaultInjection(fc);
+    paused.write(0, data);
+    FaultStats mid = paused.totalFaultStats();
+    EXPECT_GT(mid.depositPulses, 0u);
+    paused.disableFaultInjection();
+    EXPECT_FALSE(paused.faultInjectionActive());
+    paused.read(0, data.size()); // fault-free readout window
+    paused.resumeFaultInjection();
+    EXPECT_TRUE(paused.faultInjectionActive());
+    paused.write(1024, data);
+
+    StreamPimSystem continuous;
+    continuous.enableFaultInjection(fc);
+    continuous.write(0, data);
+    continuous.write(1024, data);
+
+    FaultStats a = paused.totalFaultStats();
+    FaultStats b = continuous.totalFaultStats();
+    EXPECT_EQ(a.depositPulses, b.depositPulses);
+    EXPECT_EQ(a.writeFaultsInjected, b.writeFaultsInjected);
+    EXPECT_EQ(a.redeposits, b.redeposits);
+    EXPECT_GT(a.depositPulses, mid.depositPulses);
+}
+
+TEST(StreamPimSystemDeath, DoubleEnableFaultInjectionPanics)
+{
+    StreamPimSystem sys;
+    FaultConfig fc;
+    fc.pStep = 1e-4;
+    sys.enableFaultInjection(fc);
+    // A second enable would silently reseed every injector
+    // mid-campaign; it must be loud instead.
+    EXPECT_DEATH(sys.enableFaultInjection(fc), "already enabled");
+    // After an explicit disable, re-enabling (reseeding) is fine.
+    sys.disableFaultInjection();
+    sys.enableFaultInjection(fc);
+    EXPECT_TRUE(sys.faultInjectionActive());
+}
+
+TEST(StreamPimSystemDeath, ResumeNeedsAPriorSession)
+{
+    StreamPimSystem sys;
+    EXPECT_DEATH(sys.resumeFaultInjection(), "without a prior");
+    FaultConfig fc;
+    fc.pStep = 1e-4;
+    sys.enableFaultInjection(fc);
+    EXPECT_DEATH(sys.resumeFaultInjection(), "nothing to resume");
+}
+
+TEST(StreamPimSystemDeath, WearQueryOutOfRangePanics)
+{
+    StreamPimSystem sys;
+    EXPECT_DEATH(sys.subarrayWear(999), "out of range");
+}
+
 } // namespace
 } // namespace streampim

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "parallel/sweep.hh"
@@ -92,6 +93,10 @@ TEST(SweepRunner, WritesParsableJsonReport)
     Json doc = Json::parse(buf.str(), &err);
     ASSERT_TRUE(err.empty()) << err;
 
+    // Versioned shape: tooling diffing reports keys off this field.
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.find("schema_version")->asNumber(),
+                     double(kBenchReportSchemaVersion));
     EXPECT_EQ(doc.find("bench")->asString(), "unit_grid");
     EXPECT_GE(doc.find("jobs")->asNumber(), 1.0);
     EXPECT_GE(doc.find("wall_seconds")->asNumber(), 0.0);
@@ -117,6 +122,21 @@ TEST(SweepRunner, WritesParsableJsonReport)
               "StPIM > CORUSCANT");
 
     std::remove(path);
+}
+
+TEST(SweepRunner, SchemaVersionLeadsTheReport)
+{
+    // Insertion order is the serialization order, so the version is
+    // the first thing a reader (or a failing CI diff) sees.
+    SweepRunner sweep("unit_schema");
+    sweep.add("r", "c", [] { return SweepCellResult{1.0, {}}; });
+    sweep.run();
+    const std::string dump = sweep.report().dump(2);
+    const auto v = dump.find("\"schema_version\"");
+    const auto b = dump.find("\"bench\"");
+    ASSERT_NE(v, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(v, b);
 }
 
 TEST(SweepRunner, ValuesIndependentOfDeclarationVsExecutionOrder)

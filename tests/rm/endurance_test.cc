@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the save-track write-endurance model: the two-term
+ * failure probability, its wear monotonicity, the clamp that keeps
+ * retry episodes winnable, and the closed-form expected re-deposit
+ * count the timed Executor charges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rm/endurance.hh"
+#include "rm/fault_injector.hh"
+
+namespace streampim
+{
+namespace
+{
+
+TEST(WriteFaultModel, DisabledAtZeroFloor)
+{
+    WriteFaultModel m(0.0, 1e6, 2.0);
+    EXPECT_FALSE(m.enabled());
+    // A pristine track with no floor cannot fail its first writes.
+    EXPECT_DOUBLE_EQ(m.expectedRedeposits(1000), 0.0);
+    EXPECT_LT(m.depositFailureProbability(0), 1e-9);
+}
+
+TEST(WriteFaultModel, FloorDominatesAtLowWear)
+{
+    WriteFaultModel m(1e-3, 1e6, 2.0);
+    EXPECT_TRUE(m.enabled());
+    // Far below the characteristic life the Weibull hazard is
+    // negligible: p(w) ~ p0.
+    EXPECT_NEAR(m.depositFailureProbability(0), 1e-3, 1e-6);
+    EXPECT_NEAR(m.depositFailureProbability(100), 1e-3, 1e-6);
+}
+
+TEST(WriteFaultModel, MonotonicInWear)
+{
+    WriteFaultModel m(1e-4, 1000.0, 3.0);
+    double prev = 0.0;
+    for (std::uint64_t w : {0ull, 10ull, 100ull, 500ull, 900ull,
+                            1000ull, 1500ull, 3000ull}) {
+        const double p = m.depositFailureProbability(w);
+        EXPECT_GE(p, prev) << "wear " << w;
+        EXPECT_GE(p, m.p0()) << "wear " << w;
+        prev = p;
+    }
+    // Deep into wear-out the per-write hazard is substantial.
+    EXPECT_GT(m.depositFailureProbability(20000), 0.5);
+}
+
+TEST(WriteFaultModel, ClampedBelowOne)
+{
+    // Even absurd wear must leave a nonzero success probability, so
+    // a bounded re-deposit episode is never a guaranteed loss.
+    WriteFaultModel m(1e-4, 10.0, 6.0);
+    const double p = m.depositFailureProbability(1000000);
+    EXPECT_LT(p, 1.0);
+    EXPECT_GE(p, 1.0 - 1e-8);
+}
+
+TEST(WriteFaultModel, ShapeOneIsMemoryless)
+{
+    // beta = 1 reduces the Weibull to an exponential: constant
+    // hazard, no wear-out.
+    WriteFaultModel m(1e-4, 1000.0, 1.0);
+    const double p0 = m.depositFailureProbability(0);
+    const double p1 = m.depositFailureProbability(5000);
+    EXPECT_NEAR(p0, p1, 1e-12);
+}
+
+TEST(WriteFaultModel, ExpectedRedepositsIsGeometricOverhead)
+{
+    WriteFaultModel m(0.01, 1e6, 2.0);
+    // Each commit is a geometric trial at the floor:
+    // E[extras] = deposits * p0 / (1 - p0).
+    EXPECT_NEAR(m.expectedRedeposits(10000),
+                10000.0 * 0.01 / 0.99, 1e-9);
+    EXPECT_DOUBLE_EQ(m.expectedRedeposits(0), 0.0);
+}
+
+TEST(WriteFaultModelDeath, BadParamsPanic)
+{
+    EXPECT_DEATH(WriteFaultModel(-0.1, 1e6, 2.0), "floor");
+    EXPECT_DEATH(WriteFaultModel(1.0, 1e6, 2.0), "floor");
+    EXPECT_DEATH(WriteFaultModel(0.0, 0.0, 2.0),
+                 "characteristic life");
+    EXPECT_DEATH(WriteFaultModel(0.0, 1e6, 0.5), "shape");
+}
+
+TEST(FaultInjectorWrite, SampleDepositCountsAndScopes)
+{
+    FaultConfig cfg;
+    cfg.pWrite0 = 0.5;
+    cfg.seed = 11;
+    FaultInjector inj(cfg);
+    EXPECT_FALSE(inj.enabled()); // shift faults off
+    EXPECT_TRUE(inj.writeFaultsEnabled());
+    EXPECT_TRUE(inj.anyEnabled());
+
+    inj.beginVpc();
+    unsigned failures = 0;
+    for (int i = 0; i < 200; ++i)
+        failures += !inj.sampleDeposit(0);
+    VpcFaultInfo info = inj.endVpc();
+    EXPECT_EQ(inj.stats().depositPulses, 200u);
+    EXPECT_EQ(info.depositPulses, 200u);
+    EXPECT_EQ(inj.stats().writeFaultsInjected, failures);
+    EXPECT_EQ(info.writeFaultsInjected, failures);
+    EXPECT_GT(failures, 50u); // p = 0.5: wildly unlikely otherwise
+    EXPECT_LT(failures, 150u);
+}
+
+TEST(FaultInjectorWrite, WriteEscalationLadder)
+{
+    FaultConfig cfg;
+    cfg.pWrite0 = 0.5;
+    FaultInjector inj(cfg);
+
+    inj.beginVpc();
+    inj.noteWriteCorrected(false);
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Corrected);
+    inj.noteWriteCorrected(true);
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Retried);
+    // Budget exhaustion alone does not fail: the mat may remap.
+    inj.noteRedepositExhausted();
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Retried);
+    EXPECT_EQ(inj.stats().redepositExhausted, 1u);
+    inj.noteRemap(16);
+    EXPECT_EQ(inj.currentInfo().status, FaultStatus::Retried);
+    EXPECT_EQ(inj.stats().trackRemaps, 1u);
+    EXPECT_EQ(inj.stats().remapCopyBytes, 16u);
+    inj.noteWriteFailed();
+    VpcFaultInfo info = inj.endVpc();
+    EXPECT_EQ(info.status, FaultStatus::Failed);
+    EXPECT_EQ(info.trackRemaps, 1u);
+    EXPECT_EQ(inj.stats().writeFailures, 1u);
+}
+
+TEST(FaultInjectorWrite, RemapAloneEscalatesToRetried)
+{
+    FaultConfig cfg;
+    cfg.pWrite0 = 0.5;
+    FaultInjector inj(cfg);
+    inj.beginVpc();
+    inj.noteRemap(8);
+    EXPECT_EQ(inj.endVpc().status, FaultStatus::Retried);
+}
+
+TEST(FaultInjectorWrite, StatsMergeFoldsWriteCounters)
+{
+    FaultStats a, b;
+    a.depositPulses = 10;
+    a.redeposits = 2;
+    b.depositPulses = 5;
+    b.writeFaultsInjected = 3;
+    b.trackRemaps = 1;
+    b.remapCopyBytes = 64;
+    b.writeFailures = 1;
+    b.redepositExhausted = 2;
+    a.merge(b);
+    EXPECT_EQ(a.depositPulses, 15u);
+    EXPECT_EQ(a.redeposits, 2u);
+    EXPECT_EQ(a.writeFaultsInjected, 3u);
+    EXPECT_EQ(a.trackRemaps, 1u);
+    EXPECT_EQ(a.remapCopyBytes, 64u);
+    EXPECT_EQ(a.writeFailures, 1u);
+    EXPECT_EQ(a.redepositExhausted, 2u);
+}
+
+TEST(FaultInjectorWriteDeath, BadWriteConfigPanics)
+{
+    // The injector builds its WriteFaultModel before validate()
+    // runs, so the model's own asserts fire first.
+    FaultConfig cfg;
+    cfg.pWrite0 = 1.0;
+    EXPECT_DEATH(FaultInjector{cfg}, "floor");
+    cfg = FaultConfig{};
+    cfg.writeEndurance = 0.0;
+    EXPECT_DEATH(FaultInjector{cfg}, "characteristic life");
+    cfg = FaultConfig{};
+    cfg.weibullShape = 0.9;
+    EXPECT_DEATH(FaultInjector{cfg}, "shape");
+    cfg = FaultConfig{};
+    cfg.redepositRetryBudget = 0;
+    EXPECT_DEATH(FaultInjector{cfg}, "re-deposit");
+    cfg = FaultConfig{};
+    cfg.remapAfterExhaustions = 0;
+    EXPECT_DEATH(FaultInjector{cfg}, "remap");
+}
+
+} // namespace
+} // namespace streampim

@@ -389,6 +389,62 @@ TEST(Planner, OpResultBatchWellFormed)
     }
 }
 
+TEST(Planner, ObserveWearReranksTowardLeastWorn)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    const auto before_compute = p.computeSet();
+    const auto before_staging = p.stagingSet();
+    ASSERT_GT(before_compute.size(), 1u);
+
+    // Pristine device (empty wear vector): stable sort keeps the
+    // constructor's order, including for ids beyond the vector.
+    p.observeWear({});
+    EXPECT_EQ(p.computeSet(), before_compute);
+    EXPECT_EQ(p.stagingSet(), before_staging);
+
+    // Make the current compute front-runner the most worn subarray:
+    // it must drop to the back of the ranking, since the remainder
+    // rows of row distribution land on the leading slots.
+    const std::uint32_t hot = before_compute.front();
+    std::vector<std::uint64_t> wear(cfg.rm.totalSubarrays(), 0);
+    wear[hot] = 1000;
+    p.observeWear(wear);
+    EXPECT_NE(p.computeSet().front(), hot);
+    EXPECT_EQ(p.computeSet().back(), hot);
+    // Re-ranking permutes, never changes membership.
+    std::set<std::uint32_t> a(before_compute.begin(),
+                              before_compute.end());
+    std::set<std::uint32_t> b(p.computeSet().begin(),
+                              p.computeSet().end());
+    EXPECT_EQ(a, b);
+    std::set<std::uint32_t> sa(before_staging.begin(),
+                               before_staging.end());
+    std::set<std::uint32_t> sb(p.stagingSet().begin(),
+                               p.stagingSet().end());
+    EXPECT_EQ(sa, sb);
+
+    // Plans remain well-formed after re-ranking.
+    VpcSchedule s = p.plan(tinyMatVec());
+    checkWellFormed(s, cfg);
+}
+
+TEST(Planner, ObserveWearKeepsNonUnblockStagingInvariant)
+{
+    // Under base/distribute the staging set is pinned to the compute
+    // front-runner; wear re-ranking must preserve that coupling.
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    const std::uint32_t hot = p.computeSet().front();
+    std::vector<std::uint64_t> wear(cfg.rm.totalSubarrays(), 0);
+    wear[hot] = 77;
+    p.observeWear(wear);
+    ASSERT_EQ(p.stagingSet().size(), 1u);
+    EXPECT_EQ(p.stagingSet()[0], p.computeSet().front());
+    EXPECT_NE(p.computeSet().front(), hot);
+    checkWellFormed(p.plan(tinyMatVec()), cfg);
+}
+
 TEST(ScheduleDeath, ForwardDependencyPanics)
 {
     VpcSchedule s;
