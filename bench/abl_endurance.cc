@@ -28,12 +28,14 @@
  * strict-gates mode.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "core/fault_campaign.hh"
+#include "core/report.hh"
 #include "parallel/sweep.hh"
 
 using namespace streampim;
@@ -55,6 +57,37 @@ lifetimeDeposits(const SweepCellResult &c)
     if (c.metrics.at("first_failed_round") < 0.0)
         return 1e30;
     return c.metrics.at("first_failed_writes");
+}
+
+/** Rebuild the per-bank SMART telemetry from a cell's bank<N>_*
+ * metrics (the cells run on pool workers, so printing happens here,
+ * deterministically, from the recorded metrics). */
+std::vector<BankHealth>
+bankHealthFromMetrics(const SweepCellResult &c)
+{
+    std::vector<BankHealth> health;
+    for (unsigned b = 0;; ++b) {
+        const std::string p = "bank" + std::to_string(b) + "_";
+        auto it = c.metrics.find(p + "spares_total");
+        if (it == c.metrics.end())
+            break;
+        BankHealth h;
+        h.bank = b;
+        h.sparesTotal = unsigned(it->second);
+        h.sparesUsed =
+            h.sparesTotal -
+            unsigned(c.metrics.at(p + "remaining_spares"));
+        h.maxWear = std::uint64_t(c.metrics.at(p + "max_wear"));
+        h.deposits = std::uint64_t(c.metrics.at(p + "deposits"));
+        h.trackRemaps =
+            std::uint64_t(c.metrics.at(p + "track_remaps"));
+        h.redeposits =
+            std::uint64_t(c.metrics.at(p + "redeposits"));
+        h.writeFailures =
+            std::uint64_t(c.metrics.at(p + "write_failures"));
+        health.push_back(h);
+    }
+    return health;
 }
 
 } // namespace
@@ -137,6 +170,25 @@ main(int argc, char **argv)
                 cell.metrics["max_track_wear"] = double(max_wear);
                 cell.metrics["spares_used"] = double(spares_used);
                 cell.metrics["spares_total"] = double(spares_total);
+                // SMART-style per-bank health telemetry.
+                for (const BankHealth &h : res.health) {
+                    const std::string p =
+                        "bank" + std::to_string(h.bank) + "_";
+                    cell.metrics[p + "remaining_spares"] =
+                        double(h.remainingSpares());
+                    cell.metrics[p + "spares_total"] =
+                        double(h.sparesTotal);
+                    cell.metrics[p + "max_wear"] =
+                        double(h.maxWear);
+                    cell.metrics[p + "deposits"] =
+                        double(h.deposits);
+                    cell.metrics[p + "track_remaps"] =
+                        double(h.trackRemaps);
+                    cell.metrics[p + "redeposits"] =
+                        double(h.redeposits);
+                    cell.metrics[p + "write_failures"] =
+                        double(h.writeFailures);
+                }
                 // Reserved perf metric: sampled deposit pulses are
                 // the functional unit of work this campaign commits.
                 cell.metrics["functional_ops"] =
@@ -178,6 +230,14 @@ main(int argc, char **argv)
                       fmt(c.metrics.at("max_track_wear"), 0)});
         }
         t.print();
+        // SMART host queries: what the device reports per bank at
+        // campaign end (StreamPimSystem::bankHealth()).
+        for (unsigned sp : spares) {
+            const auto &c = sweep.cell(std::to_string(sp), pt.name);
+            std::printf("SMART, spares/mat %u:\n%s\n", sp,
+                        summarizeBankHealth(bankHealthFromMetrics(c))
+                            .c_str());
+        }
         // Lifetime claim: wherever the spare-less baseline dies
         // inside the campaign, every spared row must strictly
         // outlive it. Points where the baseline survives (safe
@@ -210,6 +270,10 @@ main(int argc, char **argv)
                 lifetime_ok ? "lifetime extended"
                             : "LIFETIME CLAIM VIOLATED");
 
+    // Opt-in (STREAMPIM_PERF_REF=1): serial reference timing +
+    // byte-identity re-check of every cell, recorded in the report's
+    // perf section as the engine-speedup trajectory.
+    sweep.measureSerialReference();
     printPerf("deposit pulses", sweep.functionalOps(),
               sweep.wallSeconds());
     sweep.note("rounds_per_cell", rounds);

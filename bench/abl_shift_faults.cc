@@ -144,6 +144,10 @@ main(int argc, char **argv)
                 "Failed counts, never the number of undetected "
                 "mismatches.\n");
 
+    // Opt-in (STREAMPIM_PERF_REF=1): serial reference timing +
+    // byte-identity re-check of every cell, recorded in the report's
+    // perf section as the engine-speedup trajectory.
+    sweep.measureSerialReference();
     printPerf("bus pulses", sweep.functionalOps(),
               sweep.wallSeconds());
     sweep.note("vpcs_per_cell", vpcs);

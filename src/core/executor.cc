@@ -298,6 +298,11 @@ Executor::run(const VpcSchedule &schedule)
     breakdown_ = TimeBreakdown{};
     transferSpans_.clear();
     processSpans_.clear();
+    // Each batch contributes at most one process span and a handful
+    // of transfer spans; reserving up front keeps the hot loop free
+    // of reallocation.
+    transferSpans_.reserve(4 * schedule.batches.size());
+    processSpans_.reserve(schedule.batches.size());
     maxEnd_ = 0;
 
     done_.assign(schedule.batches.size(), 0);

@@ -133,8 +133,8 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         ok = faulty.submit(entry.vpc) && ok;
         SPIM_ASSERT(ok, "campaign program overflowed the VPC queue");
     }
-    golden.processQueue();
-    auto faulty_records = faulty.processQueue();
+    golden.processQueue(cfg.engineJobs);
+    auto faulty_records = faulty.processQueue(cfg.engineJobs);
     SPIM_ASSERT(faulty_records.size() == program.size(),
                 "campaign run lost VPCs");
 
@@ -211,8 +211,8 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
             SPIM_ASSERT(ok,
                         "campaign program overflowed the VPC queue");
         }
-        golden.processQueue();
-        auto faulty_records = faulty.processQueue();
+        golden.processQueue(base.engineJobs);
+        auto faulty_records = faulty.processQueue(base.engineJobs);
         SPIM_ASSERT(faulty_records.size() == program.size(),
                     "campaign run lost VPCs");
 
@@ -270,6 +270,7 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
 
     res.stats = faulty.totalFaultStats();
     res.wear = faulty.wearSummaries();
+    res.health = faulty.bankHealth();
     return res;
 }
 

@@ -70,6 +70,14 @@ struct FaultCampaignConfig
     unsigned remapAfterExhaustions = 1;
     /** Spare save tracks per mat (0 = no remapping headroom). */
     unsigned spareTracks = 4;
+
+    /**
+     * Worker threads for the dependency-aware parallel VPC engine
+     * inside each processQueue() (0 = STREAMPIM_JOBS / hardware
+     * concurrency, 1 = inline). Results are byte-identical at any
+     * value — the knob only changes wall-clock.
+     */
+    unsigned engineJobs = 0;
 };
 
 /** Outcome of one VPC in the campaign. */
@@ -164,6 +172,8 @@ struct EnduranceCampaignResult
     FaultStats stats;
     /** Final per-subarray wear summaries of the faulty system. */
     std::vector<SubarrayWear> wear;
+    /** Final SMART-style per-bank health of the faulty system. */
+    std::vector<BankHealth> health;
     std::vector<EnduranceRound> perRound;
 
     unsigned rounds() const { return unsigned(perRound.size()); }

@@ -69,4 +69,38 @@ dumpReport(const ExecutionReport &report, std::ostream &os,
     group.dump(os);
 }
 
+void
+bankHealthToStats(std::span<const BankHealth> health,
+                  StatGroup &group)
+{
+    for (const BankHealth &h : health) {
+        const std::string p = "bank" + std::to_string(h.bank) + "_";
+        group.counter(p + "remaining_spares")
+            .inc(h.remainingSpares());
+        group.counter(p + "spares_total").inc(h.sparesTotal);
+        group.counter(p + "max_wear").inc(h.maxWear);
+        group.counter(p + "deposits").inc(h.deposits);
+        group.counter(p + "track_remaps").inc(h.trackRemaps);
+        group.counter(p + "redeposits").inc(h.redeposits);
+        group.counter(p + "write_failures").inc(h.writeFailures);
+    }
+}
+
+std::string
+summarizeBankHealth(std::span<const BankHealth> health)
+{
+    std::ostringstream os;
+    for (const BankHealth &h : health) {
+        if (h.bank > 0)
+            os << '\n';
+        os << "bank " << h.bank << ": spares "
+           << h.remainingSpares() << "/" << h.sparesTotal
+           << " remaining, max wear " << h.maxWear << ", "
+           << h.deposits << " deposits, " << h.trackRemaps
+           << " remaps, " << h.redeposits << " redeposits, "
+           << h.writeFailures << " write failures";
+    }
+    return os.str();
+}
+
 } // namespace streampim

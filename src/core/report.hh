@@ -9,10 +9,12 @@
 #define STREAMPIM_CORE_REPORT_HH_
 
 #include <ostream>
+#include <span>
 #include <string>
 
 #include "common/stats.hh"
 #include "core/executor.hh"
+#include "core/stream_pim.hh"
 
 namespace streampim
 {
@@ -26,6 +28,17 @@ std::string summarizeReport(const ExecutionReport &report);
 /** Stream a report in `stat value` form (via reportToStats). */
 void dumpReport(const ExecutionReport &report, std::ostream &os,
                 const std::string &group_name = "streampim");
+
+/**
+ * Copy SMART-style bank-health telemetry into a stat group, one
+ * bank<N>_* counter set per bank (remaining_spares, max_wear,
+ * deposits, track_remaps, redeposits, write_failures).
+ */
+void bankHealthToStats(std::span<const BankHealth> health,
+                       StatGroup &group);
+
+/** Render a one-line-per-bank SMART health summary. */
+std::string summarizeBankHealth(std::span<const BankHealth> health);
 
 } // namespace streampim
 

@@ -1,6 +1,12 @@
 #include "core/stream_pim.hh"
 
+#include <atomic>
+#include <bit>
+#include <functional>
+
 #include "common/log.hh"
+#include "parallel/thread_pool.hh"
+#include "runtime/conflict_graph.hh"
 
 namespace streampim
 {
@@ -42,6 +48,9 @@ StreamPimSystem::StreamPimSystem(RmParams params)
         subarrays_.push_back(std::make_unique<FunctionalSubarray>(
             params_, params_.matsPerSubarray, tracks, domains));
 }
+
+// Out of line: ~ThreadPool is incomplete in the header.
+StreamPimSystem::~StreamPimSystem() = default;
 
 std::uint64_t
 StreamPimSystem::capacityBytes() const
@@ -139,25 +148,52 @@ StreamPimSystem::subarrayWear(unsigned global_id) const
     return subarrays_[global_id]->wearSummary();
 }
 
+std::vector<BankHealth>
+StreamPimSystem::bankHealth() const
+{
+    std::vector<BankHealth> out(params_.banks);
+    for (unsigned b = 0; b < params_.banks; ++b)
+        out[b].bank = b;
+    for (unsigned s = 0; s < subarrays_.size(); ++s) {
+        BankHealth &h = out[s / params_.subarraysPerBank];
+        const SubarrayWear w = subarrays_[s]->wearSummary();
+        h.deposits += w.deposits;
+        h.maxWear = std::max(h.maxWear, w.maxTrackWear);
+        h.trackRemaps += w.remaps;
+        h.sparesUsed += w.sparesUsed;
+        h.sparesTotal += w.sparesTotal;
+        if (s < injectors_.size()) {
+            const FaultStats &st = injectors_[s]->stats();
+            h.redeposits += st.redeposits;
+            h.writeFailures += st.writeFailures;
+        }
+    }
+    return out;
+}
+
 void
-StreamPimSystem::beginVpcScopes()
+StreamPimSystem::beginVpcScopes(std::uint64_t mask)
 {
     if (!faultsAttached_)
         return;
-    for (auto &inj : injectors_)
-        if (inj->anyEnabled())
-            inj->beginVpc();
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        auto &inj = *injectors_[unsigned(std::countr_zero(m))];
+        if (inj.anyEnabled())
+            inj.beginVpc();
+    }
 }
 
 VpcFaultInfo
-StreamPimSystem::endVpcScopes()
+StreamPimSystem::endVpcScopes(std::uint64_t mask)
 {
     VpcFaultInfo merged;
     if (!faultsAttached_)
         return merged;
-    for (auto &inj : injectors_)
-        if (inj->scopeActive())
-            merged.merge(inj->endVpc());
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        auto &inj = *injectors_[unsigned(std::countr_zero(m))];
+        if (inj.scopeActive())
+            merged.merge(inj.endVpc());
+    }
     return merged;
 }
 
@@ -167,6 +203,49 @@ StreamPimSystem::place(Addr addr) const
     SPIM_ASSERT(addr < capacityBytes(), "address out of range");
     const std::uint64_t per = params_.bytesPerSubarray();
     return {unsigned(addr / per), addr % per};
+}
+
+std::uint64_t
+StreamPimSystem::rangeMask(Addr addr, std::uint64_t len) const
+{
+    if (len == 0)
+        return 0;
+    SPIM_ASSERT(addr + len <= capacityBytes(),
+                "address range out of bounds");
+    const std::uint64_t per = params_.bytesPerSubarray();
+    const std::uint64_t first = addr / per;
+    const std::uint64_t last = (addr + len - 1) / per;
+    std::uint64_t mask = 0;
+    for (std::uint64_t s = first; s <= last; ++s)
+        mask |= std::uint64_t(1) << s;
+    return mask;
+}
+
+std::uint64_t
+StreamPimSystem::touchMask(const Vpc &vpc) const
+{
+    // Must mirror executeOne()'s access pattern exactly, including
+    // reads/writes that span subarray boundaries.
+    if (vpc.kind == VpcKind::Tran)
+        return rangeMask(vpc.src1, vpc.size) |
+               rangeMask(vpc.dst, vpc.size);
+
+    const AddrPlace src1 = place(vpc.src1);
+    std::uint64_t mask = std::uint64_t(1) << src1.globalSubarray;
+
+    const std::uint32_t operand_len =
+        vpc.kind == VpcKind::Smul ? 1 : vpc.size;
+    const AddrPlace src2 = place(vpc.src2);
+    if (src2.globalSubarray != src1.globalSubarray)
+        mask |= rangeMask(vpc.src2, operand_len);
+
+    const AddrPlace dst = place(vpc.dst);
+    if (dst.globalSubarray != src1.globalSubarray) {
+        const std::uint32_t result_len =
+            vpc.kind == VpcKind::Mul ? 4 : vpc.size;
+        mask |= rangeMask(vpc.dst, result_len);
+    }
+    return mask;
 }
 
 void
@@ -190,17 +269,25 @@ StreamPimSystem::read(Addr addr, std::uint64_t count)
 {
     std::vector<std::uint8_t> out;
     out.reserve(count);
-    while (out.size() < count) {
-        AddrPlace p = place(addr + out.size());
+    readInto(addr, count, out);
+    return out;
+}
+
+void
+StreamPimSystem::readInto(Addr addr, std::uint64_t count,
+                          std::vector<std::uint8_t> &out)
+{
+    std::uint64_t done = 0;
+    while (done < count) {
+        AddrPlace p = place(addr + done);
         std::uint64_t room =
             params_.bytesPerSubarray() - p.offset;
         std::uint64_t chunk =
-            std::min<std::uint64_t>(room, count - out.size());
-        auto part =
-            subarrays_[p.globalSubarray]->hostRead(p.offset, chunk);
-        out.insert(out.end(), part.begin(), part.end());
+            std::min<std::uint64_t>(room, count - done);
+        subarrays_[p.globalSubarray]->hostReadInto(p.offset, chunk,
+                                                   out);
+        done += chunk;
     }
-    return out;
 }
 
 bool
@@ -210,7 +297,7 @@ StreamPimSystem::submit(const Vpc &vpc)
 }
 
 VpcExecutionRecord
-StreamPimSystem::executeOne(const Vpc &vpc)
+StreamPimSystem::executeOne(const Vpc &vpc, VpcScratch &scratch)
 {
     VpcExecutionRecord rec;
     rec.vpc = vpc;
@@ -222,8 +309,9 @@ StreamPimSystem::executeOne(const Vpc &vpc)
     if (vpc.kind == VpcKind::Tran) {
         // Read at the source, write at the destination (possibly
         // crossing banks).
-        auto data = read(vpc.src1, vpc.size);
-        write(vpc.dst, data);
+        scratch.stage.clear();
+        readInto(vpc.src1, vpc.size, scratch.stage);
+        write(vpc.dst, scratch.stage);
         rec.remoteOperands = true;
         return rec;
     }
@@ -236,9 +324,10 @@ StreamPimSystem::executeOne(const Vpc &vpc)
     AddrPlace src2 = place(vpc.src2);
     std::uint64_t src2_local = src2.offset;
     if (src2.globalSubarray != src1.globalSubarray) {
-        auto staged = read(vpc.src2, operand_len);
+        scratch.stage.clear();
+        readInto(vpc.src2, operand_len, scratch.stage);
         src2_local = exec.capacityBytes() - operand_len;
-        exec.hostWrite(src2_local, staged);
+        exec.hostWrite(src2_local, scratch.stage);
         rec.remoteOperands = true;
     }
 
@@ -259,28 +348,96 @@ StreamPimSystem::executeOne(const Vpc &vpc)
     rec.pipelineCycles = res.pipelineCycles;
 
     if (!dst_local) {
-        auto out = exec.hostRead(dst_local_off, result_len);
-        write(vpc.dst, out);
+        scratch.result.clear();
+        exec.hostReadInto(dst_local_off, result_len,
+                          scratch.result);
+        write(vpc.dst, scratch.result);
         rec.remoteOperands = true;
     }
     return rec;
 }
 
-std::vector<VpcExecutionRecord>
-StreamPimSystem::processQueue()
+void
+StreamPimSystem::executeScoped(VpcExecutionRecord &rec,
+                               const Vpc &vpc, std::uint64_t mask,
+                               VpcScratch &scratch)
 {
-    std::vector<VpcExecutionRecord> records;
-    while (!queue_.empty()) {
-        Vpc vpc = queue_.pop();
-        // All fault activity between scope open and close — operand
-        // staging on remote subarrays included — belongs to this
-        // VPC.
-        beginVpcScopes();
-        VpcExecutionRecord rec = executeOne(vpc);
-        rec.fault = endVpcScopes();
-        records.push_back(std::move(rec));
-        queue_.respond();
+    // All fault activity between scope open and close — operand
+    // staging on remote subarrays included — belongs to this VPC;
+    // the touch mask names exactly the injectors involved.
+    beginVpcScopes(mask);
+    rec = executeOne(vpc, scratch);
+    rec.fault = endVpcScopes(mask);
+}
+
+void
+StreamPimSystem::ensurePool(unsigned jobs)
+{
+    if (pool_ && poolJobs_ == jobs)
+        return;
+    pool_.reset(); // join the old workers before respawning
+    pool_ = std::make_unique<ThreadPool>(jobs);
+    poolJobs_ = jobs;
+}
+
+void
+StreamPimSystem::runParallel(
+    const std::vector<Vpc> &batch,
+    const std::vector<std::uint64_t> &masks,
+    std::vector<VpcExecutionRecord> &records, unsigned jobs)
+{
+    const ConflictGraph graph(masks);
+    std::vector<std::atomic<std::uint32_t>> pending(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        pending[i].store(graph.predecessors(i),
+                         std::memory_order_relaxed);
+
+    ensurePool(jobs);
+
+    // A task executes its VPC, then decrements every successor's
+    // pending count and submits the ones it dropped to zero. The
+    // submit happens inside the task body (while the pool still
+    // counts it active), so ThreadPool::wait() cannot return before
+    // the whole DAG drains. acq_rel on the counter orders each
+    // predecessor's subarray mutations before its successor runs.
+    std::function<void(std::uint32_t)> run_task =
+        [&](std::uint32_t i) {
+            static thread_local VpcScratch scratch;
+            executeScoped(records[i], batch[i], masks[i], scratch);
+            for (std::uint32_t s : graph.successors(i))
+                if (pending[s].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    pool_->submit([&run_task, s] { run_task(s); });
+        };
+    for (std::uint32_t r : graph.roots())
+        pool_->submit([&run_task, r] { run_task(r); });
+    pool_->wait();
+}
+
+std::vector<VpcExecutionRecord>
+StreamPimSystem::processQueue(unsigned jobs)
+{
+    std::vector<Vpc> batch;
+    batch.reserve(queue_.depth());
+    while (!queue_.empty())
+        batch.push_back(queue_.pop());
+
+    std::vector<std::uint64_t> masks(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        masks[i] = touchMask(batch[i]);
+
+    std::vector<VpcExecutionRecord> records(batch.size());
+    const unsigned want = ThreadPool::resolveJobs(jobs);
+    if (want <= 1 || batch.size() <= 1) {
+        VpcScratch scratch;
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            executeScoped(records[i], batch[i], masks[i], scratch);
+    } else {
+        runParallel(batch, masks, records, want);
     }
+
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        queue_.respond();
     return records;
 }
 

@@ -14,6 +14,15 @@
  * computes real values with real domain movements. Examples and
  * integration tests use it with a scaled-down geometry; the
  * paper-scale timing experiments use Planner + Executor instead.
+ *
+ * processQueue() drains the queue through a dependency-aware
+ * parallel engine (runtime/conflict_graph + parallel/ThreadPool):
+ * VPCs whose subarray touch-sets are disjoint execute concurrently,
+ * conflicting VPCs keep submit order, and the records come back in
+ * exact submit order. Because every per-subarray structure (mats,
+ * wear counters, fault-injector RNG stream) still observes its own
+ * subarray-local subsequence of the batch in order, results are
+ * byte-identical at any job count — see DESIGN.md §6.
  */
 
 #ifndef STREAMPIM_CORE_STREAM_PIM_HH_
@@ -33,8 +42,34 @@
 namespace streampim
 {
 
+class ThreadPool;
+
 /** A small functional geometry that is cheap to instantiate. */
 RmParams smallFunctionalParams();
+
+/**
+ * SMART-style per-bank health telemetry (host query): wear and
+ * spare-pool state aggregated over one bank's subarrays, plus the
+ * endurance counters of the bank's fault injectors when injection
+ * has been enabled (zero otherwise).
+ */
+struct BankHealth
+{
+    unsigned bank = 0;
+    std::uint64_t deposits = 0;     //!< nucleations committed
+    std::uint64_t maxWear = 0;      //!< worst live save track
+    std::uint64_t trackRemaps = 0;  //!< tracks retired onto spares
+    unsigned sparesUsed = 0;
+    unsigned sparesTotal = 0;
+    std::uint64_t redeposits = 0;   //!< re-driven deposit pulses
+    std::uint64_t writeFailures = 0; //!< commits lost for good
+
+    unsigned
+    remainingSpares() const
+    {
+        return sparesTotal - sparesUsed;
+    }
+};
 
 /** Per-VPC execution record returned by the system. */
 struct VpcExecutionRecord
@@ -60,6 +95,7 @@ class StreamPimSystem
      */
     explicit StreamPimSystem(RmParams params =
                                  smallFunctionalParams());
+    ~StreamPimSystem();
 
     const RmParams &params() const { return params_; }
     std::uint64_t capacityBytes() const;
@@ -72,8 +108,18 @@ class StreamPimSystem
     /** Enqueue a VPC (asynchronous send, Sec. IV-B). */
     bool submit(const Vpc &vpc);
 
-    /** Execute every queued VPC; returns one record per VPC. */
-    std::vector<VpcExecutionRecord> processQueue();
+    /**
+     * Execute every queued VPC; returns one record per VPC, in
+     * exact submit order.
+     *
+     * @param jobs worker threads for the dependency-aware parallel
+     *        engine. 0 resolves through ThreadPool::resolveJobs()
+     *        (STREAMPIM_JOBS / hardware concurrency, forced to 1
+     *        inside a ThreadPool::SerialSection); 1 executes inline
+     *        on the calling thread. Records, fault statistics and
+     *        wear summaries are byte-identical at any job count.
+     */
+    std::vector<VpcExecutionRecord> processQueue(unsigned jobs = 0);
 
     /** Responses delivered so far (send-response protocol). */
     std::uint64_t responses() const { return queue_.responses(); }
@@ -121,6 +167,13 @@ class StreamPimSystem
     /** Wear summary of one subarray. */
     SubarrayWear subarrayWear(unsigned global_id) const;
 
+    /**
+     * SMART-style telemetry: one BankHealth per bank, aggregating
+     * wear summaries (and injector endurance counters when fault
+     * injection has been enabled) over the bank's subarrays.
+     */
+    std::vector<BankHealth> bankHealth() const;
+
   private:
     struct AddrPlace
     {
@@ -128,14 +181,53 @@ class StreamPimSystem
         std::uint64_t offset;
     };
 
-    AddrPlace place(Addr addr) const;
-    VpcExecutionRecord executeOne(const Vpc &vpc);
+    /** Reusable per-worker staging buffers (no per-VPC alloc). */
+    struct VpcScratch
+    {
+        std::vector<std::uint8_t> stage;  //!< TRAN / remote src2
+        std::vector<std::uint8_t> result; //!< remote-dst store-out
+    };
 
-    /** Open/close the per-VPC fault-attribution scope on every
-     * injector (remote staging faults land on other subarrays).
+    AddrPlace place(Addr addr) const;
+
+    /** Subarray bits covered by the byte range [addr, addr+len). */
+    std::uint64_t rangeMask(Addr addr, std::uint64_t len) const;
+
+    /**
+     * Subarray bits @p vpc touches when executed: the executing
+     * subarray plus every subarray its TRAN transfer, remote-operand
+     * staging, or remote-destination store-out reads or writes.
+     * Mirrors executeOne()'s access pattern exactly — the conflict
+     * graph derives all ordering from these masks.
+     */
+    std::uint64_t touchMask(const Vpc &vpc) const;
+
+    /** read() appending into @p out (scratch-buffer variant). */
+    void readInto(Addr addr, std::uint64_t count,
+                  std::vector<std::uint8_t> &out);
+
+    VpcExecutionRecord executeOne(const Vpc &vpc,
+                                  VpcScratch &scratch);
+
+    /** Execute one VPC inside its fault-attribution scope. */
+    void executeScoped(VpcExecutionRecord &rec, const Vpc &vpc,
+                       std::uint64_t mask, VpcScratch &scratch);
+
+    /** Dependency-aware parallel execution of a drained batch. */
+    void runParallel(const std::vector<Vpc> &batch,
+                     const std::vector<std::uint64_t> &masks,
+                     std::vector<VpcExecutionRecord> &records,
+                     unsigned jobs);
+
+    /** Lazily (re)build the engine pool for @p jobs workers. */
+    void ensurePool(unsigned jobs);
+
+    /** Open/close the per-VPC fault-attribution scope on the
+     * injectors named by @p mask (remote staging faults land on
+     * other subarrays, so the scope spans the full touch-set).
      * @{ */
-    void beginVpcScopes();
-    VpcFaultInfo endVpcScopes();
+    void beginVpcScopes(std::uint64_t mask);
+    VpcFaultInfo endVpcScopes(std::uint64_t mask);
     /** @} */
 
     RmParams params_;
@@ -145,6 +237,8 @@ class StreamPimSystem
     std::vector<std::unique_ptr<FunctionalSubarray>> subarrays_;
     std::vector<std::unique_ptr<FaultInjector>> injectors_;
     bool faultsAttached_ = false;
+    std::unique_ptr<ThreadPool> pool_; //!< engine workers (lazy)
+    unsigned poolJobs_ = 0;
 };
 
 } // namespace streampim

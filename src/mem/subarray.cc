@@ -93,18 +93,27 @@ FunctionalSubarray::hostRead(std::uint64_t offset,
 {
     std::vector<std::uint8_t> out;
     out.reserve(count);
+    hostReadInto(offset, count, out);
+    return out;
+}
+
+void
+FunctionalSubarray::hostReadInto(std::uint64_t offset,
+                                 std::uint64_t count,
+                                 std::vector<std::uint8_t> &out)
+{
     std::uint64_t pos = offset;
-    while (out.size() < count) {
+    std::uint64_t left = count;
+    while (left > 0) {
         Location loc = locate(pos);
         std::uint64_t room = matBytes_ - loc.offset;
-        std::uint64_t chunk =
-            std::min<std::uint64_t>(room, count - out.size());
+        std::uint64_t chunk = std::min<std::uint64_t>(room, left);
         auto part = mats_[loc.mat]->readBytes(loc.offset, chunk);
         energy_.read(chunk);
         out.insert(out.end(), part.begin(), part.end());
         pos += chunk;
+        left -= chunk;
     }
-    return out;
 }
 
 std::vector<std::uint8_t>

@@ -89,6 +89,13 @@ class FunctionalSubarray
                                        std::uint64_t count);
 
     /**
+     * hostRead appending into @p out (allocation-free when @p out
+     * has capacity — the engine's per-worker scratch buffers).
+     */
+    void hostReadInto(std::uint64_t offset, std::uint64_t count,
+                      std::vector<std::uint8_t> &out);
+
+    /**
      * Execute a compute VPC over operand vectors stored at byte
      * offsets @p src1 and @p src2, writing results at @p dst.
      * Follows Fig. 13: non-destructive copy to transfer tracks,

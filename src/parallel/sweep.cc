@@ -142,6 +142,44 @@ SweepRunner::note(const std::string &key, Json value)
     summary_[key] = std::move(value);
 }
 
+bool
+SweepRunner::measureSerialReference(bool force)
+{
+    SPIM_ASSERT(ran_,
+                "SweepRunner: measureSerialReference() before run()");
+    if (!force && !Config::envFlag("STREAMPIM_PERF_REF"))
+        return false;
+    using clock = std::chrono::steady_clock;
+    // The section forces every resolveJobs() below us to 1, so the
+    // cells — and any parallel VPC engine inside them — run inline
+    // on this thread.
+    ThreadPool::SerialSection serial;
+    const auto t0 = clock::now();
+    for (const Cell &c : cells_) {
+        SweepCellResult ref = c.fn();
+        SPIM_ASSERT(ref.value == c.result.value &&
+                        ref.metrics == c.result.metrics,
+                    "SweepRunner: serial re-run of (", c.row, ", ",
+                    c.col, ") diverged from the ", jobs_,
+                    "-job run — determinism violation");
+    }
+    serialSeconds_ =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    std::printf("perf: serial reference %.3f s vs %u-job %.3f s "
+                "-> speedup %.2fx\n",
+                serialSeconds_, jobs_, wallSeconds_,
+                speedupVsSerial());
+    return true;
+}
+
+double
+SweepRunner::speedupVsSerial() const
+{
+    if (serialSeconds_ <= 0.0 || wallSeconds_ <= 0.0)
+        return 0.0;
+    return serialSeconds_ / wallSeconds_;
+}
+
 double
 SweepRunner::functionalOps() const
 {
@@ -192,12 +230,16 @@ SweepRunner::report() const
     // is timing — tooling diffing runs must strip these; all other
     // fields are deterministic at any STREAMPIM_JOBS.
     const double ops = functionalOps();
-    if (ops > 0.0) {
+    if (ops > 0.0 || serialSeconds_ > 0.0) {
         Json perf = Json::object();
         perf["functional_ops"] = ops;
         perf["wall_seconds"] = wallSeconds_;
         perf["functional_ops_per_second"] =
             wallSeconds_ > 0.0 ? ops / wallSeconds_ : 0.0;
+        if (serialSeconds_ > 0.0) {
+            perf["serial_seconds"] = serialSeconds_;
+            perf["speedup_vs_serial"] = speedupVsSerial();
+        }
         doc["perf"] = std::move(perf);
     }
     doc["summary"] = summary_;

@@ -36,9 +36,11 @@ namespace streampim
  * report layout changes (fields added/removed/renamed), so CI jobs
  * that diff reports fail loudly on format drift instead of silently
  * comparing mismatched shapes. History: 1 = the PR 1-3 shape
- * (implicit, no version field); 2 = schema_version added.
+ * (implicit, no version field); 2 = schema_version added; 3 = perf
+ * section may carry serial_seconds / speedup_vs_serial from
+ * measureSerialReference().
  */
-constexpr int kBenchReportSchemaVersion = 2;
+constexpr int kBenchReportSchemaVersion = 3;
 
 /**
  * Resolve the report path for bench @p name from its command line
@@ -111,6 +113,23 @@ class SweepRunner
     /** Wall-clock seconds of the whole run() (valid after run()). */
     double wallSeconds() const { return wallSeconds_; }
 
+    /**
+     * Re-run every cell inline (inside a ThreadPool::SerialSection,
+     * so nested parallel engines run serially too) and record the
+     * serial wall time, asserting the re-run reproduces run()'s
+     * results exactly — the determinism invariant. Opt-in because it
+     * roughly doubles the bench's wall-clock: runs when @p force or
+     * STREAMPIM_PERF_REF is set. Call between run() and report().
+     * @return true when the reference was measured.
+     */
+    bool measureSerialReference(bool force = false);
+
+    /** Serial reference seconds (0 when never measured). */
+    double serialSeconds() const { return serialSeconds_; }
+
+    /** serialSeconds()/wallSeconds(), 0 when not measured. */
+    double speedupVsSerial() const;
+
     /** Sum of the cells' reserved "functional_ops" metric. */
     double functionalOps() const;
 
@@ -144,6 +163,7 @@ class SweepRunner
     std::vector<Cell> cells_;
     Json summary_ = Json::object();
     double wallSeconds_ = 0.0;
+    double serialSeconds_ = 0.0;
     bool ran_ = false;
 };
 

@@ -17,6 +17,29 @@ ThreadPool::defaultJobs()
     return hw > 0 ? hw : 1;
 }
 
+namespace
+{
+thread_local unsigned serial_depth = 0;
+} // namespace
+
+ThreadPool::SerialSection::SerialSection() { serial_depth++; }
+
+ThreadPool::SerialSection::~SerialSection() { serial_depth--; }
+
+bool
+ThreadPool::inSerialSection()
+{
+    return serial_depth > 0;
+}
+
+unsigned
+ThreadPool::resolveJobs(unsigned requested)
+{
+    if (serial_depth > 0)
+        return 1;
+    return requested > 0 ? requested : defaultJobs();
+}
+
 ThreadPool::ThreadPool(unsigned jobs)
     : jobs_(jobs > 0 ? jobs : defaultJobs())
 {

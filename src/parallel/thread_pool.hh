@@ -59,6 +59,33 @@ class ThreadPool
      */
     static unsigned defaultJobs();
 
+    /**
+     * Effective job count for a component asked to run with
+     * @p requested jobs (0 = defaultJobs()): the request, clamped to
+     * 1 inside a SerialSection.
+     */
+    static unsigned resolveJobs(unsigned requested);
+
+    /** True while a SerialSection is alive on this thread. */
+    static bool inSerialSection();
+
+    /**
+     * RAII scope forcing resolveJobs() to 1 on the current thread.
+     *
+     * Used to take serial reference timings (and run determinism
+     * re-checks) without replumbing a jobs=1 override through every
+     * layer: any component that sizes a pool via resolveJobs() runs
+     * inline while the section is alive. Thread-local and nestable.
+     */
+    class SerialSection
+    {
+      public:
+        SerialSection();
+        ~SerialSection();
+        SerialSection(const SerialSection &) = delete;
+        SerialSection &operator=(const SerialSection &) = delete;
+    };
+
   private:
     void workerLoop();
     void recordException(std::exception_ptr e);

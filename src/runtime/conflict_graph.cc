@@ -1,0 +1,45 @@
+#include "runtime/conflict_graph.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+ConflictGraph::ConflictGraph(std::span<const std::uint64_t> masks)
+{
+    constexpr std::uint32_t kNone =
+        std::numeric_limits<std::uint32_t>::max();
+    SPIM_ASSERT(masks.size() < kNone, "task stream too large");
+
+    nodes_.resize(masks.size());
+    std::array<std::uint32_t, 64> last;
+    last.fill(kNone);
+
+    std::vector<std::uint32_t> preds;
+    for (std::uint32_t i = 0; i < masks.size(); ++i) {
+        preds.clear();
+        for (std::uint64_t m = masks[i]; m != 0; m &= m - 1) {
+            const unsigned s = unsigned(std::countr_zero(m));
+            if (last[s] != kNone)
+                preds.push_back(last[s]);
+            last[s] = i;
+        }
+        std::sort(preds.begin(), preds.end());
+        preds.erase(std::unique(preds.begin(), preds.end()),
+                    preds.end());
+        nodes_[i].preds = std::uint32_t(preds.size());
+        for (std::uint32_t p : preds) {
+            nodes_[p].succs.push_back(i);
+            edges_++;
+        }
+        if (preds.empty())
+            roots_.push_back(i);
+    }
+}
+
+} // namespace streampim

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "core/report.hh"
 #include "runtime/planner.hh"
@@ -62,6 +64,57 @@ TEST(Report, CoveragePercentagesAreSane)
     EXPECT_LE(b.exclusiveTransfer + b.exclusiveProcess +
                   b.overlapped + b.idle,
               r.makespan);
+}
+
+namespace
+{
+
+std::vector<BankHealth>
+sampleHealth()
+{
+    BankHealth b0;
+    b0.bank = 0;
+    b0.deposits = 1200;
+    b0.maxWear = 37;
+    b0.trackRemaps = 2;
+    b0.sparesUsed = 2;
+    b0.sparesTotal = 16;
+    b0.redeposits = 9;
+    b0.writeFailures = 1;
+    BankHealth b1;
+    b1.bank = 1;
+    b1.sparesTotal = 16;
+    return {b0, b1};
+}
+
+} // namespace
+
+TEST(Report, BankHealthStatsCarryEveryCounter)
+{
+    StatGroup g("smart");
+    auto health = sampleHealth();
+    bankHealthToStats(health, g);
+    EXPECT_EQ(g.findCounter("bank0_remaining_spares").value(), 14u);
+    EXPECT_EQ(g.findCounter("bank0_spares_total").value(), 16u);
+    EXPECT_EQ(g.findCounter("bank0_max_wear").value(), 37u);
+    EXPECT_EQ(g.findCounter("bank0_deposits").value(), 1200u);
+    EXPECT_EQ(g.findCounter("bank0_track_remaps").value(), 2u);
+    EXPECT_EQ(g.findCounter("bank0_redeposits").value(), 9u);
+    EXPECT_EQ(g.findCounter("bank0_write_failures").value(), 1u);
+    EXPECT_EQ(g.findCounter("bank1_remaining_spares").value(), 16u);
+    EXPECT_EQ(g.findCounter("bank1_deposits").value(), 0u);
+}
+
+TEST(Report, BankHealthSummaryIsOneLinePerBank)
+{
+    auto health = sampleHealth();
+    const std::string s = summarizeBankHealth(health);
+    EXPECT_NE(s.find("bank 0: spares 14/16 remaining"),
+              std::string::npos);
+    EXPECT_NE(s.find("max wear 37"), std::string::npos);
+    EXPECT_NE(s.find("bank 1: spares 16/16 remaining"),
+              std::string::npos);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 1);
 }
 
 } // namespace

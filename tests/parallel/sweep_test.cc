@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include "parallel/sweep.hh"
+#include "parallel/thread_pool.hh"
 
 using namespace streampim;
 
@@ -150,4 +152,51 @@ TEST(SweepRunner, ValuesIndependentOfDeclarationVsExecutionOrder)
     for (const auto &row : a.rows())
         for (const auto &col : a.cols())
             EXPECT_DOUBLE_EQ(a.value(row, col), b.value(row, col));
+}
+
+TEST(SweepRunner, SerialReferenceIsOptIn)
+{
+    SweepRunner sweep = makeGrid();
+    sweep.run();
+    // Without force / STREAMPIM_PERF_REF the reference is skipped.
+    EXPECT_FALSE(sweep.measureSerialReference());
+    EXPECT_DOUBLE_EQ(sweep.serialSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(sweep.speedupVsSerial(), 0.0);
+    // And the report carries no perf section (no functional_ops).
+    EXPECT_EQ(sweep.report().find("perf"), nullptr);
+}
+
+TEST(SweepRunner, SerialReferenceRecordsTimingAndVerifies)
+{
+    SweepRunner sweep = makeGrid();
+    sweep.run();
+    ASSERT_TRUE(sweep.measureSerialReference(/*force=*/true));
+    EXPECT_GT(sweep.serialSeconds(), 0.0);
+    EXPECT_GT(sweep.speedupVsSerial(), 0.0);
+
+    const Json doc = sweep.report();
+    const Json *perf = doc.find("perf");
+    ASSERT_NE(perf, nullptr);
+    EXPECT_DOUBLE_EQ(perf->find("serial_seconds")->asNumber(),
+                     sweep.serialSeconds());
+    EXPECT_DOUBLE_EQ(perf->find("speedup_vs_serial")->asNumber(),
+                     sweep.speedupVsSerial());
+}
+
+TEST(SweepRunner, SerialReferenceRunsCellsInsideSerialSection)
+{
+    // Cells observing ThreadPool::inSerialSection() prove the
+    // reference timing really runs everything inline.
+    SweepRunner sweep("unit_serial_section");
+    auto *serial_seen = new std::atomic<int>(0);
+    sweep.add("r", "c", [serial_seen] {
+        if (ThreadPool::inSerialSection())
+            serial_seen->fetch_add(1);
+        return SweepCellResult{1.0, {}};
+    });
+    sweep.run();
+    EXPECT_EQ(serial_seen->load(), 0);
+    ASSERT_TRUE(sweep.measureSerialReference(/*force=*/true));
+    EXPECT_EQ(serial_seen->load(), 1);
+    delete serial_seen;
 }

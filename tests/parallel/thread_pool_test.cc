@@ -90,3 +90,82 @@ TEST(ThreadPool, DefaultJobsIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultJobs(), 1u);
 }
+
+TEST(ThreadPool, WaitWithZeroTasksReturnsImmediately)
+{
+    ThreadPool pool(4);
+    pool.wait(); // nothing submitted: must not block or throw
+    ThreadPool inline_pool(1);
+    inline_pool.wait();
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerRuns)
+{
+    // The parallel VPC engine submits a task's ready successors
+    // from inside the task body; wait() must not return before
+    // those nested tasks finish.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&] {
+            pool.submit([&] {
+                pool.submit([&] { ran.fetch_add(1); });
+                ran.fetch_add(1);
+            });
+            ran.fetch_add(1);
+        });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 48);
+}
+
+TEST(ThreadPool, ExceptionDoesNotStopQueuedWork)
+{
+    // One failing task must not prevent the rest of the queue from
+    // draining; the first error surfaces at wait().
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ResolveJobsPassesThroughOutsideSerialSection)
+{
+    ASSERT_FALSE(ThreadPool::inSerialSection());
+    EXPECT_EQ(ThreadPool::resolveJobs(7), 7u);
+    EXPECT_EQ(ThreadPool::resolveJobs(0),
+              ThreadPool::defaultJobs());
+}
+
+TEST(ThreadPool, SerialSectionForcesOneJobAndNests)
+{
+    {
+        ThreadPool::SerialSection outer;
+        EXPECT_TRUE(ThreadPool::inSerialSection());
+        EXPECT_EQ(ThreadPool::resolveJobs(8), 1u);
+        EXPECT_EQ(ThreadPool::resolveJobs(0), 1u);
+        {
+            ThreadPool::SerialSection inner;
+            EXPECT_EQ(ThreadPool::resolveJobs(8), 1u);
+        }
+        // Still serial: the outer section is alive.
+        EXPECT_TRUE(ThreadPool::inSerialSection());
+        EXPECT_EQ(ThreadPool::resolveJobs(8), 1u);
+    }
+    EXPECT_FALSE(ThreadPool::inSerialSection());
+    EXPECT_EQ(ThreadPool::resolveJobs(8), 8u);
+}
+
+TEST(ThreadPool, SerialSectionIsThreadLocal)
+{
+    ThreadPool::SerialSection serial;
+    ASSERT_TRUE(ThreadPool::inSerialSection());
+    bool other_thread_serial = true;
+    std::thread probe([&] {
+        other_thread_serial = ThreadPool::inSerialSection();
+    });
+    probe.join();
+    EXPECT_FALSE(other_thread_serial);
+}

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/conflict_graph.hh"
+
+using namespace streampim;
+
+namespace
+{
+
+std::uint64_t
+bit(unsigned i)
+{
+    return std::uint64_t(1) << i;
+}
+
+} // namespace
+
+TEST(ConflictGraph, EmptyStream)
+{
+    ConflictGraph g(std::vector<std::uint64_t>{});
+    EXPECT_EQ(g.size(), 0u);
+    EXPECT_TRUE(g.roots().empty());
+    EXPECT_EQ(g.edges(), 0u);
+}
+
+TEST(ConflictGraph, DisjointMasksAreAllRoots)
+{
+    const std::vector<std::uint64_t> masks = {bit(0), bit(1), bit(2),
+                                              bit(3)};
+    ConflictGraph g(masks);
+    EXPECT_EQ(g.edges(), 0u);
+    EXPECT_EQ(g.roots(),
+              (std::vector<std::uint32_t>{0, 1, 2, 3}));
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        EXPECT_EQ(g.predecessors(i), 0u);
+        EXPECT_TRUE(g.successors(i).empty());
+    }
+}
+
+TEST(ConflictGraph, SameResourceChainsInStreamOrder)
+{
+    const std::vector<std::uint64_t> masks = {bit(2), bit(2),
+                                              bit(2)};
+    ConflictGraph g(masks);
+    EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(g.successors(0), (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(g.successors(1), (std::vector<std::uint32_t>{2}));
+    EXPECT_TRUE(g.successors(2).empty());
+    EXPECT_EQ(g.predecessors(1), 1u);
+    EXPECT_EQ(g.predecessors(2), 1u);
+    EXPECT_EQ(g.edges(), 2u);
+}
+
+TEST(ConflictGraph, TranStyleMaskFormsDiamond)
+{
+    // 0 and 1 touch disjoint subarrays; 2 (a TRAN 0->1) touches
+    // both; 3 touches only subarray 1 and must wait for the TRAN.
+    const std::vector<std::uint64_t> masks = {
+        bit(0), bit(1), bit(0) | bit(1), bit(1)};
+    ConflictGraph g(masks);
+    EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(g.successors(0), (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(g.successors(1), (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(g.predecessors(2), 2u);
+    EXPECT_EQ(g.successors(2), (std::vector<std::uint32_t>{3}));
+    EXPECT_EQ(g.predecessors(3), 1u);
+    EXPECT_EQ(g.edges(), 3u);
+}
+
+TEST(ConflictGraph, SharedPredecessorCountedOnce)
+{
+    // Task 1 overlaps task 0 on two resources: one edge, not two.
+    const std::vector<std::uint64_t> masks = {bit(0) | bit(1),
+                                              bit(0) | bit(1)};
+    ConflictGraph g(masks);
+    EXPECT_EQ(g.predecessors(1), 1u);
+    EXPECT_EQ(g.successors(0), (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(g.edges(), 1u);
+}
+
+TEST(ConflictGraph, DependsOnLatestUserOnly)
+{
+    // 0 and 1 both touch bit 0; 2 touches bit 0 and must depend on
+    // 1 (the latest user), not on 0.
+    const std::vector<std::uint64_t> masks = {bit(0), bit(0),
+                                              bit(0)};
+    ConflictGraph g(masks);
+    EXPECT_EQ(g.successors(0), (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(g.successors(1), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(ConflictGraph, BarrierMaskSerializesEverything)
+{
+    // An all-ones mask in the middle orders against every earlier
+    // task and every later task — a host read/write barrier.
+    const std::vector<std::uint64_t> masks = {
+        bit(0), bit(5), ~std::uint64_t(0), bit(0), bit(63)};
+    ConflictGraph g(masks);
+    EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(g.predecessors(2), 2u);
+    EXPECT_EQ(g.successors(2),
+              (std::vector<std::uint32_t>{3, 4}));
+    EXPECT_EQ(g.predecessors(3), 1u);
+    EXPECT_EQ(g.predecessors(4), 1u);
+}
+
+TEST(ConflictGraph, SubmitOrderIsATopologicalOrder)
+{
+    // Every edge must point forward in stream order.
+    const std::vector<std::uint64_t> masks = {
+        bit(0) | bit(1), bit(1) | bit(2), bit(0), bit(2) | bit(3),
+        bit(3), bit(1), ~std::uint64_t(0), bit(4)};
+    ConflictGraph g(masks);
+    for (std::size_t i = 0; i < masks.size(); ++i)
+        for (std::uint32_t s : g.successors(i))
+            EXPECT_GT(s, i);
+    // Edge/predecessor accounting is consistent.
+    std::uint64_t pred_total = 0, succ_total = 0;
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        pred_total += g.predecessors(i);
+        succ_total += g.successors(i).size();
+    }
+    EXPECT_EQ(pred_total, g.edges());
+    EXPECT_EQ(succ_total, g.edges());
+}
