@@ -31,6 +31,15 @@ Json::asString() const
     return str_;
 }
 
+double
+Json::asNumberOr(double fallback) const
+{
+    if (kind_ == Kind::Null)
+        return fallback;
+    SPIM_ASSERT(kind_ == Kind::Number, "Json: not a number or null");
+    return num_;
+}
+
 Json &
 Json::push(Json v)
 {

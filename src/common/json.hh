@@ -61,6 +61,14 @@ class Json
     double asNumber() const;
     const std::string &asString() const;
 
+    /**
+     * Number accessor tolerating null: non-finite doubles serialize
+     * as null (JSON has no NaN/Inf tokens), so metric consumers use
+     * this to read round-tripped values without special-casing.
+     * Panics on any kind other than Number or Null.
+     */
+    double asNumberOr(double fallback) const;
+
     /** Array: append an element (converts this to an array). */
     Json &push(Json v);
     /** Array/object: element count. */

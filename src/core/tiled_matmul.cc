@@ -1,0 +1,260 @@
+#include "core/tiled_matmul.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "runtime/tiler.hh"
+
+namespace streampim
+{
+
+std::vector<std::uint8_t>
+hostMatmulReference(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b, std::uint32_t n,
+                    std::uint32_t k, std::uint32_t m)
+{
+    SPIM_ASSERT(a.size() == std::uint64_t(n) * k,
+                "A shape mismatch: ", a.size(), " vs ", n, "x", k);
+    SPIM_ASSERT(b.size() == std::uint64_t(k) * m,
+                "B shape mismatch: ", b.size(), " vs ", k, "x", m);
+    std::vector<std::uint8_t> c(std::uint64_t(n) * m);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = 0; j < m; ++j) {
+            std::uint32_t acc = 0;
+            for (std::uint32_t kk = 0; kk < k; ++kk)
+                acc += std::uint32_t(a[std::uint64_t(i) * k + kk]) *
+                       b[std::uint64_t(kk) * m + j];
+            c[std::uint64_t(i) * m + j] = std::uint8_t(acc);
+        }
+    }
+    return c;
+}
+
+std::vector<std::uint8_t>
+runTiledMatmul(StreamPimSystem &device,
+               std::span<const std::uint8_t> a,
+               std::span<const std::uint8_t> b, std::uint32_t n,
+               std::uint32_t k, std::uint32_t m,
+               const TiledMatmulConfig &config,
+               TiledMatmulStats *stats)
+{
+    SPIM_ASSERT(n > 0 && k > 0 && m > 0,
+                "degenerate matmul shape ", n, "x", k, "x", m);
+    SPIM_ASSERT(a.size() == std::uint64_t(n) * k,
+                "A shape mismatch: ", a.size(), " vs ", n, "x", k);
+    SPIM_ASSERT(b.size() == std::uint64_t(k) * m,
+                "B shape mismatch: ", b.size(), " vs ", k, "x", m);
+
+    const RmParams &rm = device.params();
+    const unsigned total = rm.totalSubarrays();
+    SPIM_ASSERT(total >= 2,
+                "tiled matmul needs a compute and a backing "
+                "subarray; geometry has ",
+                total);
+    const std::uint64_t sub_bytes = rm.bytesPerSubarray();
+
+    // Subarray roles: last = backing store, second-to-last = tile
+    // staging (sharing the backing subarray in 2-subarray
+    // geometries), the rest compute.
+    const unsigned backing_sub = total - 1;
+    const unsigned staging_sub = total >= 3 ? total - 2 : backing_sub;
+    const unsigned compute_subs =
+        staging_sub == backing_sub ? total - 1 : total - 2;
+
+    // Tile grid: a square edge sized so one tile's full working set
+    // (A tile + B tile + 4-byte partial dots + accumulator) fits a
+    // compute subarray with headroom — footprint 8 bytes/element.
+    MatmulTiling t;
+    t.n = n;
+    t.k = k;
+    t.m = m;
+    const std::uint32_t edge = Tiler::tileEdgeForBudget(sub_bytes, 8);
+    t.tileRows = std::min(
+        n, config.tileRows != 0 ? config.tileRows : edge);
+    t.tileK = std::min(k, config.tileK != 0 ? config.tileK : edge);
+    t.tileCols = std::min(
+        m, config.tileCols != 0 ? config.tileCols : edge);
+    t.iTiles = (n + t.tileRows - 1) / t.tileRows;
+    t.kTiles = (k + t.tileK - 1) / t.tileK;
+    t.jTiles = (m + t.tileCols - 1) / t.tileCols;
+
+    // Per-compute-subarray layout for one tile task. The trailing 64
+    // bytes stay free: executeOne stages remote operands into the
+    // subarray tail, and keeping clear of it preserves the shadow-
+    // simulation memory-comparison convention.
+    const std::uint64_t a_off = 0;
+    const std::uint64_t b_off =
+        std::uint64_t(t.tileRows) * t.tileK;
+    const std::uint64_t partial_off =
+        b_off + std::uint64_t(t.tileCols) * t.tileK;
+    const std::uint64_t acc_off =
+        partial_off + 4ull * t.tileRows * t.tileCols;
+    const std::uint64_t compute_end =
+        acc_off + std::uint64_t(t.tileRows) * t.tileCols;
+    SPIM_ASSERT(compute_end + 64 <= sub_bytes,
+                "tile working set (", compute_end,
+                " B) does not fit a compute subarray (", sub_bytes,
+                " B); shrink the tile shape");
+
+    // Backing layout: A row-major, then B transposed (so a column's
+    // K elements are contiguous for staging), then C.
+    const std::uint64_t a_bytes = std::uint64_t(n) * k;
+    const std::uint64_t bt_bytes = std::uint64_t(m) * k;
+    const std::uint64_t c_bytes = std::uint64_t(n) * m;
+    const Addr backing_base = Addr(backing_sub) * sub_bytes;
+    const Addr a_base = backing_base;
+    const Addr bt_base = a_base + a_bytes;
+    const Addr c_base = bt_base + bt_bytes;
+
+    // Staging: two packed tile buffers (parity-alternated when
+    // double-buffered), after C when sharing the backing subarray.
+    const std::uint64_t stage_bytes =
+        (std::uint64_t(t.tileRows) + t.tileCols) * t.tileK;
+    const Addr stage_base =
+        staging_sub == backing_sub
+            ? c_base + c_bytes
+            : Addr(staging_sub) * sub_bytes;
+    const std::uint64_t backing_used =
+        a_bytes + bt_bytes + c_bytes +
+        (staging_sub == backing_sub ? 2 * stage_bytes : 0);
+    SPIM_ASSERT(backing_used + 64 <= sub_bytes,
+                "operands (", backing_used,
+                " B) do not fit the backing subarray (", sub_bytes,
+                " B)");
+    if (staging_sub != backing_sub)
+        SPIM_ASSERT(2 * stage_bytes + 64 <= sub_bytes,
+                    "staging buffers do not fit their subarray");
+
+    // Load the operands: A as-is, B transposed.
+    device.write(a_base, a);
+    {
+        std::vector<std::uint8_t> bt(bt_bytes);
+        for (std::uint32_t kk = 0; kk < k; ++kk)
+            for (std::uint32_t j = 0; j < m; ++j)
+                bt[std::uint64_t(j) * k + kk] =
+                    b[std::uint64_t(kk) * m + j];
+        device.write(bt_base, bt);
+    }
+
+    TiledMatmulStats st;
+    st.tileTasks = t.tasks();
+
+    // The queue is finite: flush through the parallel engine
+    // whenever submission backs up (and once at the end). Conflicting
+    // VPCs keep submit order across rounds, so accumulator and
+    // staging-buffer reuse is safe by construction.
+    auto drain = [&]() {
+        auto records = device.processQueue(config.jobs);
+        if (!records.empty())
+            st.rounds++;
+        for (const auto &rec : records)
+            st.worstFault = std::max(st.worstFault, rec.fault.status);
+    };
+    auto issue = [&](const Vpc &vpc) {
+        if (!device.submit(vpc)) {
+            drain();
+            const bool ok = device.submit(vpc);
+            SPIM_ASSERT(ok, "VPC rejected by a drained queue");
+        }
+        st.vpcs++;
+        if (isPimVpc(vpc.kind))
+            st.pimVpcs++;
+    };
+
+    std::uint64_t task = 0;
+    for (std::uint32_t i = 0; i < t.iTiles; ++i) {
+        for (std::uint32_t j = 0; j < t.jTiles; ++j) {
+            const unsigned sub =
+                (std::uint64_t(i) * t.jTiles + j) % compute_subs;
+            const Addr compute_base = Addr(sub) * sub_bytes;
+            const std::uint32_t tr = t.rowsOf(i);
+            const std::uint32_t tc = t.colsOf(j);
+            for (std::uint32_t kk = 0; kk < t.kTiles;
+                 ++kk, ++task) {
+                const std::uint32_t tk = t.kOf(kk);
+                const Addr buf =
+                    stage_base +
+                    (config.doubleBuffer ? (task & 1) : 0) *
+                        stage_bytes;
+
+                // Gather the tile slices into the staging buffer:
+                // A rows first, then B columns, densely packed.
+                for (std::uint32_t r = 0; r < tr; ++r)
+                    issue({VpcKind::Tran,
+                           a_base +
+                               std::uint64_t(i * t.tileRows + r) *
+                                   k +
+                               std::uint64_t(kk) * t.tileK,
+                           0, buf + std::uint64_t(r) * tk, tk});
+                for (std::uint32_t c = 0; c < tc; ++c)
+                    issue({VpcKind::Tran,
+                           bt_base +
+                               std::uint64_t(j * t.tileCols + c) *
+                                   k +
+                               std::uint64_t(kk) * t.tileK,
+                           0,
+                           buf + std::uint64_t(tr) * tk +
+                               std::uint64_t(c) * tk,
+                           tk});
+
+                // Spread the packed tiles to the compute subarray.
+                issue({VpcKind::Tran, buf, 0, compute_base + a_off,
+                       tr * tk});
+                issue({VpcKind::Tran, buf + std::uint64_t(tr) * tk,
+                       0, compute_base + b_off, tc * tk});
+
+                // Partial dot products over this k-slice.
+                for (std::uint32_t r = 0; r < tr; ++r)
+                    for (std::uint32_t c = 0; c < tc; ++c)
+                        issue({VpcKind::Mul,
+                               compute_base + a_off +
+                                   std::uint64_t(r) * tk,
+                               compute_base + b_off +
+                                   std::uint64_t(c) * tk,
+                               compute_base + partial_off +
+                                   4ull * (r * tc + c),
+                               tk});
+
+                // Output-stationary accumulation of the partial low
+                // bytes; the first k-tile initializes device-side.
+                for (std::uint32_t r = 0; r < tr; ++r)
+                    for (std::uint32_t c = 0; c < tc; ++c) {
+                        const Addr partial =
+                            compute_base + partial_off +
+                            4ull * (r * tc + c);
+                        const Addr acc = compute_base + acc_off +
+                                         std::uint64_t(r) * tc + c;
+                        if (kk == 0)
+                            issue({VpcKind::Tran, partial, 0, acc,
+                                   1});
+                        else
+                            issue({VpcKind::Add, acc, partial, acc,
+                                   1});
+                    }
+
+                // Last k-tile: the C tile is final; collect it row
+                // by row to the backing store.
+                if (kk + 1 == t.kTiles)
+                    for (std::uint32_t r = 0; r < tr; ++r)
+                        issue({VpcKind::Tran,
+                               compute_base + acc_off +
+                                   std::uint64_t(r) * tc,
+                               0,
+                               c_base +
+                                   std::uint64_t(i * t.tileRows +
+                                                 r) *
+                                       m +
+                                   std::uint64_t(j) * t.tileCols,
+                               tc});
+            }
+        }
+    }
+    drain();
+
+    std::vector<std::uint8_t> c = device.read(c_base, c_bytes);
+    if (stats != nullptr)
+        *stats = st;
+    return c;
+}
+
+} // namespace streampim

@@ -1,7 +1,6 @@
 #include "runtime/conflict_graph.hh"
 
 #include <algorithm>
-#include <array>
 #include <bit>
 #include <limits>
 
@@ -11,23 +10,40 @@ namespace streampim
 {
 
 ConflictGraph::ConflictGraph(std::span<const std::uint64_t> masks)
+    : ConflictGraph(masks, 1)
+{
+}
+
+ConflictGraph::ConflictGraph(std::span<const std::uint64_t> words,
+                             std::size_t words_per_task)
 {
     constexpr std::uint32_t kNone =
         std::numeric_limits<std::uint32_t>::max();
-    SPIM_ASSERT(masks.size() < kNone, "task stream too large");
+    SPIM_ASSERT(words_per_task > 0,
+                "a task mask needs at least one word");
+    SPIM_ASSERT(words.size() % words_per_task == 0,
+                "mask words (", words.size(),
+                ") are not a multiple of the task width (",
+                words_per_task, ")");
+    const std::size_t tasks = words.size() / words_per_task;
+    SPIM_ASSERT(tasks < kNone, "task stream too large");
 
-    nodes_.resize(masks.size());
-    std::array<std::uint32_t, 64> last;
-    last.fill(kNone);
+    nodes_.resize(tasks);
+    std::vector<std::uint32_t> last(64 * words_per_task, kNone);
 
     std::vector<std::uint32_t> preds;
-    for (std::uint32_t i = 0; i < masks.size(); ++i) {
+    for (std::uint32_t i = 0; i < tasks; ++i) {
         preds.clear();
-        for (std::uint64_t m = masks[i]; m != 0; m &= m - 1) {
-            const unsigned s = unsigned(std::countr_zero(m));
-            if (last[s] != kNone)
-                preds.push_back(last[s]);
-            last[s] = i;
+        for (std::size_t w = 0; w < words_per_task; ++w) {
+            const std::size_t base = 64 * w;
+            for (std::uint64_t m = words[i * words_per_task + w];
+                 m != 0; m &= m - 1) {
+                const std::size_t s =
+                    base + unsigned(std::countr_zero(m));
+                if (last[s] != kNone)
+                    preds.push_back(last[s]);
+                last[s] = i;
+            }
         }
         std::sort(preds.begin(), preds.end());
         preds.erase(std::unique(preds.begin(), preds.end()),

@@ -7,7 +7,8 @@
  * Each VPC touches a set of subarrays — the executing subarray plus
  * every subarray its remote-operand staging, store-out or TRAN
  * transfer reads or writes — encoded as a 64-bit resource mask (the
- * functional geometry is capped at 64 subarrays). Two VPCs conflict
+ * functional geometry is capped at 64 subarrays; streams over wider
+ * resource sets use the multi-word constructor). Two VPCs conflict
  * exactly when their masks intersect: they would drive the same
  * mats, wear counters and fault-injector RNG stream, so they must
  * execute in submit order. Non-conflicting VPCs commute: every
@@ -50,6 +51,17 @@ class ConflictGraph
      * masks[j] & masks[i] != 0, once per such j.
      */
     explicit ConflictGraph(std::span<const std::uint64_t> masks);
+
+    /**
+     * Wide-mask overload for streams over more than 64 resources:
+     * each task's mask is @p words_per_task consecutive words of
+     * @p words (task i's bit for resource r is word i *
+     * words_per_task + r / 64, bit r % 64). @p words must be an
+     * exact multiple of @p words_per_task. With words_per_task = 1
+     * this is exactly the single-word constructor.
+     */
+    ConflictGraph(std::span<const std::uint64_t> words,
+                  std::size_t words_per_task);
 
     std::size_t size() const { return nodes_.size(); }
 

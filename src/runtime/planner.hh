@@ -31,6 +31,7 @@
 
 #include "core/system_config.hh"
 #include "runtime/schedule.hh"
+#include "runtime/tiler.hh"
 #include "workloads/task_graph.hh"
 
 namespace streampim
@@ -43,6 +44,8 @@ struct PlanStats
     std::uint64_t moveVpcs = 0;
     std::uint64_t batches = 0;
     std::uint64_t slicedVpcs = 0; //!< VPCs split by the slicing rule
+    std::uint64_t tiledMatmuls = 0; //!< matmuls routed via the tiler
+    std::uint64_t tileTasks = 0;    //!< (i, j, kk) tile tasks emitted
 };
 
 /** Lowers TaskGraphs to VpcSchedules. */
@@ -53,6 +56,19 @@ class Planner
 
     /** Lower the whole task graph. */
     VpcSchedule plan(const TaskGraph &graph) const;
+
+    /**
+     * Lower one standalone N x K x M matmul through the streaming
+     * tiling layer (regardless of whether it would fit untiled):
+     * the out-of-core entry point the benches and tests drive
+     * directly. Stats land in stats() like plan().
+     */
+    VpcSchedule planTiledMatmul(std::uint32_t n, std::uint32_t k,
+                                std::uint32_t m) const;
+
+    /** Tiling knobs used by plan()/planTiledMatmul(). */
+    void setTilerConfig(const TilerConfig &cfg) { tilerCfg_ = cfg; }
+    const TilerConfig &tilerConfig() const { return tilerCfg_; }
 
     /** Stats of the last plan() call. */
     const PlanStats &stats() const { return stats_; }
@@ -114,6 +130,9 @@ class Planner
                      const MatrixOp &op, bool transposed) const;
     void lowerMatMul(LowerCtx &ctx, const TaskGraph &g,
                      const MatrixOp &op) const;
+    /** Streaming tiled lowering (out-of-core matmuls; tiler.hh). */
+    void lowerTiledMatMul(LowerCtx &ctx, const TaskGraph &g,
+                          const MatrixOp &op) const;
     void lowerElementWise(LowerCtx &ctx, const TaskGraph &g,
                           const MatrixOp &op) const;
 
@@ -156,6 +175,7 @@ class Planner
                               std::uint32_t dep_b = kNoBatch) const;
 
     SystemConfig cfg_;
+    TilerConfig tilerCfg_;
     std::vector<std::uint32_t> computeSet_;
     std::vector<std::uint32_t> stagingSet_;
     mutable PlanStats stats_;

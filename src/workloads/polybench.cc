@@ -1,5 +1,7 @@
 #include "workloads/polybench.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace streampim
@@ -48,12 +50,16 @@ smallPolybenchKernels()
 namespace
 {
 
-/** Scale an EXTRALARGE dimension by dim/2000, minimum 2. */
+/**
+ * Scale an EXTRALARGE dimension by dim/2000. Small dims round the
+ * quotient down to 0 (e.g. 1600*1/2000), which would build a
+ * degenerate matrix — clamp every scaled dimension to at least 1.
+ */
 unsigned
 sc(unsigned extralarge, unsigned dim)
 {
     std::uint64_t v = std::uint64_t(extralarge) * dim / 2000;
-    return v < 2 ? 2u : unsigned(v);
+    return v < 1 ? 1u : unsigned(v);
 }
 
 TaskGraph
@@ -242,10 +248,34 @@ makeMvt(unsigned dim)
 
 } // namespace
 
-TaskGraph
-makePolybench(PolybenchKernel kernel, unsigned dim)
+namespace
 {
-    SPIM_ASSERT(dim >= 2, "dimension too small");
+
+/**
+ * Mark matmuls whose largest operand outgrows what a home subarray
+ * plus its staging partner can hold (kTiledOperandThresholdBytes):
+ * they must stream through the planner's tiling layer. At the
+ * paper-reference dim 2000 every kernel stays below the threshold,
+ * so the Table IV untiled plans are unchanged.
+ */
+void
+markOversizedMatmuls(TaskGraph &g)
+{
+    for (MatrixOp &op : g.ops) {
+        if (op.kind != MatOpKind::MatMul)
+            continue;
+        const std::uint64_t largest = std::max(
+            {g.matrices[op.a].elements(),
+             g.matrices[op.b].elements(),
+             g.matrices[op.c].elements()});
+        if (largest > kTiledOperandThresholdBytes)
+            op.tiled = true;
+    }
+}
+
+TaskGraph
+build(PolybenchKernel kernel, unsigned dim)
+{
     switch (kernel) {
       case PolybenchKernel::TwoMm: return make2mm(dim);
       case PolybenchKernel::ThreeMm: return make3mm(dim);
@@ -258,6 +288,17 @@ makePolybench(PolybenchKernel kernel, unsigned dim)
       case PolybenchKernel::Mvt: return makeMvt(dim);
     }
     SPIM_PANIC("unknown kernel");
+}
+
+} // namespace
+
+TaskGraph
+makePolybench(PolybenchKernel kernel, unsigned dim)
+{
+    SPIM_ASSERT(dim >= 1, "dimension too small");
+    TaskGraph g = build(kernel, dim);
+    markOversizedMatmuls(g);
+    return g;
 }
 
 } // namespace streampim

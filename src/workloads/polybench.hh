@@ -57,9 +57,14 @@ const std::vector<PolybenchKernel> &smallPolybenchKernels();
 
 /**
  * Build the task graph of a kernel.
- * @param dim the base dimension; the paper's configuration is 2000.
- *        Kernel dimensions scale as dim/2000 of the EXTRALARGE
- *        dataset shapes.
+ * @param dim the base dimension, at least 1; the paper's
+ *        configuration is 2000. Kernel dimensions scale as dim/2000
+ *        of the EXTRALARGE dataset shapes, with every scaled
+ *        dimension clamped to at least 1 so tiny scales stay valid.
+ *        Matmuls whose operands exceed
+ *        kTiledOperandThresholdBytes come back marked
+ *        MatrixOp::tiled (the planner streams them through its
+ *        tiling layer).
  */
 TaskGraph makePolybench(PolybenchKernel kernel, unsigned dim = 2000);
 

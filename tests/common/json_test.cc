@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/json.hh"
 
 using namespace streampim;
@@ -98,4 +101,43 @@ TEST(Json, RejectsMalformedInput)
 TEST(Json, UnicodeEscapeParses)
 {
     EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+}
+
+TEST(Json, NonFiniteNumbersRoundTripAsNull)
+{
+    // JSON has no NaN/Inf tokens; non-finite doubles serialize as
+    // null and come back as tolerated nulls, never as bare tokens
+    // that break the parser.
+    Json doc = Json::object();
+    doc["nan"] = Json(std::nan(""));
+    doc["inf"] = Json(std::numeric_limits<double>::infinity());
+    doc["neg_inf"] = Json(-std::numeric_limits<double>::infinity());
+    doc["ok"] = Json(2.5);
+    const std::string text = doc.dump(0);
+    EXPECT_EQ(text,
+              R"({"nan":null,"inf":null,"neg_inf":null,"ok":2.5})");
+
+    std::string err;
+    Json back = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(back.find("nan")->isNull());
+    EXPECT_TRUE(back.find("inf")->isNull());
+    EXPECT_TRUE(back.find("neg_inf")->isNull());
+    EXPECT_EQ(back.find("ok")->asNumber(), 2.5);
+    // Second round trip is stable.
+    EXPECT_EQ(back.dump(0), text);
+}
+
+TEST(Json, AsNumberOrToleratesNull)
+{
+    Json n(1.5);
+    EXPECT_EQ(n.asNumberOr(-1.0), 1.5);
+    Json null_value;
+    EXPECT_EQ(null_value.asNumberOr(-1.0), -1.0);
+}
+
+TEST(JsonDeath, AsNumberOrStillRejectsOtherKinds)
+{
+    Json s("text");
+    EXPECT_DEATH(s.asNumberOr(0.0), "not a number or null");
 }

@@ -107,6 +107,85 @@ TEST(ConflictGraph, BarrierMaskSerializesEverything)
     EXPECT_EQ(g.predecessors(4), 1u);
 }
 
+TEST(ConflictGraph, WideMasksTrackResourcesPastSixtyFour)
+{
+    // 3 words per task = up to 192 resources. Tasks 0 and 1 touch
+    // resources 65 and 130 — both beyond what a single 64-bit mask
+    // can express; task 2 touches both and must depend on each.
+    auto task = [](unsigned r) {
+        std::vector<std::uint64_t> w(3, 0);
+        w[r / 64] = bit(r % 64);
+        return w;
+    };
+    std::vector<std::uint64_t> words;
+    for (const auto &t : {task(65), task(130)})
+        words.insert(words.end(), t.begin(), t.end());
+    words.insert(words.end(), {0, bit(1), bit(2)}); // 65 and 130
+
+    ConflictGraph g(words, 3);
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(g.predecessors(2), 2u);
+    EXPECT_EQ(g.successors(0), (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(g.successors(1), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(ConflictGraph, WideMasksSeparateSameBitDifferentWord)
+{
+    // Bit 3 of word 0 (resource 3) and bit 3 of word 1 (resource
+    // 67) are distinct resources: no dependency between their
+    // users. A buggy cap-at-64 fold would alias them.
+    const std::vector<std::uint64_t> words = {
+        bit(3), 0, // task 0: resource 3
+        0, bit(3), // task 1: resource 67
+        bit(3), 0, // task 2: resource 3 again
+    };
+    ConflictGraph g(words, 2);
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.roots(), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(g.predecessors(2), 1u);
+    EXPECT_EQ(g.successors(0), (std::vector<std::uint32_t>{2}));
+    EXPECT_TRUE(g.successors(1).empty());
+}
+
+TEST(ConflictGraph, WideAndNarrowAgreeAtOneWordPerTask)
+{
+    const std::vector<std::uint64_t> masks = {
+        bit(0) | bit(1), bit(1) | bit(2), bit(0), bit(2) | bit(3),
+        ~std::uint64_t(0), bit(63)};
+    ConflictGraph narrow(masks);
+    ConflictGraph wide(masks, 1);
+    ASSERT_EQ(narrow.size(), wide.size());
+    EXPECT_EQ(narrow.edges(), wide.edges());
+    EXPECT_EQ(narrow.roots(), wide.roots());
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        EXPECT_EQ(narrow.predecessors(i), wide.predecessors(i));
+        EXPECT_EQ(narrow.successors(i), wide.successors(i));
+    }
+}
+
+TEST(ConflictGraph, ChainAcrossSixtyFivePlusResources)
+{
+    // 65+ single-resource tasks, each on its own resource: all
+    // roots, no edges — then one full-mask task serializes against
+    // every live resource user.
+    const std::size_t words_per = 2; // 128 resources
+    std::vector<std::uint64_t> words;
+    const unsigned resources = 70;
+    for (unsigned r = 0; r < resources; ++r) {
+        std::vector<std::uint64_t> w(words_per, 0);
+        w[r / 64] = bit(r % 64);
+        words.insert(words.end(), w.begin(), w.end());
+    }
+    words.insert(words.end(),
+                 {~std::uint64_t(0), ~std::uint64_t(0)});
+    ConflictGraph g(words, words_per);
+    ASSERT_EQ(g.size(), resources + 1);
+    EXPECT_EQ(g.roots().size(), resources);
+    EXPECT_EQ(g.predecessors(resources), resources);
+    EXPECT_EQ(g.edges(), resources);
+}
+
 TEST(ConflictGraph, SubmitOrderIsATopologicalOrder)
 {
     // Every edge must point forward in stream order.

@@ -132,9 +132,49 @@ TEST(Dnn, NonlinearElementsAreHostWeighted)
     EXPECT_EQ(nonlinearElements(g), 1200u);
 }
 
+TEST(Polybench, SmallestScaleClampsEveryDimensionToOne)
+{
+    // dim 1 scales every EXTRALARGE extent to 1600*1/2000 = 0 before
+    // clamping; every kernel must still build a valid graph with no
+    // zero-sized matrix.
+    for (PolybenchKernel k : allPolybenchKernels()) {
+        TaskGraph g = makePolybench(k, 1);
+        EXPECT_GT(g.ops.size(), 0u) << polybenchName(k);
+        for (const auto &m : g.matrices) {
+            EXPECT_GE(m.rows, 1u)
+                << polybenchName(k) << " " << m.name;
+            EXPECT_GE(m.cols, 1u)
+                << polybenchName(k) << " " << m.name;
+        }
+    }
+}
+
+TEST(Polybench, PaperDimMatmulsAreNotMarkedTiled)
+{
+    // The Table IV reference dims sit below the out-of-core
+    // threshold by design; their untiled plans are pinned elsewhere.
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, 2000);
+    for (const auto &op : g.ops)
+        EXPECT_FALSE(op.tiled);
+}
+
+TEST(Polybench, OversizeMatmulsComeBackMarkedTiled)
+{
+    // Doubling the paper dim pushes gemm's operands past the
+    // threshold (4000*5200 elements > 2 x 4 MiB).
+    TaskGraph g = makePolybench(PolybenchKernel::Gemm, 4000);
+    unsigned tiled = 0;
+    for (const auto &op : g.ops) {
+        if (op.kind == MatOpKind::MatMul)
+            EXPECT_TRUE(op.tiled);
+        tiled += op.tiled;
+    }
+    EXPECT_GT(tiled, 0u);
+}
+
 TEST(PolybenchDeath, TinyDimPanics)
 {
-    EXPECT_DEATH(makePolybench(PolybenchKernel::Gemm, 1),
+    EXPECT_DEATH(makePolybench(PolybenchKernel::Gemm, 0),
                  "dimension");
 }
 
