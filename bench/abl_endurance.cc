@@ -189,6 +189,20 @@ main(int argc, char **argv)
                     cell.metrics[p + "write_failures"] =
                         double(h.writeFailures);
                 }
+                // Degradation trajectory: remaining spares and
+                // worst-track wear after every round, so the report
+                // carries the lifetime curve rather than only the
+                // final state.
+                for (unsigned r = 0; r < res.rounds(); ++r) {
+                    const EnduranceRound &rr = res.perRound[r];
+                    const std::string p =
+                        "round" + std::string(r < 10 ? "0" : "") +
+                        std::to_string(r) + "_";
+                    cell.metrics[p + "remaining_spares"] =
+                        double(rr.remainingSpares);
+                    cell.metrics[p + "max_wear"] =
+                        double(rr.maxWear);
+                }
                 // Reserved perf metric: sampled deposit pulses are
                 // the functional unit of work this campaign commits.
                 cell.metrics["functional_ops"] =

@@ -19,12 +19,14 @@
  * STREAMPIM_JOBS.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "core/fault_campaign.hh"
+#include "core/report.hh"
 #include "parallel/sweep.hh"
 #include "rm/fault.hh"
 
@@ -40,6 +42,38 @@ struct OperatingPoint
     double pStep;
     double coverage;
 };
+
+/** Rebuild the per-bank SMART telemetry from a cell's bank<N>_*
+ * metrics (the cells run on pool workers, so printing happens here,
+ * deterministically, from the recorded metrics — same convention as
+ * abl_endurance). */
+std::vector<BankHealth>
+bankHealthFromMetrics(const SweepCellResult &c)
+{
+    std::vector<BankHealth> health;
+    for (unsigned b = 0;; ++b) {
+        const std::string p = "bank" + std::to_string(b) + "_";
+        auto it = c.metrics.find(p + "spares_total");
+        if (it == c.metrics.end())
+            break;
+        BankHealth h;
+        h.bank = b;
+        h.sparesTotal = unsigned(it->second);
+        h.sparesUsed =
+            h.sparesTotal -
+            unsigned(c.metrics.at(p + "remaining_spares"));
+        h.maxWear = std::uint64_t(c.metrics.at(p + "max_wear"));
+        h.deposits = std::uint64_t(c.metrics.at(p + "deposits"));
+        h.trackRemaps =
+            std::uint64_t(c.metrics.at(p + "track_remaps"));
+        h.redeposits =
+            std::uint64_t(c.metrics.at(p + "redeposits"));
+        h.writeFailures =
+            std::uint64_t(c.metrics.at(p + "write_failures"));
+        health.push_back(h);
+    }
+    return health;
+}
 
 } // namespace
 
@@ -94,6 +128,27 @@ main(int argc, char **argv)
                 cell.metrics["guard_checks"] =
                     double(res.stats.guardChecks);
                 cell.metrics["pulses"] = double(res.stats.pulses);
+                // SMART-style per-bank health telemetry, for parity
+                // with abl_endurance (shift campaigns still deposit
+                // and wear tracks on every write).
+                for (const BankHealth &h : res.health) {
+                    const std::string p =
+                        "bank" + std::to_string(h.bank) + "_";
+                    cell.metrics[p + "remaining_spares"] =
+                        double(h.remainingSpares());
+                    cell.metrics[p + "spares_total"] =
+                        double(h.sparesTotal);
+                    cell.metrics[p + "max_wear"] =
+                        double(h.maxWear);
+                    cell.metrics[p + "deposits"] =
+                        double(h.deposits);
+                    cell.metrics[p + "track_remaps"] =
+                        double(h.trackRemaps);
+                    cell.metrics[p + "redeposits"] =
+                        double(h.redeposits);
+                    cell.metrics[p + "write_failures"] =
+                        double(h.writeFailures);
+                }
                 // Reserved perf metric: bus segment pulses are the
                 // functional unit of work this campaign executes.
                 cell.metrics["functional_ops"] =
@@ -132,6 +187,14 @@ main(int argc, char **argv)
                       fmtSci(model.pulseFaultProbability(seg))});
         }
         t.print();
+        // SMART host queries: what the device reports per bank at
+        // campaign end (StreamPimSystem::bankHealth()), one summary
+        // per operating point at the largest segment size.
+        const auto &last = sweep.cell(
+            std::to_string(segments.back()), pt.name);
+        std::printf("SMART, segment %u:\n%s\n", segments.back(),
+                    summarizeBankHealth(bankHealthFromMetrics(last))
+                        .c_str());
         std::printf("\n");
     }
 

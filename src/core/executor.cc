@@ -132,10 +132,18 @@ Executor::runTransfer(const VpcBatch &batch, Tick ready)
 
     // Accounting. Row operations are driver-dominated: one
     // read/write energy quantum per row op regardless of width.
-    energy_.read(rows);
-    energy_.write(rows);
-    breakdown_.readTicks += read_time;
-    breakdown_.writeTicks += write_time;
+    // Health-policy migration copies are charged under their own
+    // category so the lifetime-extension overhead stays visible
+    // instead of blending into workload read/write traffic.
+    if (batch.migration) {
+        energy_.migrationRow(rows);
+        breakdown_.migrationTicks += read_time + write_time;
+    } else {
+        energy_.read(rows);
+        energy_.write(rows);
+        breakdown_.readTicks += read_time;
+        breakdown_.writeTicks += write_time;
+    }
     transferSpans_.push_back({rd.start, rd.end});
     transferSpans_.push_back({wr.start, wr.end});
     return wr.end;

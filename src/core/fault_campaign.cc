@@ -1,7 +1,11 @@
 #include "core/fault_campaign.hh"
 
+#include <algorithm>
+#include <array>
+
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "core/system_config.hh"
 
 namespace streampim
 {
@@ -20,12 +24,24 @@ constexpr std::uint64_t kDstBase = kInputBytes;
  * comparisons. */
 constexpr std::uint64_t kDstStride = 64;
 
+/**
+ * The two live operand regions of the campaign program, by home
+ * subarray. Region 0 carries every src1 (and most src2) plus the
+ * bulk of the destination slices; region 1 carries the remote src2
+ * stream and the remote store-outs. The health policy migrates
+ * regions between subarrays, so addresses are always derived from
+ * the current homes — homes {0, 1} reproduce the historical static
+ * layout bit-for-bit.
+ */
+using CampaignHomes = std::array<std::uint32_t, 2>;
+
 /** The campaign program: a deterministic Add/Smul/Mul/Tran mix
- * with sources drawn only from the read-only input regions of
- * subarrays 0 and 1 and one disjoint destination slice per VPC
+ * with sources drawn only from the read-only input regions of the
+ * two home subarrays and one disjoint destination slice per VPC
  * (some remote, to exercise operand staging and store-out). */
 std::vector<FaultCampaignVpc>
-buildProgram(const FaultCampaignConfig &cfg, std::uint64_t per_sub)
+buildProgram(const FaultCampaignConfig &cfg, std::uint64_t per_sub,
+             const CampaignHomes &homes)
 {
     const std::uint32_t n = cfg.vectorLen;
     std::vector<FaultCampaignVpc> prog;
@@ -35,18 +51,19 @@ buildProgram(const FaultCampaignConfig &cfg, std::uint64_t per_sub)
         Vpc &v = entry.vpc;
         v.kind = static_cast<VpcKind>(i % 4);
         v.size = n;
-        v.src1 = (std::uint64_t(i) * 131) % (kInputBytes - n);
+        v.src1 = homes[0] * per_sub +
+                 (std::uint64_t(i) * 131) % (kInputBytes - n);
         const std::uint32_t operand_len =
             v.kind == VpcKind::Smul ? 1 : n;
         const std::uint64_t src2_off =
             (std::uint64_t(i) * 257 + 512) %
             (kInputBytes - operand_len);
         // Every third VPC stages its second operand from the other
-        // subarray (remote collection through read/write commands).
-        v.src2 = (i % 3 == 2 ? per_sub : 0) + src2_off;
+        // region (remote collection through read/write commands).
+        v.src2 = homes[i % 3 == 2 ? 1 : 0] * per_sub + src2_off;
         entry.resultLen = v.kind == VpcKind::Mul ? 4 : n;
-        // Every fifth VPC stores out to the other subarray.
-        v.dst = (i % 5 == 4 ? per_sub : 0) + kDstBase +
+        // Every fifth VPC stores out to the other region.
+        v.dst = homes[i % 5 == 4 ? 1 : 0] * per_sub + kDstBase +
                 std::uint64_t(i) * kDstStride;
         prog.push_back(entry);
     }
@@ -55,17 +72,19 @@ buildProgram(const FaultCampaignConfig &cfg, std::uint64_t per_sub)
 
 void
 stageInputs(StreamPimSystem &sys, std::uint64_t per_sub,
-            std::uint64_t seed)
+            std::uint64_t seed, const CampaignHomes &homes)
 {
     // Identical bytes in both systems; staged before injection is
     // enabled (host-side DMA runs on the controller's own ECC'd
-    // path — the campaign targets the PIM datapath).
-    for (unsigned sub = 0; sub < 2; ++sub) {
-        Rng rng(seed ^ (0xDA7AULL + sub));
+    // path — the campaign targets the PIM datapath). Blob seeds are
+    // tied to the logical region, not the physical home, so data
+    // follows the region through migrations.
+    for (unsigned region = 0; region < 2; ++region) {
+        Rng rng(seed ^ (0xDA7AULL + region));
         std::vector<std::uint8_t> blob(kInputBytes);
         for (auto &b : blob)
             b = std::uint8_t(rng.next() & 0xFF);
-        sys.write(per_sub * sub, blob);
+        sys.write(per_sub * homes[region], blob);
     }
 }
 
@@ -119,12 +138,13 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     RmParams params = campaignParams(cfg);
 
     const std::uint64_t per_sub = params.bytesPerSubarray();
-    auto program = buildProgram(cfg, per_sub);
+    const CampaignHomes homes = {0, 1};
+    auto program = buildProgram(cfg, per_sub, homes);
 
     StreamPimSystem golden(params);
     StreamPimSystem faulty(params);
-    stageInputs(golden, per_sub, cfg.seed);
-    stageInputs(faulty, per_sub, cfg.seed);
+    stageInputs(golden, per_sub, cfg.seed, homes);
+    stageInputs(faulty, per_sub, cfg.seed, homes);
 
     faulty.enableFaultInjection(campaignFaultConfig(cfg));
 
@@ -143,6 +163,7 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
 
     FaultCampaignResult res;
     res.stats = faulty.totalFaultStats();
+    res.health = faulty.bankHealth();
     res.perVpc = std::move(program);
     for (std::size_t i = 0; i < res.perVpc.size(); ++i) {
         FaultCampaignVpc &entry = res.perVpc[i];
@@ -184,16 +205,31 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
     SPIM_ASSERT(cfg.rounds >= 1 && cfg.rounds <= 512,
                 "endurance campaign rounds out of range");
 
+    cfg.adaptive.validate();
+
     RmParams params = campaignParams(base);
     const std::uint64_t per_sub = params.bytesPerSubarray();
-    auto program = buildProgram(base, per_sub);
+    CampaignHomes homes = {0, 1};
+    auto program = buildProgram(base, per_sub, homes);
 
     StreamPimSystem golden(params);
     StreamPimSystem faulty(params);
-    stageInputs(golden, per_sub, base.seed);
-    stageInputs(faulty, per_sub, base.seed);
+    stageInputs(golden, per_sub, base.seed, homes);
+    stageInputs(faulty, per_sub, base.seed, homes);
 
     faulty.enableFaultInjection(campaignFaultConfig(base));
+
+    // The closed loop (runtime/health_policy.hh): a campaign-shaped
+    // planner gives the policy the wear-ranked candidate ordering
+    // (Distribute — every subarray of the small geometry is a PIM
+    // subarray, so Unblock's disjoint staging set cannot exist).
+    SystemConfig planner_cfg;
+    planner_cfg.rm = params;
+    planner_cfg.optLevel = OptLevel::Distribute;
+    Planner planner(planner_cfg);
+    HealthPolicy policy(cfg.adaptive, params.totalSubarrays(),
+                        params.subarraysPerBank);
+    policy.attachPlanner(&planner);
 
     EnduranceCampaignResult res;
     res.perRound.reserve(cfg.rounds);
@@ -201,6 +237,7 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
     // VPC, accumulated from the per-VPC attribution records (exact,
     // unlike a round-end snapshot).
     std::uint64_t deposits_seen = 0;
+    std::uint64_t migration_deposits = 0;
     std::uint64_t remaps_prev = 0;
     std::uint64_t redeposits_prev = 0;
 
@@ -247,6 +284,8 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
                         long(round) * long(program.size()) + long(i);
                     res.firstFailedRound = long(round);
                     res.firstFailedDeposits = deposits_seen;
+                    res.firstFailedProgramDeposits =
+                        deposits_seen - migration_deposits;
                 }
                 break;
             }
@@ -262,6 +301,81 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
         rr.depositPulses = snap.depositPulses;
         remaps_prev = snap.trackRemaps;
         redeposits_prev = snap.redeposits;
+
+        // Health trajectory at round end (degradation curves).
+        rr.health = faulty.bankHealth();
+        for (const BankHealth &h : rr.health) {
+            rr.remainingSpares += h.remainingSpares();
+            rr.sparesTotal += h.sparesTotal;
+            rr.maxWear = std::max(rr.maxWear, h.maxWear);
+        }
+
+        // Closed loop: snapshot -> re-plan -> quarantine -> migrate,
+        // between rounds only (never before the readout above), on
+        // the same deterministic sample path.
+        if (round + 1 < cfg.rounds && policy.shouldEvaluate(round)) {
+            const HealthDecision decision = policy.evaluate(
+                rr.health, faulty.wearSummaries(), homes);
+            rr.newlyQuarantined =
+                unsigned(decision.newlyQuarantined.size());
+
+            if (!decision.migrations.empty()) {
+                // Migration copies run with injection resumed: the
+                // wear they add is physical reality, and both
+                // systems execute the same TRANs so the pair stays
+                // in lockstep.
+                faulty.resumeFaultInjection();
+                for (const MigrationStep &m : decision.migrations) {
+                    Vpc mv;
+                    mv.kind = VpcKind::Tran;
+                    mv.src1 = std::uint64_t(m.from) * per_sub;
+                    mv.dst = std::uint64_t(m.to) * per_sub;
+                    mv.size = std::uint32_t(kInputBytes);
+                    bool ok = golden.submit(mv);
+                    ok = faulty.submit(mv) && ok;
+                    SPIM_ASSERT(
+                        ok, "migration overflowed the VPC queue");
+                }
+                golden.processQueue(base.engineJobs);
+                auto migr = faulty.processQueue(base.engineJobs);
+                SPIM_ASSERT(migr.size() ==
+                                decision.migrations.size(),
+                            "migration run lost VPCs");
+                faulty.disableFaultInjection();
+
+                for (std::size_t k = 0; k < migr.size(); ++k) {
+                    const MigrationStep &m = decision.migrations[k];
+                    const VpcFaultInfo &fault = migr[k].fault;
+                    deposits_seen += fault.depositPulses;
+                    migration_deposits += fault.depositPulses;
+                    rr.migrationDeposits += fault.depositPulses;
+                    if (fault.status == FaultStatus::Failed) {
+                        // The copy may be corrupt at the target:
+                        // keep the region at its old home, whose
+                        // read-only bytes are intact (TRAN reads do
+                        // not mutate the source). Golden ran the
+                        // same TRAN, so its stray copy is never
+                        // read and lockstep is preserved.
+                        rr.migrationFailed++;
+                        res.migrationFailed++;
+                        continue;
+                    }
+                    // Non-Failed migration: the recovery invariant
+                    // extends to the migrated bytes.
+                    auto g = golden.read(
+                        std::uint64_t(m.to) * per_sub, kInputBytes);
+                    auto f = faulty.read(
+                        std::uint64_t(m.to) * per_sub, kInputBytes);
+                    if (g != f)
+                        res.mismatchedRecovered++;
+                    homes[m.operand] = m.to;
+                    rr.migrations++;
+                    res.migrations++;
+                    res.migrationBytes += kInputBytes;
+                }
+                program = buildProgram(base, per_sub, homes);
+            }
+        }
         res.perRound.push_back(rr);
 
         if (round + 1 < cfg.rounds)
@@ -271,6 +385,10 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
     res.stats = faulty.totalFaultStats();
     res.wear = faulty.wearSummaries();
     res.health = faulty.bankHealth();
+    res.policyEvaluations = policy.evaluations();
+    res.quarantinedSubarrays = policy.quarantinedCount();
+    res.migrationDeposits = migration_deposits;
+    res.finalHomes.assign(homes.begin(), homes.end());
     return res;
 }
 

@@ -33,6 +33,7 @@
 
 #include "core/stream_pim.hh"
 #include "rm/fault_injector.hh"
+#include "runtime/health_policy.hh"
 
 namespace streampim
 {
@@ -106,6 +107,8 @@ struct FaultCampaignResult
     unsigned failedButIntact = 0;
     /** Sampled-fault statistics of the faulty system. */
     FaultStats stats;
+    /** Final SMART-style per-bank health of the faulty system. */
+    std::vector<BankHealth> health;
     /** Per-VPC details, in program order. */
     std::vector<FaultCampaignVpc> perVpc;
 
@@ -138,6 +141,22 @@ struct EnduranceCampaignConfig
     FaultCampaignConfig base;
     /** Program repetitions; wear carries over between rounds. */
     unsigned rounds = 8;
+    /**
+     * Closed-loop health policy (runtime/health_policy.hh). With
+     * adaptive.enabled == false (default) the campaign is exactly
+     * the historical open-loop run: placement fixed at round 0,
+     * device driven until tracks fail. Enabled, a HealthPolicy
+     * consumes bankHealth()/wearSummaries() snapshots between
+     * rounds at adaptive.cadence, re-ranks a campaign Planner via
+     * observeWear, migrates the live input regions off
+     * spare-starved banks (TRAN copies executed on BOTH systems
+     * with injection resumed, so migration wear is real and the
+     * pair stays on one deterministic sample path), and
+     * quarantines spare-exhausted subarrays out of the home and
+     * target sets. Deposit pulses spent on migration are tracked
+     * separately so lifetime comparisons measure useful work.
+     */
+    HealthPolicyConfig adaptive;
 };
 
 /** One round's outcome inside an endurance campaign. */
@@ -148,6 +167,25 @@ struct EnduranceRound
     std::uint64_t redeposits = 0;
     /** Cumulative sampled deposit pulses at round end. */
     std::uint64_t depositPulses = 0;
+
+    // --- Health trajectory (summarizeBankHealth inputs), sampled
+    // --- at round end so campaign JSON can plot degradation
+    // --- curves instead of a single final-state snapshot.
+    /** Device-total spare save tracks still unused. */
+    unsigned remainingSpares = 0;
+    /** Device-total spare pool size (constant per campaign). */
+    unsigned sparesTotal = 0;
+    /** Worst live save-track wear across all banks. */
+    std::uint64_t maxWear = 0;
+    /** Full per-bank SMART snapshot at round end. */
+    std::vector<BankHealth> health;
+
+    // --- Closed-loop policy actions taken AFTER this round.
+    unsigned migrations = 0;       //!< operand moves that landed
+    unsigned migrationFailed = 0;  //!< migration TRANs that Failed
+    /** Deposit pulses spent executing this round's migrations. */
+    std::uint64_t migrationDeposits = 0;
+    unsigned newlyQuarantined = 0; //!< subarrays retired this round
 };
 
 /** Aggregate outcome of one endurance campaign. */
@@ -168,6 +206,11 @@ struct EnduranceCampaignResult
     /** Sampled deposit pulses committed up to and including the
      * first Failed VPC — the write volume the device survived. */
     std::uint64_t firstFailedDeposits = 0;
+    /** firstFailedDeposits minus the pulses spent on health-policy
+     * migrations: the *useful-work* write volume survived. The
+     * adaptive-vs-static lifetime gates compare this so migration
+     * overhead can never inflate the adaptive score. */
+    std::uint64_t firstFailedProgramDeposits = 0;
     /** Final sampled-fault statistics of the faulty system. */
     FaultStats stats;
     /** Final per-subarray wear summaries of the faulty system. */
@@ -175,6 +218,18 @@ struct EnduranceCampaignResult
     /** Final SMART-style per-bank health of the faulty system. */
     std::vector<BankHealth> health;
     std::vector<EnduranceRound> perRound;
+
+    // --- Closed-loop policy summary (all zero when static). ---
+    unsigned policyEvaluations = 0;
+    unsigned migrations = 0;      //!< operand moves that landed
+    unsigned migrationFailed = 0; //!< migration TRANs that Failed
+    std::uint64_t migrationBytes = 0;
+    /** Deposit pulses spent on migrations across the campaign. */
+    std::uint64_t migrationDeposits = 0;
+    unsigned quarantinedSubarrays = 0;
+    /** Where each live operand region ended up (subarray ids;
+     * {0, 1} when nothing migrated). */
+    std::vector<std::uint32_t> finalHomes;
 
     unsigned rounds() const { return unsigned(perRound.size()); }
     bool invariantHolds() const { return mismatchedRecovered == 0; }

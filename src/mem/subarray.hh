@@ -40,6 +40,14 @@ struct SubarrayWear
     std::uint64_t remaps = 0;       //!< tracks retired onto spares
     unsigned sparesUsed = 0;
     unsigned sparesTotal = 0;
+    /**
+     * Mats whose spare pool is fully consumed. Spares are per-mat,
+     * so one exhausted mat means the next worn-out track there has
+     * no remapping headroom and fails for good, even while sibling
+     * mats still hold spares — this is the signal the health policy
+     * quarantines on, not the aggregate pool.
+     */
+    unsigned exhaustedMats = 0;
 
     void
     merge(const MatWear &m)
@@ -49,6 +57,8 @@ struct SubarrayWear
         remaps += m.remaps;
         sparesUsed += m.sparesUsed;
         sparesTotal += m.sparesTotal;
+        if (m.sparesTotal > 0 && m.sparesUsed >= m.sparesTotal)
+            exhaustedMats++;
     }
 };
 

@@ -36,6 +36,7 @@ enum class EnergyOp : unsigned
     HostCompute,    //!< CPU/GPU arithmetic (baselines)
     GuardSense,     //!< guard-domain check (fault detection)
     Redeposit,      //!< re-driven deposit after nucleation failure
+    Migration,      //!< health-policy operand migration copies
     NumOps,
 };
 
@@ -202,6 +203,19 @@ class RmEnergyModel
     redeposit(std::uint64_t count = 1)
     {
         meter_.record(EnergyOp::Redeposit, params_.writePj, count);
+    }
+
+    /**
+     * One row of a health-policy operand migration: a full
+     * read-then-write row quantum charged to its own category so the
+     * wear-management overhead never masquerades as workload
+     * traffic (runtime/health_policy.hh).
+     */
+    void
+    migrationRow(std::uint64_t rows = 1)
+    {
+        meter_.record(EnergyOp::Migration,
+                      params_.readPj + params_.writePj, rows);
     }
 
   private:

@@ -1,0 +1,159 @@
+#include "runtime/health_policy.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace streampim
+{
+
+void
+HealthPolicyConfig::validate() const
+{
+    SPIM_ASSERT(cadence >= 1,
+                "health policy cadence must be >= 1 round");
+}
+
+HealthPolicy::HealthPolicy(const HealthPolicyConfig &cfg,
+                           unsigned total_subarrays,
+                           unsigned subarrays_per_bank)
+    : cfg_(cfg), totalSubarrays_(total_subarrays),
+      subarraysPerBank_(subarrays_per_bank),
+      quarantined_(total_subarrays, false)
+{
+    cfg_.validate();
+    SPIM_ASSERT(total_subarrays >= 1 && subarrays_per_bank >= 1,
+                "health policy needs a non-empty device geometry");
+}
+
+unsigned
+HealthPolicy::bankOf(std::uint32_t sub) const
+{
+    SPIM_ASSERT(sub < totalSubarrays_,
+                "subarray ", sub, " out of range");
+    return sub / subarraysPerBank_;
+}
+
+unsigned
+HealthPolicy::bankRemainingSpares(std::span<const BankHealth> health,
+                                  std::uint32_t sub) const
+{
+    const unsigned bank = bankOf(sub);
+    for (const BankHealth &h : health)
+        if (h.bank == bank)
+            return h.remainingSpares();
+    // A bank missing from the snapshot has reported nothing yet:
+    // treat it as pristine (nothing to migrate away from).
+    return cfg_.migrationSpareThreshold;
+}
+
+unsigned
+HealthPolicy::quarantinedCount() const
+{
+    return unsigned(std::count(quarantined_.begin(),
+                               quarantined_.end(), true));
+}
+
+HealthDecision
+HealthPolicy::evaluate(std::span<const BankHealth> health,
+                       std::span<const SubarrayWear> wear,
+                       std::span<const std::uint32_t> homes)
+{
+    SPIM_ASSERT(wear.size() == totalSubarrays_,
+                "wear snapshot covers ", wear.size(),
+                " subarrays, device has ", totalSubarrays_);
+    evaluations_++;
+
+    HealthDecision d;
+
+    // 1. Wear vector for re-planning: the worst live save track per
+    // subarray (remapping resets per-track wear onto fresh spares,
+    // so maxTrackWear tracks the *surviving* headroom, which is the
+    // quantity placement should spread).
+    d.wear.resize(totalSubarrays_);
+    for (unsigned s = 0; s < totalSubarrays_; ++s)
+        d.wear[s] = wear[s].maxTrackWear;
+
+    // 2. Quarantine (sticky): spares are per-mat, so a subarray
+    // with any fully-exhausted mat has no remapping headroom where
+    // its write traffic concentrates — the next worn-out track
+    // there fails a VPC for good. Retire it from placement now.
+    if (cfg_.quarantine) {
+        for (unsigned s = 0; s < totalSubarrays_; ++s) {
+            if (quarantined_[s] || wear[s].exhaustedMats == 0)
+                continue;
+            quarantined_[s] = true;
+            d.newlyQuarantined.push_back(s);
+        }
+    }
+
+    // 3. Re-plan: hand the fresh wear ranking and the quarantine
+    // set to the planner so in-flight lowering shifts toward the
+    // least-worn survivors (and re-tiles over the shrunk set).
+    if (planner_ != nullptr) {
+        planner_->observeWear(d.wear);
+        std::vector<std::uint32_t> quar;
+        for (unsigned s = 0; s < totalSubarrays_; ++s)
+            if (quarantined_[s])
+                quar.push_back(s);
+        if (!quar.empty())
+            planner_->applyQuarantine(quar);
+        d.replanned = true;
+    }
+
+    // Candidate ranking for migration targets: the planner's
+    // re-ranked compute set (ascending wear, stable ties, pruned of
+    // quarantined subarrays) when attached, otherwise every
+    // subarray sorted ascending by (wear, id).
+    std::vector<std::uint32_t> order;
+    if (planner_ != nullptr) {
+        order = planner_->computeSet();
+    } else {
+        order.resize(totalSubarrays_);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&d](std::uint32_t a, std::uint32_t b) {
+                             return d.wear[a] < d.wear[b];
+                         });
+    }
+
+    // 4. Migration decisions, one home at a time in operand order.
+    // A home moves when its bank's spare pool dropped below the
+    // spare threshold, its worst track crossed the wear threshold,
+    // or the subarray itself is quarantined — onto the best-ranked
+    // candidate that is not quarantined, not another home, and
+    // strictly healthier. No candidate means the device has nowhere
+    // better left and the operand stays (graceful degradation, not
+    // ping-pong).
+    std::vector<std::uint32_t> cur(homes.begin(), homes.end());
+    for (unsigned r = 0; r < cur.size(); ++r) {
+        const std::uint32_t h = cur[r];
+        SPIM_ASSERT(h < totalSubarrays_,
+                    "operand ", r, " homed out of range");
+        const bool forced = isQuarantined(h);
+        const unsigned rem = bankRemainingSpares(health, h);
+        const bool worn = cfg_.migrationWearThreshold > 0 &&
+                          d.wear[h] > cfg_.migrationWearThreshold;
+        if (!forced && !worn && rem >= cfg_.migrationSpareThreshold)
+            continue;
+        for (std::uint32_t c : order) {
+            if (c == h || isQuarantined(c))
+                continue;
+            if (std::find(cur.begin(), cur.end(), c) != cur.end())
+                continue;
+            const unsigned crem = bankRemainingSpares(health, c);
+            const bool healthier =
+                crem > rem || d.wear[c] < d.wear[h];
+            if (!forced && !healthier)
+                continue;
+            d.migrations.push_back({r, h, c});
+            cur[r] = c;
+            migrations_++;
+            break;
+        }
+    }
+    return d;
+}
+
+} // namespace streampim

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * HealthPolicy: the closed-loop device-health subsystem.
+ *
+ * PRs 2-5 built an open-loop endurance stack: the device surfaces
+ * SMART-style BankHealth and per-subarray wear, and the Planner can
+ * re-rank placement with observeWear(), but nothing ever fed the
+ * telemetry back into a running workload. HealthPolicy closes that
+ * loop. Between endurance-campaign rounds (or, for the timed path,
+ * between plan() calls) it consumes bankHealth()/wearSummaries()
+ * snapshots and, at a configurable cadence:
+ *
+ *  1. re-plans — re-runs Planner::observeWear with the fresh wear
+ *     vector so subsequent lowering prefers the least-worn
+ *     subarrays;
+ *  2. quarantines — subarrays whose spare save-track pool is
+ *     exhausted are removed from the planner's compute/staging sets
+ *     (Planner::applyQuarantine) and excluded as migration targets,
+ *     so the system degrades by shrinking capacity (re-tiling
+ *     follows automatically: the tiler slots over the surviving
+ *     compute set) instead of emitting Failed VPCs;
+ *  3. migrates — live operands homed on banks whose remaining spare
+ *     pool fell below a threshold are moved to the least-worn
+ *     surviving subarrays. The policy only decides; the caller
+ *     executes the copies (the functional campaign as TRAN VPCs on
+ *     both the golden and faulty systems, the timed path through
+ *     Planner::planMigration, charged as the Migration
+ *     energy/cycle category of the Executor).
+ *
+ * Everything is deterministic: decisions are pure functions of the
+ * telemetry snapshots and the config, the ranking inherits the
+ * stable tie-breaking of Planner::observeWear, and candidate scans
+ * run in ascending subarray-id order. A campaign driven by the
+ * policy is therefore one reproducible sample path, byte-identical
+ * at any engine job count (DESIGN.md §8).
+ */
+
+#ifndef STREAMPIM_RUNTIME_HEALTH_POLICY_HH_
+#define STREAMPIM_RUNTIME_HEALTH_POLICY_HH_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/stream_pim.hh"
+#include "runtime/planner.hh"
+
+namespace streampim
+{
+
+/** Knobs of the closed-loop health policy. */
+struct HealthPolicyConfig
+{
+    /** Master switch: disabled = static placement (open loop). */
+    bool enabled = false;
+
+    /**
+     * Rounds between policy evaluations. 1 re-evaluates after every
+     * round; N only after rounds N-1, 2N-1, ... (0-based).
+     */
+    unsigned cadence = 1;
+
+    /**
+     * Migrate live operands off a bank once its remaining spare
+     * save tracks drop strictly below this count. The spare pool is
+     * per-mat and wear concentrates on the hot mats, so useful
+     * thresholds sit well above zero: by the time the *bank* total
+     * has visibly drained, the hot mats are nearly exhausted.
+     */
+    unsigned migrationSpareThreshold = 4;
+
+    /**
+     * Proactive wear trigger (0 = off): migrate an operand once its
+     * home subarray's worst live save track exceeds this many
+     * deposits. Under a steep Weibull hazard every track of a hot
+     * mat reaches the wear cliff in the same round and the spare
+     * pool drains in one burst, so spare counts are a *lagging*
+     * signal; track wear is the leading one. Callers typically set
+     * this to a multiple of the device's characteristic life (e.g.
+     * 1.5 x writeEndurance, comfortably past the one-time staging
+     * wear but before the hazard becomes material).
+     */
+    std::uint64_t migrationWearThreshold = 0;
+
+    /**
+     * Quarantine spare-exhausted subarrays: drop them from the
+     * planner's compute/staging sets and never migrate onto them.
+     * Off = the policy may keep placing work on dead subarrays
+     * (ablation knob; expect earlier Failed VPCs).
+     */
+    bool quarantine = true;
+
+    void
+    validate() const;
+};
+
+/** One operand migration the policy decided on. */
+struct MigrationStep
+{
+    /** Index into the caller's live-operand home list. */
+    unsigned operand = 0;
+    std::uint32_t from = 0; //!< current home subarray
+    std::uint32_t to = 0;   //!< least-worn surviving target
+};
+
+/** What one policy evaluation decided. */
+struct HealthDecision
+{
+    /** Operand moves to execute, in operand order. */
+    std::vector<MigrationStep> migrations;
+    /** Subarrays newly quarantined by this evaluation. */
+    std::vector<std::uint32_t> newlyQuarantined;
+    /** The wear vector fed to Planner::observeWear (by global
+     * subarray id; the re-plan input, kept for reporting). */
+    std::vector<std::uint64_t> wear;
+    /** True when an attached planner was re-ranked. */
+    bool replanned = false;
+};
+
+/** Closed-loop health policy over one device's telemetry. */
+class HealthPolicy
+{
+  public:
+    /**
+     * @param cfg policy knobs (cfg.validate() is enforced).
+     * @param total_subarrays global subarray count of the device.
+     * @param subarrays_per_bank bank geometry (bank of subarray s is
+     *        s / subarrays_per_bank, matching RmParams).
+     */
+    HealthPolicy(const HealthPolicyConfig &cfg,
+                 unsigned total_subarrays,
+                 unsigned subarrays_per_bank);
+
+    const HealthPolicyConfig &config() const { return cfg_; }
+
+    /**
+     * Attach the planner the policy re-plans through. Optional: a
+     * policy without a planner still quarantines and migrates, with
+     * candidate ranking falling back to ascending (wear, id).
+     */
+    void attachPlanner(Planner *planner) { planner_ = planner; }
+
+    /** True when round @p round (0-based) is an evaluation point. */
+    bool
+    shouldEvaluate(unsigned round) const
+    {
+        return cfg_.enabled && (round + 1) % cfg_.cadence == 0;
+    }
+
+    /**
+     * One closed-loop evaluation: consume a bankHealth() +
+     * wearSummaries() snapshot pair and the current live-operand
+     * homes; re-rank the attached planner, update the quarantine
+     * set, and decide operand migrations. Deterministic in the
+     * inputs. Homes are never migrated onto each other and targets
+     * are always distinct, so operands stay on disjoint subarrays.
+     */
+    HealthDecision evaluate(std::span<const BankHealth> health,
+                            std::span<const SubarrayWear> wear,
+                            std::span<const std::uint32_t> homes);
+
+    /** Sticky quarantine set (by global subarray id). */
+    bool
+    isQuarantined(std::uint32_t sub) const
+    {
+        return sub < quarantined_.size() && quarantined_[sub];
+    }
+
+    /** Number of quarantined subarrays so far. */
+    unsigned quarantinedCount() const;
+
+    /** Evaluations run so far (telemetry). */
+    unsigned evaluations() const { return evaluations_; }
+    /** Migrations decided so far (telemetry). */
+    unsigned migrationsPlanned() const { return migrations_; }
+
+  private:
+    unsigned bankOf(std::uint32_t sub) const;
+
+    /** Remaining spare tracks of @p sub's bank in @p health. */
+    unsigned bankRemainingSpares(std::span<const BankHealth> health,
+                                 std::uint32_t sub) const;
+
+    HealthPolicyConfig cfg_;
+    unsigned totalSubarrays_;
+    unsigned subarraysPerBank_;
+    Planner *planner_ = nullptr;
+    std::vector<bool> quarantined_;
+    unsigned evaluations_ = 0;
+    unsigned migrations_ = 0;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_RUNTIME_HEALTH_POLICY_HH_

@@ -65,6 +65,47 @@ Planner::observeWear(const std::vector<std::uint64_t> &wear)
         stagingSet_ = {computeSet_.front()};
 }
 
+void
+Planner::applyQuarantine(const std::vector<std::uint32_t> &subarrays)
+{
+    auto prune = [&subarrays](std::vector<std::uint32_t> &set) {
+        for (std::uint32_t q : subarrays) {
+            if (set.size() <= 1)
+                break; // graceful floor: never empty the set
+            auto it = std::find(set.begin(), set.end(), q);
+            if (it != set.end())
+                set.erase(it);
+        }
+    };
+    prune(computeSet_);
+    if (cfg_.optLevel == OptLevel::Unblock)
+        prune(stagingSet_);
+    else
+        stagingSet_ = {computeSet_.front()};
+}
+
+VpcSchedule
+Planner::planMigration(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &moves,
+    std::uint64_t bytes) const
+{
+    SPIM_ASSERT(bytes > 0, "migrating zero bytes");
+    VpcSchedule sched;
+    for (const auto &[from, to] : moves) {
+        SPIM_ASSERT(from != to, "migration onto the source subarray");
+        VpcBatch b;
+        b.kind = VpcKind::Tran;
+        b.subarray = from;
+        b.dstSubarray = to;
+        b.vpcCount = 1;
+        // TRAN batch elements are bytes (Executor::runTransfer).
+        b.vectorLen = std::uint32_t(bytes);
+        b.migration = true;
+        sched.push(b);
+    }
+    return sched;
+}
+
 std::uint32_t
 Planner::rowsOnSlot(std::uint32_t rows, std::uint32_t slot) const
 {

@@ -27,6 +27,7 @@
 #define STREAMPIM_RUNTIME_PLANNER_HH_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/system_config.hh"
@@ -98,6 +99,29 @@ class Planner
      * beyond the vector count as pristine.
      */
     void observeWear(const std::vector<std::uint64_t> &wear);
+
+    /**
+     * Graceful degradation (health policy): drop the listed
+     * spare-exhausted subarrays from the compute and staging sets so
+     * subsequent lowering re-tiles over the survivors. Never empties
+     * a set — the last subarray standing keeps serving (degraded)
+     * rather than leaving the planner with nowhere to place work.
+     * Under base/distribute the staging set is re-derived as the
+     * head of the pruned compute set, mirroring the constructor.
+     */
+    void applyQuarantine(const std::vector<std::uint32_t> &subarrays);
+
+    /**
+     * Lower health-policy operand migrations to a schedule of
+     * independent migration-flagged TRAN batches, one per (from, to)
+     * move of @p bytes bytes each (rounded up to whole elements).
+     * The executor charges these under the Migration energy/cycle
+     * category (EnergyOp::Migration, TimeBreakdown::migrationTicks).
+     */
+    VpcSchedule
+    planMigration(const std::vector<
+                      std::pair<std::uint32_t, std::uint32_t>> &moves,
+                  std::uint64_t bytes) const;
 
   private:
     struct LowerCtx

@@ -62,6 +62,14 @@ struct VpcBatch
      */
     bool barrier = false;
 
+    /**
+     * TRAN only: this transfer is a health-policy operand migration
+     * (runtime/health_policy.hh), not workload data movement. The
+     * executor accounts it under the separate Migration energy and
+     * cycle category so lifetime-extension overhead is visible.
+     */
+    bool migration = false;
+
     /** Total elements touched by the batch. */
     std::uint64_t
     elements() const

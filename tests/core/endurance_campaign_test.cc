@@ -216,6 +216,174 @@ TEST(EnduranceCampaign, ResultsIdenticalAcrossSweepJobCounts)
         }
 }
 
+/** Adaptive (closed-loop) variant of the wear-out point. */
+EnduranceCampaignConfig
+adaptiveConfig(double eta = 500.0, unsigned rounds = 48)
+{
+    EnduranceCampaignConfig cfg = wearOutConfig(4, rounds);
+    cfg.base.writeEndurance = eta;
+    cfg.adaptive.enabled = true;
+    cfg.adaptive.cadence = 1;
+    cfg.adaptive.migrationSpareThreshold = 0;
+    // Proactive wear trigger comfortably past the one-time input
+    // staging wear (~512) but before the Weibull cliff (~2 x eta).
+    cfg.adaptive.migrationWearThreshold =
+        std::uint64_t(eta * 1.5);
+    cfg.adaptive.quarantine = true;
+    return cfg;
+}
+
+TEST(AdaptiveEndurance, DisabledPolicyMatchesStaticCampaign)
+{
+    // adaptive.enabled = false must reproduce the historical
+    // open-loop sample path exactly — same failures, same wear.
+    EnduranceCampaignConfig st = wearOutConfig(4, 20);
+    EnduranceCampaignConfig ad = st;
+    ad.adaptive.enabled = false;
+    ad.adaptive.migrationWearThreshold = 123; // ignored when off
+    auto a = runEnduranceCampaign(st);
+    auto b = runEnduranceCampaign(ad);
+    EXPECT_EQ(a.firstFailedVpc, b.firstFailedVpc);
+    EXPECT_EQ(a.stats.depositPulses, b.stats.depositPulses);
+    EXPECT_EQ(a.stats.writeFaultsInjected,
+              b.stats.writeFaultsInjected);
+    EXPECT_EQ(b.policyEvaluations, 0u);
+    EXPECT_EQ(b.migrations, 0u);
+    EXPECT_EQ(b.quarantinedSubarrays, 0u);
+    ASSERT_EQ(b.finalHomes.size(), 2u);
+    EXPECT_EQ(b.finalHomes[0], 0u);
+    EXPECT_EQ(b.finalHomes[1], 1u);
+}
+
+TEST(AdaptiveEndurance, HealthTrajectoryIsRecordedPerRound)
+{
+    auto res = runEnduranceCampaign(wearOutConfig(4, 20));
+    ASSERT_EQ(res.rounds(), 20u);
+    unsigned prev_remaining = 0;
+    for (unsigned r = 0; r < res.rounds(); ++r) {
+        const EnduranceRound &rr = res.perRound[r];
+        ASSERT_FALSE(rr.health.empty()) << r;
+        EXPECT_GT(rr.sparesTotal, 0u) << r;
+        EXPECT_LE(rr.remainingSpares, rr.sparesTotal) << r;
+        // Spares only drain, wear only grows.
+        if (r > 0) {
+            EXPECT_LE(rr.remainingSpares, prev_remaining) << r;
+            EXPECT_GE(rr.maxWear, res.perRound[r - 1].maxWear)
+                << r;
+        }
+        prev_remaining = rr.remainingSpares;
+    }
+    // This operating point wears out: the curve must actually drop.
+    EXPECT_LT(res.perRound.back().remainingSpares,
+              res.perRound.front().remainingSpares);
+}
+
+TEST(AdaptiveEndurance, MigrationExtendsFirstFailure)
+{
+    for (double eta : {450.0, 600.0}) {
+        EnduranceCampaignConfig st = adaptiveConfig(eta);
+        st.adaptive.enabled = false;
+        EnduranceCampaignConfig ad = adaptiveConfig(eta);
+        auto s = runEnduranceCampaign(st);
+        auto a = runEnduranceCampaign(ad);
+        ASSERT_GT(s.failed, 0u)
+            << "eta " << eta
+            << ": static never wore out — retune the test";
+        EXPECT_TRUE(s.invariantHolds());
+        EXPECT_TRUE(a.invariantHolds());
+        EXPECT_GT(a.migrations, 0u);
+        EXPECT_GT(a.policyEvaluations, 0u);
+        // The gate: adaptive survives strictly more useful-work
+        // write volume (or the whole campaign).
+        if (a.firstFailedVpc >= 0) {
+            EXPECT_GT(a.firstFailedProgramDeposits,
+                      s.firstFailedProgramDeposits)
+                << "eta " << eta;
+            EXPECT_GT(a.firstFailedRound, s.firstFailedRound)
+                << "eta " << eta;
+        }
+        // Homes actually moved off the initial placement.
+        ASSERT_EQ(a.finalHomes.size(), 2u);
+        EXPECT_TRUE(a.finalHomes[0] != 0u ||
+                    a.finalHomes[1] != 1u);
+        // Migration accounting is self-consistent.
+        std::uint64_t migr_dep = 0;
+        unsigned migr = 0, migr_failed = 0, quar = 0;
+        for (const EnduranceRound &r : a.perRound) {
+            migr_dep += r.migrationDeposits;
+            migr += r.migrations;
+            migr_failed += r.migrationFailed;
+            quar += r.newlyQuarantined;
+        }
+        EXPECT_EQ(migr, a.migrations);
+        EXPECT_EQ(migr_failed, a.migrationFailed);
+        EXPECT_EQ(migr_dep, a.migrationDeposits);
+        EXPECT_EQ(quar, a.quarantinedSubarrays);
+        EXPECT_EQ(a.migrationBytes,
+                  std::uint64_t(a.migrations) * 4096u);
+    }
+}
+
+TEST(AdaptiveEndurance, InvariantHoldsUnderMigrationAcrossSeeds)
+{
+    // The recovery invariant must survive migration + quarantine on
+    // several sample paths, including ones with Failed migrations.
+    for (std::uint64_t seed : {31u, 32u, 33u}) {
+        EnduranceCampaignConfig cfg = adaptiveConfig(450.0);
+        cfg.base.seed = seed;
+        auto res = runEnduranceCampaign(cfg);
+        EXPECT_TRUE(res.invariantHolds())
+            << "seed " << seed << ": " << res.mismatchedRecovered
+            << " recovered byte range(s) mismatched golden";
+    }
+}
+
+TEST(AdaptiveEndurance, ByteIdenticalAcrossEngineJobs)
+{
+    EnduranceCampaignConfig cfg = adaptiveConfig(500.0, 40);
+    cfg.base.engineJobs = 1;
+    auto j1 = runEnduranceCampaign(cfg);
+    cfg.base.engineJobs = 2;
+    auto j2 = runEnduranceCampaign(cfg);
+    cfg.base.engineJobs = 8;
+    auto j8 = runEnduranceCampaign(cfg);
+    for (const auto *j : {&j2, &j8}) {
+        EXPECT_EQ(j1.firstFailedVpc, j->firstFailedVpc);
+        EXPECT_EQ(j1.firstFailedProgramDeposits,
+                  j->firstFailedProgramDeposits);
+        EXPECT_EQ(j1.failed, j->failed);
+        EXPECT_EQ(j1.migrations, j->migrations);
+        EXPECT_EQ(j1.migrationFailed, j->migrationFailed);
+        EXPECT_EQ(j1.migrationDeposits, j->migrationDeposits);
+        EXPECT_EQ(j1.quarantinedSubarrays,
+                  j->quarantinedSubarrays);
+        EXPECT_EQ(j1.finalHomes, j->finalHomes);
+        EXPECT_EQ(j1.stats.depositPulses, j->stats.depositPulses);
+        EXPECT_EQ(j1.stats.writeFaultsInjected,
+                  j->stats.writeFaultsInjected);
+        EXPECT_EQ(j1.stats.redeposits, j->stats.redeposits);
+        EXPECT_EQ(j1.stats.trackRemaps, j->stats.trackRemaps);
+        ASSERT_EQ(j1.rounds(), j->rounds());
+        for (unsigned r = 0; r < j1.rounds(); ++r) {
+            EXPECT_EQ(j1.perRound[r].failed, j->perRound[r].failed)
+                << r;
+            EXPECT_EQ(j1.perRound[r].migrations,
+                      j->perRound[r].migrations)
+                << r;
+            EXPECT_EQ(j1.perRound[r].remainingSpares,
+                      j->perRound[r].remainingSpares)
+                << r;
+        }
+    }
+}
+
+TEST(AdaptiveEnduranceDeath, RejectsZeroCadence)
+{
+    EnduranceCampaignConfig cfg = adaptiveConfig();
+    cfg.adaptive.cadence = 0;
+    EXPECT_DEATH(runEnduranceCampaign(cfg), "cadence");
+}
+
 TEST(EnduranceCampaignDeath, RejectsOversizedCampaigns)
 {
     EnduranceCampaignConfig cfg;

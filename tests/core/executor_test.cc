@@ -137,6 +137,37 @@ TEST(Executor, TransferMovesThroughReadBusWrite)
     EXPECT_EQ(r.energy.count(EnergyOp::RmWrite), 10u);
 }
 
+TEST(Executor, MigrationTransfersAreChargedSeparately)
+{
+    // A migration-flagged TRAN costs the same device time as a
+    // regular one but lands in its own energy/time category, so
+    // reports can separate policy overhead from program traffic.
+    SystemConfig cfg = baseConfig();
+    Executor ex(cfg);
+    VpcSchedule s;
+    VpcBatch mv = tran(0, 1, 1, 640); // 640 B = 10 row ops
+    mv.migration = true;
+    s.push(mv);
+    ExecutionReport r = ex.run(s);
+    EXPECT_EQ(r.breakdown.migrationTicks,
+              10 * (cfg.rm.readTicks() + cfg.rm.writeTicks()));
+    EXPECT_EQ(r.breakdown.readTicks, 0u);
+    EXPECT_EQ(r.breakdown.writeTicks, 0u);
+    EXPECT_EQ(r.energy.count(EnergyOp::Migration), 10u);
+    EXPECT_EQ(r.energy.count(EnergyOp::RmRead), 0u);
+    EXPECT_EQ(r.energy.count(EnergyOp::RmWrite), 0u);
+    EXPECT_GT(r.energy.energyPj(EnergyOp::Migration), 0.0);
+
+    // Identical makespan to the unflagged TRAN: the flag only
+    // reroutes the accounting, never the device model.
+    VpcSchedule plain;
+    plain.push(tran(0, 1, 1, 640));
+    ExecutionReport p = ex.run(plain);
+    EXPECT_EQ(r.makespan, p.makespan);
+    EXPECT_NEAR(r.energy.totalPj(), p.energy.totalPj(),
+                1e-9 * p.energy.totalPj());
+}
+
 TEST(Executor, HeadOfLineBlockingSerializesBank)
 {
     // Under distribute (HOL on), a collect waiting on subarray 0's

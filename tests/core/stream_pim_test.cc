@@ -249,6 +249,21 @@ TEST(StreamPimSystemDeath, ResumeNeedsAPriorSession)
     EXPECT_DEATH(sys.resumeFaultInjection(), "nothing to resume");
 }
 
+TEST(StreamPimSystemDeath, ResumeAfterResumePanics)
+{
+    // A full enable/disable/resume cycle re-arms injection; a second
+    // resume with injection already live must be loud — callers that
+    // double-resume have lost track of the campaign window.
+    StreamPimSystem sys;
+    FaultConfig fc;
+    fc.pStep = 1e-4;
+    sys.enableFaultInjection(fc);
+    sys.disableFaultInjection();
+    sys.resumeFaultInjection();
+    EXPECT_TRUE(sys.faultInjectionActive());
+    EXPECT_DEATH(sys.resumeFaultInjection(), "nothing to resume");
+}
+
 TEST(StreamPimSystemDeath, WearQueryOutOfRangePanics)
 {
     StreamPimSystem sys;

@@ -445,6 +445,124 @@ TEST(Planner, ObserveWearKeepsNonUnblockStagingInvariant)
     checkWellFormed(p.plan(tinyMatVec()), cfg);
 }
 
+TEST(Planner, ObserveWearIdsBeyondVectorArePristine)
+{
+    // A wear vector shorter than the subarray count is legal: ids
+    // beyond it count as pristine (wear 0) and must rank ahead of
+    // explicitly worn subarrays.
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    const auto before = p.computeSet();
+    ASSERT_GT(before.size(), 2u);
+
+    // Wear only the first member; everyone beyond index 1 reads
+    // from past the vector's end.
+    std::vector<std::uint64_t> wear = {1000};
+    // Index 0 holds the global id of some subarray; make sure the
+    // short vector actually covers the current front-runner.
+    ASSERT_EQ(before.front(), 0u);
+    p.observeWear(wear);
+    EXPECT_EQ(p.computeSet().back(), 0u);
+    // Everyone else (implicitly pristine) keeps relative order.
+    for (std::size_t i = 0; i + 1 < before.size(); ++i)
+        EXPECT_EQ(p.computeSet()[i], before[i + 1]) << i;
+}
+
+TEST(Planner, ObserveWearTiesPreservePreviousOrder)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Unblock);
+    Planner p(cfg);
+    const auto baseline = p.computeSet();
+    ASSERT_GT(baseline.size(), 3u);
+
+    // All-equal wear: a full permutation-free no-op, twice.
+    std::vector<std::uint64_t> flat(cfg.rm.totalSubarrays(), 42);
+    p.observeWear(flat);
+    EXPECT_EQ(p.computeSet(), baseline);
+    p.observeWear(flat);
+    EXPECT_EQ(p.computeSet(), baseline);
+
+    // Two-level wear: the worn half moves back but keeps its own
+    // internal order, as does the pristine half (stable re-rank —
+    // the deterministic-replan regression this test pins).
+    std::vector<std::uint64_t> wear(cfg.rm.totalSubarrays(), 0);
+    std::vector<std::uint32_t> worn, fresh;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        if (i % 2 == 0) {
+            wear[baseline[i]] = 9;
+            worn.push_back(baseline[i]);
+        } else {
+            fresh.push_back(baseline[i]);
+        }
+    }
+    p.observeWear(wear);
+    std::vector<std::uint32_t> expect = fresh;
+    expect.insert(expect.end(), worn.begin(), worn.end());
+    EXPECT_EQ(p.computeSet(), expect);
+}
+
+TEST(Planner, ApplyQuarantineShrinksSetsGracefully)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    const auto before = p.computeSet();
+    ASSERT_GT(before.size(), 2u);
+
+    // Retire the front-runner: membership shrinks by one, order of
+    // the survivors is untouched, staging follows the new front.
+    p.applyQuarantine({before.front()});
+    ASSERT_EQ(p.computeSet().size(), before.size() - 1);
+    for (std::size_t i = 0; i < p.computeSet().size(); ++i)
+        EXPECT_EQ(p.computeSet()[i], before[i + 1]) << i;
+    ASSERT_EQ(p.stagingSet().size(), 1u);
+    EXPECT_EQ(p.stagingSet()[0], p.computeSet().front());
+
+    // Unknown ids are ignored.
+    p.applyQuarantine({9999});
+    EXPECT_EQ(p.computeSet().size(), before.size() - 1);
+
+    // Graceful floor: quarantining everything leaves one survivor
+    // serving degraded rather than an empty compute set.
+    p.applyQuarantine(before);
+    ASSERT_EQ(p.computeSet().size(), 1u);
+    EXPECT_EQ(p.stagingSet()[0], p.computeSet()[0]);
+
+    // Plans over the shrunk set stay well-formed (re-tiling over
+    // the survivors happens automatically in lowering).
+    checkWellFormed(p.plan(tinyMatVec()), cfg);
+}
+
+TEST(Planner, PlanMigrationEmitsFlaggedIndependentTrans)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    VpcSchedule s =
+        p.planMigration({{0, 2}, {1, 3}}, 4096);
+    ASSERT_EQ(s.batches.size(), 2u);
+    for (const VpcBatch &b : s.batches) {
+        EXPECT_EQ(b.kind, VpcKind::Tran);
+        EXPECT_TRUE(b.migration);
+        EXPECT_EQ(b.vpcCount, 1u);
+        EXPECT_EQ(b.vectorLen, 4096u);
+        EXPECT_EQ(b.depA, kNoBatch);
+        EXPECT_EQ(b.depB, kNoBatch);
+    }
+    EXPECT_EQ(s.batches[0].subarray, 0u);
+    EXPECT_EQ(s.batches[0].dstSubarray, 2u);
+    EXPECT_EQ(s.batches[1].subarray, 1u);
+    EXPECT_EQ(s.batches[1].dstSubarray, 3u);
+    EXPECT_EQ(s.moveVpcs(), 2u);
+    EXPECT_EQ(s.pimVpcs(), 0u);
+}
+
+TEST(PlannerDeath, PlanMigrationRejectsDegenerateMoves)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    EXPECT_DEATH(p.planMigration({{2, 2}}, 4096), "source");
+    EXPECT_DEATH(p.planMigration({{0, 1}}, 0), "zero bytes");
+}
+
 TEST(ScheduleDeath, ForwardDependencyPanics)
 {
     VpcSchedule s;
