@@ -17,14 +17,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/json.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "core/executor.hh"
 #include "dwlogic/mode.hh"
 #include "dwlogic/multiplier.hh"
@@ -37,6 +40,57 @@
 
 using namespace streampim;
 using namespace streampim::bench;
+
+namespace
+{
+
+/** Heap-traffic counters fed by the operator new override below:
+ * the matmul rows report allocations/bytes of their measured
+ * region, proving the packed hot path is allocation-free. */
+std::uint64_t g_allocs = 0;
+std::uint64_t g_allocBytes = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_allocs++;
+    g_allocBytes += n;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace
 {
@@ -110,31 +164,42 @@ struct MatmulModeResult
     Cycle cycles = 0;
     LogicCounters counters;
     double energyPj = 0.0;
+    std::uint64_t allocations = 0;    //!< heap allocs, measured loop
+    std::uint64_t bytesAllocated = 0; //!< heap bytes, measured loop
+    const char *simdBackend = "scalar"; //!< kernel backend that ran
 };
 
 /**
  * Run @p rounds deterministic length-@p n dot products in the given
- * mode. Same seed in both modes, so every mode-invariant output
- * (checksum, cycles, counters, energy) must match exactly.
+ * mode and word-kernel backend. Same seed in every mode, so every
+ * mode-invariant output (checksum, cycles, counters, energy) must
+ * match exactly; only timing and heap traffic may differ.
  */
 MatmulModeResult
-runMatmul(bool strict, unsigned rounds, unsigned n)
+runMatmul(bool strict, simd::Backend backend, unsigned rounds,
+          unsigned n)
 {
     ScopedStrictGates mode(strict);
+    simd::ScopedBackend kernels(backend);
     RmParams params;
     EnergyMeter meter;
     RmProcessor proc(params, meter);
     Rng rng(0xF00D);
     std::vector<std::uint8_t> a(n), b(n);
     MatmulModeResult res;
+    res.simdBackend = simd::backendName();
     res.checksum = 0xcbf29ce484222325ULL;
+    ProcessorResult out;
+    out.values.reserve(1); // steady-state capacity, outside the count
+    const std::uint64_t allocs_before = g_allocs;
+    const std::uint64_t bytes_before = g_allocBytes;
     WallTimer timer;
     for (unsigned r = 0; r < rounds; ++r) {
         for (unsigned i = 0; i < n; ++i) {
             a[i] = std::uint8_t(rng.below(256));
             b[i] = std::uint8_t(rng.below(256));
         }
-        auto out = proc.dotProduct(a, b);
+        proc.dotProductInto(a, b, out);
         res.cycles += out.cycles;
         for (std::uint32_t v : out.values) {
             res.checksum ^= v;
@@ -142,6 +207,8 @@ runMatmul(bool strict, unsigned rounds, unsigned n)
         }
     }
     res.seconds = timer.seconds();
+    res.allocations = g_allocs - allocs_before;
+    res.bytesAllocated = g_allocBytes - bytes_before;
     res.counters = proc.counters();
     res.energyPj = meter.totalPj();
     return res;
@@ -164,6 +231,13 @@ matmulModeJson(const MatmulModeResult &m, double macs)
     Json j = Json::object();
     j["seconds"] = m.seconds;
     j["macs_per_second"] = perSecond(macs, m.seconds);
+    // Heap traffic of the measured loop (schema v4). Like the
+    // timing fields (and simd_backend), CI byte-identity diffs
+    // strip these; the release-perf gate asserts the packed row's
+    // allocations stay 0.
+    j["allocations"] = std::int64_t(m.allocations);
+    j["bytes_allocated"] = std::int64_t(m.bytesAllocated);
+    j["simd_backend"] = m.simdBackend;
     j["checksum"] = checksumHex(m.checksum);
     j["cycles"] = std::int64_t(m.cycles);
     j["gate_ops"] = std::int64_t(m.counters.gateOps);
@@ -208,7 +282,9 @@ main(int argc, char **argv)
     benchmark::Shutdown();
 
     // Fast-vs-strict functional matmul: identical workload, both
-    // functional-model levels.
+    // functional-model levels, plus the forced-AVX2 packed row
+    // (identical to packed when the resolved backend is already
+    // AVX2; still checked for agreement either way).
     const unsigned rounds =
         unsigned(Config::envInt("STREAMPIM_MATMUL_ROUNDS", 64));
     const unsigned reps =
@@ -219,15 +295,21 @@ main(int argc, char **argv)
     // mode's best time: the speedup then reflects the code, not a
     // transient load spike that happened to hit one of the runs.
     // The mode-invariant outputs must agree on every repetition.
-    MatmulModeResult packed, strict;
+    MatmulModeResult packed, avx2, strict;
     bool agree = true;
     for (unsigned rep = 0; rep < reps; ++rep) {
-        MatmulModeResult p = runMatmul(false, rounds, n);
-        MatmulModeResult s = runMatmul(true, rounds, n);
-        agree = agree && modesAgree(p, s) &&
+        MatmulModeResult p =
+            runMatmul(false, simd::backend(), rounds, n);
+        MatmulModeResult v =
+            runMatmul(false, simd::Backend::Avx2, rounds, n);
+        MatmulModeResult s =
+            runMatmul(true, simd::backend(), rounds, n);
+        agree = agree && modesAgree(p, s) && modesAgree(p, v) &&
                 (rep == 0 || modesAgree(p, packed));
         if (rep == 0 || p.seconds < packed.seconds)
             packed = p;
+        if (rep == 0 || v.seconds < avx2.seconds)
+            avx2 = v;
         if (rep == 0 || s.seconds < strict.seconds)
             strict = s;
     }
@@ -237,8 +319,14 @@ main(int argc, char **argv)
 
     std::printf("\nfunctional matmul, %u x length-%u dot products "
                 "(%.0f MACs):\n", rounds, n, macs);
-    std::printf("  packed: %.4f s (%.3e MACs/s)\n", packed.seconds,
-                perSecond(macs, packed.seconds));
+    std::printf("  packed: %.4f s (%.3e MACs/s, %s kernels, "
+                "%llu allocs)\n", packed.seconds,
+                perSecond(macs, packed.seconds), packed.simdBackend,
+                (unsigned long long)packed.allocations);
+    std::printf("  avx2:   %.4f s (%.3e MACs/s, %s kernels, "
+                "%llu allocs)\n", avx2.seconds,
+                perSecond(macs, avx2.seconds), avx2.simdBackend,
+                (unsigned long long)avx2.allocations);
     std::printf("  strict: %.4f s (%.3e MACs/s)\n", strict.seconds,
                 perSecond(macs, strict.seconds));
     std::printf("  speedup packed vs strict: %.1fx\n", speedup);
@@ -259,11 +347,17 @@ main(int argc, char **argv)
         mm["macs"] = macs;
         Json modes = Json::object();
         modes["packed"] = matmulModeJson(packed, macs);
+        modes["avx2"] = matmulModeJson(avx2, macs);
         modes["strict"] = matmulModeJson(strict, macs);
         mm["modes"] = std::move(modes);
         mm["modes_agree"] = agree;
         mm["speedup_packed_vs_strict"] = speedup;
         doc["matmul"] = std::move(mm);
+        // Perf section, mirroring SweepRunner reports: which backend
+        // the default (packed) rows actually ran on.
+        Json perf = Json::object();
+        perf["simd_backend"] = simd::backendName();
+        doc["perf"] = std::move(perf);
         std::ofstream out(json_path);
         if (!out) {
             std::fprintf(stderr, "cannot write %s\n",

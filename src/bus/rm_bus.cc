@@ -258,11 +258,23 @@ RmBus::transferAll(const std::vector<std::uint64_t> &words,
                    Cycle &cycles_taken, FaultInjector *faults,
                    unsigned segment_domains)
 {
+    std::vector<std::uint64_t> arrived;
+    transferAllInto(words, arrived, cycles_taken, faults,
+                    segment_domains);
+    return arrived;
+}
+
+void
+RmBus::transferAllInto(std::span<const std::uint64_t> words,
+                       std::vector<std::uint64_t> &arrived,
+                       Cycle &cycles_taken, FaultInjector *faults,
+                       unsigned segment_domains)
+{
     const bool fallible = faults && faults->enabled();
     const std::uint64_t shifts_before =
         fallible ? faults->stats().correctionShifts : 0;
 
-    std::vector<std::uint64_t> arrived;
+    arrived.clear();
     arrived.reserve(words.size());
     std::size_t next = 0;
     cycles_taken = 0;
@@ -294,7 +306,6 @@ RmBus::transferAll(const std::vector<std::uint64_t> &words,
     if (fallible)
         cycles_taken += Cycle(faults->stats().correctionShifts -
                               shifts_before);
-    return arrived;
 }
 
 } // namespace streampim

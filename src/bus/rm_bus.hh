@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/types.hh"
@@ -217,6 +218,15 @@ class RmBus
     transferAll(const std::vector<std::uint64_t> &words,
                 Cycle &cycles_taken, FaultInjector *faults = nullptr,
                 unsigned segment_domains = 0);
+
+    /** transferAll collecting into @p arrived (cleared first) —
+     * the allocation-free hot-path variant: a reused @p arrived
+     * with capacity performs no heap allocation. */
+    void transferAllInto(std::span<const std::uint64_t> words,
+                         std::vector<std::uint64_t> &arrived,
+                         Cycle &cycles_taken,
+                         FaultInjector *faults = nullptr,
+                         unsigned segment_domains = 0);
 
   private:
     unsigned segments_;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace streampim
 {
@@ -182,11 +183,7 @@ class BitVec
     std::size_t
     popcount() const
     {
-        const std::uint64_t *w = words();
-        std::size_t c = 0;
-        for (std::size_t i = 0; i < nwords_; ++i)
-            c += std::size_t(std::popcount(w[i]));
-        return c;
+        return simd::popcountWords(words(), nwords_);
     }
 
     /** MSB-first human-readable form, e.g. "0b0101". */
@@ -203,7 +200,7 @@ class BitVec
     operator==(const BitVec &o) const
     {
         return size_ == o.size_ &&
-               std::equal(words(), words() + nwords_, o.words());
+               simd::equalWords(words(), o.words(), nwords_);
     }
 
     bool operator!=(const BitVec &o) const { return !(*this == o); }
@@ -214,10 +211,7 @@ class BitVec
     {
         SPIM_ASSERT(size_ == o.size_, "BitVec width mismatch: ",
                     size_, " vs ", o.size_);
-        std::uint64_t *w = words();
-        const std::uint64_t *ow = o.words();
-        for (std::size_t i = 0; i < nwords_; ++i)
-            w[i] &= ow[i];
+        simd::andWords(words(), o.words(), nwords_);
         return *this;
     }
 
@@ -226,10 +220,7 @@ class BitVec
     {
         SPIM_ASSERT(size_ == o.size_, "BitVec width mismatch: ",
                     size_, " vs ", o.size_);
-        std::uint64_t *w = words();
-        const std::uint64_t *ow = o.words();
-        for (std::size_t i = 0; i < nwords_; ++i)
-            w[i] |= ow[i];
+        simd::orWords(words(), o.words(), nwords_);
         return *this;
     }
 
@@ -238,10 +229,7 @@ class BitVec
     {
         SPIM_ASSERT(size_ == o.size_, "BitVec width mismatch: ",
                     size_, " vs ", o.size_);
-        std::uint64_t *w = words();
-        const std::uint64_t *ow = o.words();
-        for (std::size_t i = 0; i < nwords_; ++i)
-            w[i] ^= ow[i];
+        simd::xorWords(words(), o.words(), nwords_);
         return *this;
     }
     /** @} */
@@ -250,9 +238,7 @@ class BitVec
     BitVec &
     invert()
     {
-        std::uint64_t *w = words();
-        for (std::size_t i = 0; i < nwords_; ++i)
-            w[i] = ~w[i];
+        simd::notWords(words(), nwords_);
         maskTop();
         return *this;
     }
@@ -269,19 +255,8 @@ class BitVec
             clear();
             return *this;
         }
-        const std::size_t word_shift = n / kWordBits;
-        const std::size_t bit_shift = n % kWordBits;
-        std::uint64_t *wd = words();
-        for (std::size_t w = nwords_; w-- > 0;) {
-            std::uint64_t v = 0;
-            if (w >= word_shift) {
-                v = wd[w - word_shift] << bit_shift;
-                if (bit_shift > 0 && w > word_shift)
-                    v |= wd[w - word_shift - 1]
-                         >> (kWordBits - bit_shift);
-            }
-            wd[w] = v;
-        }
+        simd::shlWords(words(), nwords_, n / kWordBits,
+                       unsigned(n % kWordBits));
         maskTop();
         return *this;
     }
@@ -294,19 +269,8 @@ class BitVec
             clear();
             return *this;
         }
-        const std::size_t word_shift = n / kWordBits;
-        const std::size_t bit_shift = n % kWordBits;
-        std::uint64_t *wd = words();
-        for (std::size_t w = 0; w < nwords_; ++w) {
-            std::uint64_t v = 0;
-            if (w + word_shift < nwords_) {
-                v = wd[w + word_shift] >> bit_shift;
-                if (bit_shift > 0 && w + word_shift + 1 < nwords_)
-                    v |= wd[w + word_shift + 1]
-                         << (kWordBits - bit_shift);
-            }
-            wd[w] = v;
-        }
+        simd::shrWords(words(), nwords_, n / kWordBits,
+                       unsigned(n % kWordBits));
         return *this;
     }
 
@@ -314,9 +278,7 @@ class BitVec
     void
     clear()
     {
-        std::uint64_t *w = words();
-        for (std::size_t i = 0; i < nwords_; ++i)
-            w[i] = 0;
+        simd::zeroWords(words(), nwords_);
     }
 
     /**
@@ -332,27 +294,7 @@ class BitVec
                     "copyRange source overrun");
         SPIM_ASSERT(dst_pos + len <= size_,
                     "copyRange destination overrun");
-        std::uint64_t *dw = words();
-        const std::uint64_t *sw = src.words();
-        std::size_t done = 0;
-        while (done < len) {
-            const std::size_t sp = src_pos + done;
-            const std::size_t dp = dst_pos + done;
-            // Bits available in the current source / dest word.
-            const std::size_t chunk =
-                std::min({len - done, kWordBits - sp % kWordBits,
-                          kWordBits - dp % kWordBits});
-            const std::uint64_t mask =
-                chunk >= kWordBits
-                    ? ~std::uint64_t(0)
-                    : (std::uint64_t(1) << chunk) - 1;
-            const std::uint64_t bits =
-                (sw[sp / kWordBits] >> (sp % kWordBits)) & mask;
-            std::uint64_t &dst = dw[dp / kWordBits];
-            dst = (dst & ~(mask << (dp % kWordBits))) |
-                  (bits << (dp % kWordBits));
-            done += chunk;
-        }
+        simd::copyBits(words(), dst_pos, src.words(), src_pos, len);
     }
 
     /**
@@ -367,18 +309,10 @@ class BitVec
     {
         SPIM_ASSERT(a.size_ <= sum.size_ && b.size_ <= sum.size_,
                     "addPacked operands wider than the sum");
-        bool carry = cin;
         std::uint64_t *sumw = sum.words();
-        const std::uint64_t *aw_p = a.words();
-        const std::uint64_t *bw_p = b.words();
-        for (std::size_t w = 0; w < sum.nwords_; ++w) {
-            const std::uint64_t aw = w < a.nwords_ ? aw_p[w] : 0;
-            const std::uint64_t bw = w < b.nwords_ ? bw_p[w] : 0;
-            const std::uint64_t t = aw + bw;
-            const std::uint64_t s = t + (carry ? 1 : 0);
-            carry = (t < aw) || (carry && s == 0);
-            sumw[w] = s;
-        }
+        bool carry =
+            simd::addWords(sumw, sum.nwords_, a.words(), a.nwords_,
+                           b.words(), b.nwords_, cin);
         // The carry out of the sum width lives at bit size() of the
         // unmasked top word when the width is not word-aligned.
         const std::size_t top = sum.size_ % kWordBits;
@@ -410,6 +344,15 @@ class BitVec
      * Change the backing word count, migrating between the inline
      * buffer and the heap store as needed. New words are zeroed;
      * retained words keep their value.
+     *
+     * Capacity guarantee (pinned by the allocation-counter test):
+     * shrinking — even down into the inline buffer — never releases
+     * heap_'s storage (clear()/resize() keep the vector's
+     * capacity), and regrowing reuses it (assign() and resize()
+     * only allocate beyond the high-water mark). A BitVec cycled
+     * through resize() therefore allocates at most once, at its
+     * largest size ever — scratch vectors in hot loops stay
+     * allocation-free in steady state.
      */
     void
     setWordCount(std::size_t nw)

@@ -1,0 +1,361 @@
+#include "common/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+// The AVX2 kernels carry per-function target attributes, so this
+// translation unit compiles without -mavx2 and the vector bodies
+// only run after the CPUID check in avx2Supported(). Non-x86 (or
+// non-GNU) toolchains drop the kernels entirely and auto falls back
+// to scalar.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define STREAMPIM_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define STREAMPIM_SIMD_HAVE_AVX2 0
+#endif
+
+namespace streampim::simd
+{
+
+bool
+avx2Supported()
+{
+#if STREAMPIM_SIMD_HAVE_AVX2
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+Backend
+resolveBackend()
+{
+    const char *env = std::getenv("STREAMPIM_SIMD");
+    Backend b = Backend::Scalar;
+    if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+        env[0] == '\0') {
+        b = avx2Supported() ? Backend::Avx2 : Backend::Scalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+        // Graceful fallback: the request is satisfied when the
+        // machine can, and backendName() reports what actually ran.
+        b = avx2Supported() ? Backend::Avx2 : Backend::Scalar;
+    } else if (std::strcmp(env, "scalar") == 0) {
+        b = Backend::Scalar;
+    } else {
+        SPIM_PANIC("STREAMPIM_SIMD must be auto, avx2 or scalar; "
+                   "got \"", env, "\"");
+    }
+    detail::g_backend.store(std::uint8_t(b),
+                            std::memory_order_relaxed);
+    return b;
+}
+
+const char *
+backendName()
+{
+    return backend() == Backend::Avx2 ? "avx2" : "scalar";
+}
+
+void
+setBackend(Backend b)
+{
+    if (b == Backend::Avx2 && !avx2Supported())
+        b = Backend::Scalar;
+    detail::g_backend.store(std::uint8_t(b),
+                            std::memory_order_relaxed);
+}
+
+#if STREAMPIM_SIMD_HAVE_AVX2
+
+namespace detail
+{
+
+#define SPIM_AVX2 __attribute__((target("avx2")))
+
+SPIM_AVX2 void
+andWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i dv =
+            _mm256_loadu_si256(reinterpret_cast<__m256i *>(d + i));
+        const __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + i),
+                            _mm256_and_si256(dv, sv));
+    }
+    for (; i < n; ++i)
+        d[i] &= s[i];
+}
+
+SPIM_AVX2 void
+orWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i dv =
+            _mm256_loadu_si256(reinterpret_cast<__m256i *>(d + i));
+        const __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + i),
+                            _mm256_or_si256(dv, sv));
+    }
+    for (; i < n; ++i)
+        d[i] |= s[i];
+}
+
+SPIM_AVX2 void
+xorWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i dv =
+            _mm256_loadu_si256(reinterpret_cast<__m256i *>(d + i));
+        const __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + i),
+                            _mm256_xor_si256(dv, sv));
+    }
+    for (; i < n; ++i)
+        d[i] ^= s[i];
+}
+
+SPIM_AVX2 void
+notWordsAvx2(std::uint64_t *d, std::size_t n)
+{
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i dv =
+            _mm256_loadu_si256(reinterpret_cast<__m256i *>(d + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + i),
+                            _mm256_xor_si256(dv, ones));
+    }
+    for (; i < n; ++i)
+        d[i] = ~d[i];
+}
+
+SPIM_AVX2 void
+zeroWordsAvx2(std::uint64_t *d, std::size_t n)
+{
+    const __m256i z = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + i), z);
+    for (; i < n; ++i)
+        d[i] = 0;
+}
+
+SPIM_AVX2 void
+copyWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + i), sv);
+    }
+    for (; i < n; ++i)
+        d[i] = s[i];
+}
+
+SPIM_AVX2 bool
+equalWordsAvx2(const std::uint64_t *a, const std::uint64_t *b,
+               std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i av = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        const __m256i eq = _mm256_cmpeq_epi64(av, bv);
+        if (_mm256_movemask_epi8(eq) != -1)
+            return false;
+    }
+    for (; i < n; ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+SPIM_AVX2 void
+shlWordsAvx2(std::uint64_t *w, std::size_t n, std::size_t word_shift,
+             unsigned bit_shift)
+{
+    if (bit_shift == 0) {
+        // Pure word move toward the MSB end (overlap-safe: walk
+        // downward, sources sit at lower indices).
+        for (std::size_t i = n; i-- > word_shift;)
+            w[i] = w[i - word_shift];
+        zeroWordsAvx2(w, std::min(word_shift, n));
+        return;
+    }
+    // Funnel shift, high to low. Writes land at indices >= the
+    // current block while every load reads indices <= block+3-ws,
+    // so walking downward never reads a clobbered word.
+    std::size_t i = n;
+    while (i > word_shift) {
+        if (i - word_shift >= 5 && i >= 4 + word_shift + 1) {
+            i -= 4;
+            const __m256i hi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(w + i -
+                                                  word_shift));
+            const __m256i lo = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(w + i -
+                                                  word_shift - 1));
+            const __m256i v = _mm256_or_si256(
+                _mm256_slli_epi64(hi, int(bit_shift)),
+                _mm256_srli_epi64(lo, int(64 - bit_shift)));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(w + i),
+                                v);
+        } else {
+            --i;
+            std::uint64_t v = w[i - word_shift] << bit_shift;
+            if (i > word_shift)
+                v |= w[i - word_shift - 1] >> (64 - bit_shift);
+            w[i] = v;
+        }
+    }
+    zeroWordsAvx2(w, std::min(word_shift, n));
+}
+
+SPIM_AVX2 void
+shrWordsAvx2(std::uint64_t *w, std::size_t n, std::size_t word_shift,
+             unsigned bit_shift)
+{
+    if (word_shift >= n) {
+        zeroWordsAvx2(w, n);
+        return;
+    }
+    if (bit_shift == 0) {
+        for (std::size_t i = 0; i + word_shift < n; ++i)
+            w[i] = w[i + word_shift];
+        zeroWordsAvx2(w + (n - word_shift), word_shift);
+        return;
+    }
+    // Funnel shift, low to high: loads read indices >= i+ws, all
+    // unwritten when walking upward.
+    std::size_t i = 0;
+    for (; i + word_shift + 4 < n; i += 4) {
+        const __m256i lo = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + i + word_shift));
+        const __m256i hi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + i + word_shift +
+                                              1));
+        const __m256i v = _mm256_or_si256(
+            _mm256_srli_epi64(lo, int(bit_shift)),
+            _mm256_slli_epi64(hi, int(64 - bit_shift)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(w + i), v);
+    }
+    for (; i + word_shift < n; ++i) {
+        std::uint64_t v = w[i + word_shift] >> bit_shift;
+        if (i + word_shift + 1 < n)
+            v |= w[i + word_shift + 1] << (64 - bit_shift);
+        w[i] = v;
+    }
+    zeroWordsAvx2(w + (n - word_shift), word_shift);
+}
+
+#undef SPIM_AVX2
+
+} // namespace detail
+
+#else // !STREAMPIM_SIMD_HAVE_AVX2
+
+namespace detail
+{
+
+// The dispatcher never selects AVX2 when avx2Supported() is false,
+// but the symbols must exist for the header's declarations.
+void
+andWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] &= s[i];
+}
+
+void
+orWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] |= s[i];
+}
+
+void
+xorWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] ^= s[i];
+}
+
+void
+notWordsAvx2(std::uint64_t *d, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = ~d[i];
+}
+
+void
+zeroWordsAvx2(std::uint64_t *d, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = 0;
+}
+
+void
+copyWordsAvx2(std::uint64_t *d, const std::uint64_t *s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = s[i];
+}
+
+bool
+equalWordsAvx2(const std::uint64_t *a, const std::uint64_t *b,
+               std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+void
+shlWordsAvx2(std::uint64_t *w, std::size_t n, std::size_t word_shift,
+             unsigned bit_shift)
+{
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint64_t v = 0;
+        if (i >= word_shift) {
+            v = w[i - word_shift] << bit_shift;
+            if (bit_shift > 0 && i > word_shift)
+                v |= w[i - word_shift - 1] >> (64 - bit_shift);
+        }
+        w[i] = v;
+    }
+}
+
+void
+shrWordsAvx2(std::uint64_t *w, std::size_t n, std::size_t word_shift,
+             unsigned bit_shift)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t v = 0;
+        if (i + word_shift < n) {
+            v = w[i + word_shift] >> bit_shift;
+            if (bit_shift > 0 && i + word_shift + 1 < n)
+                v |= w[i + word_shift + 1] << (64 - bit_shift);
+        }
+        w[i] = v;
+    }
+}
+
+} // namespace detail
+
+#endif // STREAMPIM_SIMD_HAVE_AVX2
+
+} // namespace streampim::simd

@@ -296,12 +296,16 @@ StreamPimSystem::submit(const Vpc &vpc)
     return queue_.push(vpc);
 }
 
-VpcExecutionRecord
-StreamPimSystem::executeOne(const Vpc &vpc, VpcScratch &scratch)
+void
+StreamPimSystem::executeOne(VpcExecutionRecord &rec, const Vpc &vpc,
+                            VpcScratch &scratch)
 {
-    VpcExecutionRecord rec;
     rec.vpc = vpc;
-    rec.commands = decoder_.decode(vpc);
+    decoder_.decodeInto(vpc, rec.commands);
+    rec.busCycles = 0;
+    rec.pipelineCycles = 0;
+    rec.remoteOperands = false;
+    rec.fault = VpcFaultInfo{};
 
     AddrPlace src1 = place(vpc.src1);
     FunctionalSubarray &exec = *subarrays_[src1.globalSubarray];
@@ -313,7 +317,7 @@ StreamPimSystem::executeOne(const Vpc &vpc, VpcScratch &scratch)
         readInto(vpc.src1, vpc.size, scratch.stage);
         write(vpc.dst, scratch.stage);
         rec.remoteOperands = true;
-        return rec;
+        return;
     }
 
     // Operand collection: a remote src2 is staged into the
@@ -342,10 +346,10 @@ StreamPimSystem::executeOne(const Vpc &vpc, VpcScratch &scratch)
         ? dst.offset
         : exec.capacityBytes() - operand_len - result_len;
 
-    auto res = exec.executeVpc(vpc.kind, src1.offset, src2_local,
-                               dst_local_off, vpc.size);
-    rec.busCycles = res.busCycles;
-    rec.pipelineCycles = res.pipelineCycles;
+    exec.executeVpcInto(vpc.kind, src1.offset, src2_local,
+                        dst_local_off, vpc.size, scratch.sub);
+    rec.busCycles = scratch.sub.busCycles;
+    rec.pipelineCycles = scratch.sub.pipelineCycles;
 
     if (!dst_local) {
         scratch.result.clear();
@@ -354,7 +358,6 @@ StreamPimSystem::executeOne(const Vpc &vpc, VpcScratch &scratch)
         write(vpc.dst, scratch.result);
         rec.remoteOperands = true;
     }
-    return rec;
 }
 
 void
@@ -366,7 +369,7 @@ StreamPimSystem::executeScoped(VpcExecutionRecord &rec,
     // staging on remote subarrays included — belongs to this VPC;
     // the touch mask names exactly the injectors involved.
     beginVpcScopes(mask);
-    rec = executeOne(vpc, scratch);
+    executeOne(rec, vpc, scratch);
     rec.fault = endVpcScopes(mask);
 }
 
@@ -417,28 +420,40 @@ StreamPimSystem::runParallel(
 std::vector<VpcExecutionRecord>
 StreamPimSystem::processQueue(unsigned jobs)
 {
-    std::vector<Vpc> batch;
+    std::vector<VpcExecutionRecord> records;
+    processQueueInto(records, jobs);
+    return records;
+}
+
+void
+StreamPimSystem::processQueueInto(
+    std::vector<VpcExecutionRecord> &records, unsigned jobs)
+{
+    std::vector<Vpc> &batch = batchScratch_;
+    batch.clear();
     batch.reserve(queue_.depth());
     while (!queue_.empty())
         batch.push_back(queue_.pop());
 
-    std::vector<std::uint64_t> masks(batch.size());
+    std::vector<std::uint64_t> &masks = maskScratch_;
+    masks.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i)
         masks[i] = touchMask(batch[i]);
 
-    std::vector<VpcExecutionRecord> records(batch.size());
+    // Stale entries from a reused records vector are fine:
+    // executeOne overwrites every field in place.
+    records.resize(batch.size());
     const unsigned want = ThreadPool::resolveJobs(jobs);
     if (want <= 1 || batch.size() <= 1) {
-        VpcScratch scratch;
         for (std::size_t i = 0; i < batch.size(); ++i)
-            executeScoped(records[i], batch[i], masks[i], scratch);
+            executeScoped(records[i], batch[i], masks[i],
+                          serialScratch_);
     } else {
         runParallel(batch, masks, records, want);
     }
 
     for (std::size_t i = 0; i < batch.size(); ++i)
         queue_.respond();
-    return records;
 }
 
 EnergyMeter

@@ -121,6 +121,17 @@ class StreamPimSystem
      */
     std::vector<VpcExecutionRecord> processQueue(unsigned jobs = 0);
 
+    /**
+     * processQueue writing into @p records (resized to the batch).
+     * Reuses the records' command buffers and the system's batch/
+     * mask scratch: once warm, a serial (jobs == 1) drain of a
+     * same-shaped batch in the packed functional mode performs zero
+     * heap allocations (tests/allocfree pins this). The parallel
+     * engine still builds its per-batch conflict graph.
+     */
+    void processQueueInto(std::vector<VpcExecutionRecord> &records,
+                          unsigned jobs = 0);
+
     /** Responses delivered so far (send-response protocol). */
     std::uint64_t responses() const { return queue_.responses(); }
 
@@ -186,6 +197,7 @@ class StreamPimSystem
     {
         std::vector<std::uint8_t> stage;  //!< TRAN / remote src2
         std::vector<std::uint8_t> result; //!< remote-dst store-out
+        SubarrayVpcResult sub;            //!< executeVpcInto target
     };
 
     AddrPlace place(Addr addr) const;
@@ -206,8 +218,10 @@ class StreamPimSystem
     void readInto(Addr addr, std::uint64_t count,
                   std::vector<std::uint8_t> &out);
 
-    VpcExecutionRecord executeOne(const Vpc &vpc,
-                                  VpcScratch &scratch);
+    /** Execute one VPC in place, reusing @p rec's command buffer
+     * and @p scratch's staging storage. */
+    void executeOne(VpcExecutionRecord &rec, const Vpc &vpc,
+                    VpcScratch &scratch);
 
     /** Execute one VPC inside its fault-attribution scope. */
     void executeScoped(VpcExecutionRecord &rec, const Vpc &vpc,
@@ -239,6 +253,13 @@ class StreamPimSystem
     bool faultsAttached_ = false;
     std::unique_ptr<ThreadPool> pool_; //!< engine workers (lazy)
     unsigned poolJobs_ = 0;
+
+    /** processQueue scratch, retained across drains so steady-state
+     * batches of the same shape allocate nothing. @{ */
+    std::vector<Vpc> batchScratch_;
+    std::vector<std::uint64_t> maskScratch_;
+    VpcScratch serialScratch_; //!< the jobs == 1 worker's buffers
+    /** @} */
 };
 
 } // namespace streampim

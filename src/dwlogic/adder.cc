@@ -42,13 +42,10 @@ DwRippleCarryAdder::add(const BitVec &a, const BitVec &b, bool cin)
                 "operand b wider than adder: ", b.size(), " > ", width_);
 
     if (!strictGates()) {
-        // Packed fast path: one word-parallel addition; the netlist
-        // would evaluate width_ full adders of kGatesPerBit NANDs,
-        // one gate op and one shift step each.
-        counters_.gateOps +=
-            std::uint64_t(DwFullAdder::kGatesPerBit) * width_;
-        counters_.shiftSteps +=
-            std::uint64_t(DwFullAdder::kGatesPerBit) * width_;
+        // Packed fast path: one word-parallel addition, charged
+        // through the same closed-form delta the batched
+        // processor-level accounting uses.
+        counters_ += addDelta(width_);
         BitVec sum(width_);
         bool carry = BitVec::addPacked(sum, a, b, cin);
         return {std::move(sum), carry};

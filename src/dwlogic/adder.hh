@@ -70,6 +70,22 @@ class DwRippleCarryAdder
     /** Convenience: integer-in, integer-out (width <= 64). */
     std::uint64_t addWords(std::uint64_t a, std::uint64_t b);
 
+    /**
+     * Closed-form counter delta of one add(): the netlist evaluates
+     * @p width full adders of kGatesPerBit NANDs, one gate op and
+     * one shift step each. The single source of truth shared by the
+     * component fast path and the processor-level batched
+     * accounting (pinned against the netlist by the fast-path
+     * equivalence tests).
+     */
+    static constexpr LogicCounters
+    addDelta(unsigned width)
+    {
+        const std::uint64_t g =
+            std::uint64_t(DwFullAdder::kGatesPerBit) * width;
+        return {g, g, 0, 0};
+    }
+
   private:
     unsigned width_;
     LogicCounters &counters_;
@@ -107,6 +123,28 @@ class DwAdderTree
 
     /** Convenience for word inputs. */
     std::uint64_t sumWords(const std::vector<std::uint64_t> &values);
+
+    /**
+     * Closed-form counter delta of one sum(): the pairwise
+     * reduction runs ceil(size/2) ripple-carry adds per level, at a
+     * width that grows one bit per level (odd leftovers pass
+     * through uncounted, exactly as sum() forwards them).
+     */
+    static constexpr LogicCounters
+    sumDelta(unsigned operands, unsigned operand_width)
+    {
+        LogicCounters d{0, 0, 0, 0};
+        unsigned count = operands;
+        unsigned width = operand_width;
+        while (count > 1) {
+            width += 1;
+            const unsigned adds = count / 2;
+            const LogicCounters a = DwRippleCarryAdder::addDelta(width);
+            d.addScaled(a, adds);
+            count = (count + 1) / 2;
+        }
+        return d;
+    }
 
   private:
     unsigned operands_;

@@ -57,8 +57,7 @@ CircleAdder::step()
         if (!strictGates()) {
             // Fast path: the diode leaves values unchanged; charge
             // the width_ per-bit passes in closed form.
-            counters_.diodePasses += width_;
-            counters_.shiftSteps += width_;
+            counters_ += LogicCounters{0, width_, 0, width_};
         } else {
             for (unsigned i = 0; i < width_; ++i) {
                 bool bit = pending_.get(i);
@@ -103,6 +102,19 @@ void
 CircleAdder::accumulateWord(std::uint64_t product, unsigned bits)
 {
     accumulate(BitVec::fromWord(product, bits));
+}
+
+void
+CircleAdder::install(std::uint64_t acc, std::uint64_t accumulations,
+                     bool overflowed)
+{
+    SPIM_ASSERT(phase_ == CircleAdderStep::AwaitOperand &&
+                !operandLoaded_,
+                "install() mid-accumulation");
+    SPIM_ASSERT(width_ <= 64, "install() needs a word-size adder");
+    acc_ = BitVec::fromWord(acc, width_);
+    accumulations_ += accumulations;
+    overflowed_ = overflowed_ || overflowed;
 }
 
 BitVec

@@ -81,6 +81,41 @@ class CircleAdder
     /** True if an addition overflowed the accumulator width. */
     bool overflowed() const { return overflowed_; }
 
+    /**
+     * Closed-form counter delta of one accumulate(): the full add,
+     * the diode traversal (one pass + one shift per bit) and the
+     * circulation back to the accumulator slot (one shift per bit).
+     */
+    static constexpr LogicCounters
+    accumulateDelta(unsigned width)
+    {
+        LogicCounters d = DwRippleCarryAdder::addDelta(width);
+        d += {0, std::uint64_t(2) * width, 0, width};
+        return d;
+    }
+
+    /** Closed-form counter delta of one addScalars(): the full add
+     * plus the width shift steps leaving the circle. */
+    static constexpr LogicCounters
+    addScalarsDelta(unsigned width)
+    {
+        LogicCounters d = DwRippleCarryAdder::addDelta(width);
+        d += {0, width, 0, 0};
+        return d;
+    }
+
+    /**
+     * Install the result of a batched accumulation run computed in
+     * closed form by the processor fast path: the accumulator takes
+     * @p acc (width() bits), @p accumulations more accumulations are
+     * recorded, and @p overflowed folds into the sticky overflow
+     * flag. Keeps this functional unit coherent with the netlist
+     * across mode switches — a strict-mode accumulation after an
+     * installed fast-path run continues from identical state.
+     */
+    void install(std::uint64_t acc, std::uint64_t accumulations,
+                 bool overflowed);
+
   private:
     unsigned width_;
     LogicCounters &counters_;

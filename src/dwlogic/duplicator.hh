@@ -84,6 +84,18 @@ class Duplicator
     /** Completed duplication cycles (for stats/tests). */
     std::uint64_t cycles() const { return cycles_; }
 
+    /**
+     * Closed-form counter delta of one duplicate(): the four phases
+     * shift the word four times (origin to branch point, both split
+     * branches, replica return), fan out every bit once and pass
+     * every returning bit through the diode.
+     */
+    static constexpr LogicCounters
+    duplicateDelta(unsigned width)
+    {
+        return {0, std::uint64_t(4) * width, width, width};
+    }
+
     /** Shift steps per duplication cycle of one word. */
     static constexpr unsigned kStepsPerCycle = 4;
 

@@ -63,13 +63,30 @@ struct LogicCounters
         diodePasses = 0;
     }
 
-    LogicCounters &
+    constexpr LogicCounters &
     operator+=(const LogicCounters &o)
     {
         gateOps += o.gateOps;
         shiftSteps += o.shiftSteps;
         fanOuts += o.fanOuts;
         diodePasses += o.diodePasses;
+        return *this;
+    }
+
+    /**
+     * Fold in @p n repetitions of the closed-form delta @p d in one
+     * commit — the batched-accounting primitive: a vector operation
+     * accumulates its per-element delta in registers and commits a
+     * single multiply-add per counter instead of per gate-word.
+     * Exact by construction (unsigned 64-bit arithmetic).
+     */
+    constexpr LogicCounters &
+    addScaled(const LogicCounters &d, std::uint64_t n)
+    {
+        gateOps += d.gateOps * n;
+        shiftSteps += d.shiftSteps * n;
+        fanOuts += d.fanOuts * n;
+        diodePasses += d.diodePasses * n;
         return *this;
     }
 

@@ -21,11 +21,9 @@ DwMultiplier::partialProduct(const BitVec &replica, bool b_bit,
     BitVec pp(productWidth());
     if (!strictGates()) {
         // Packed fast path: the row is the replica ANDed with b_bit
-        // and deposited at the row offset — a word-wise copy. The
-        // netlist evaluates width_ AND gates (2 gate ops + 2 shift
-        // steps each: DMI cell + output inverter).
-        counters_.gateOps += std::uint64_t(2) * width_;
-        counters_.shiftSteps += std::uint64_t(2) * width_;
+        // and deposited at the row offset — a word-wise copy,
+        // charged through the shared closed-form delta.
+        counters_ += partialProductDelta(width_);
         if (b_bit)
             pp.copyRange(replica, 0, row, width_);
         return pp;

@@ -66,6 +66,34 @@ class DwMultiplier
      */
     std::uint64_t multiplyWords(std::uint64_t a, std::uint64_t b);
 
+    /**
+     * Closed-form counter delta of one partialProduct(): width AND
+     * gates, 2 gate ops + 2 shift steps each (DMI cell + output
+     * inverter).
+     */
+    static constexpr LogicCounters
+    partialProductDelta(unsigned width)
+    {
+        const std::uint64_t g = std::uint64_t(2) * width;
+        return {g, g, 0, 0};
+    }
+
+    /**
+     * Closed-form counter delta of one multiplyReplicas(): width
+     * partial-product rows plus the adder tree over width rows of
+     * productWidth() bits. Shared by the processor-level batched
+     * accounting; pinned against the netlist by the fast-path
+     * equivalence tests.
+     */
+    static constexpr LogicCounters
+    multiplyReplicasDelta(unsigned width)
+    {
+        LogicCounters d{0, 0, 0, 0};
+        d.addScaled(partialProductDelta(width), width);
+        d += DwAdderTree::sumDelta(width, 2 * width);
+        return d;
+    }
+
   private:
     unsigned width_;
     LogicCounters &counters_;

@@ -256,9 +256,17 @@ Mat::writeBytes(std::uint64_t offset,
 std::vector<std::uint8_t>
 Mat::readBytes(std::uint64_t offset, std::uint64_t count)
 {
-    checkRange(offset, count);
     std::vector<std::uint8_t> out;
     out.reserve(count);
+    readBytesInto(offset, count, out);
+    return out;
+}
+
+void
+Mat::readBytesInto(std::uint64_t offset, std::uint64_t count,
+                   std::vector<std::uint8_t> &out)
+{
+    checkRange(offset, count);
     for (std::uint64_t i = 0; i < count; ++i) {
         BytePos pos = locate(offset + i);
         std::uint8_t byte = 0;
@@ -273,16 +281,25 @@ Mat::readBytes(std::uint64_t offset, std::uint64_t count)
         activity_.portReads += 1;
         out.push_back(byte);
     }
-    return out;
 }
 
 std::vector<std::uint8_t>
 Mat::copyOutViaTransferTracks(std::uint64_t offset,
                               std::uint64_t count)
 {
+    std::vector<std::uint8_t> out(count);
+    copyOutViaTransferTracksInto(offset, out);
+    return out;
+}
+
+void
+Mat::copyOutViaTransferTracksInto(std::uint64_t offset,
+                                  std::span<std::uint8_t> out)
+{
     SPIM_ASSERT(hasTransferTracks(),
                 "non-destructive read on a mat without transfer "
                 "tracks");
+    const std::uint64_t count = out.size();
     checkRange(offset, count);
 
     // The fan-out nanowires replicate each save-track domain onto
@@ -291,8 +308,6 @@ Mat::copyOutViaTransferTracks(std::uint64_t offset,
     // branch length). Transfer tracks carry no wear state: the
     // replica is driven by the fan-out current, not a port
     // nucleation (and they are rewritten wholesale on every copy).
-    std::vector<std::uint8_t> out;
-    out.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         BytePos pos = locate(offset + i);
         std::uint8_t byte = 0;
@@ -315,17 +330,24 @@ Mat::copyOutViaTransferTracks(std::uint64_t offset,
             activity_.fanOutCopies += 1;
             activity_.shiftSteps += 1;
         }
-        out.push_back(byte);
+        out[i] = byte;
     }
-    return out;
 }
 
 std::vector<std::uint8_t>
 Mat::shiftOutDestructive(std::uint64_t offset, std::uint64_t count)
 {
+    std::vector<std::uint8_t> out(count);
+    shiftOutDestructiveInto(offset, out);
+    return out;
+}
+
+void
+Mat::shiftOutDestructiveInto(std::uint64_t offset,
+                             std::span<std::uint8_t> out)
+{
+    const std::uint64_t count = out.size();
     checkRange(offset, count);
-    std::vector<std::uint8_t> out;
-    out.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         BytePos pos = locate(offset + i);
         // The 8-track group ejects this byte's domains with one
@@ -345,9 +367,8 @@ Mat::shiftOutDestructive(std::uint64_t offset, std::uint64_t count)
             }
             activity_.shiftSteps += 1;
         }
-        out.push_back(byte);
+        out[i] = byte;
     }
-    return out;
 }
 
 void

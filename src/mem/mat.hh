@@ -102,6 +102,11 @@ class Mat
     std::vector<std::uint8_t> readBytes(std::uint64_t offset,
                                         std::uint64_t count);
 
+    /** readBytes appending into @p out (allocation-free when @p out
+     * has capacity — the hot-path variant). */
+    void readBytesInto(std::uint64_t offset, std::uint64_t count,
+                       std::vector<std::uint8_t> &out);
+
     /**
      * Non-destructive read (Sec. III-E): copy @p count bytes at
      * @p offset onto the transfer tracks via the fan-out nanowires,
@@ -111,12 +116,21 @@ class Mat
     std::vector<std::uint8_t> copyOutViaTransferTracks(
         std::uint64_t offset, std::uint64_t count);
 
+    /** copyOutViaTransferTracks writing the replica into @p out
+     * (out.size() bytes; arena-backed hot-path variant). */
+    void copyOutViaTransferTracksInto(std::uint64_t offset,
+                                      std::span<std::uint8_t> out);
+
     /**
      * Destructive shift-out: move bytes from the save tracks toward
      * the RM bus; the source domains are vacated (zeroed).
      */
     std::vector<std::uint8_t> shiftOutDestructive(
         std::uint64_t offset, std::uint64_t count);
+
+    /** shiftOutDestructive writing into @p out (out.size() bytes). */
+    void shiftOutDestructiveInto(std::uint64_t offset,
+                                 std::span<std::uint8_t> out);
 
     /**
      * Shift-in from the RM bus: deposit bytes into save tracks by

@@ -108,15 +108,14 @@ FunctionalSubarray::hostReadInto(std::uint64_t offset,
         Location loc = locate(pos);
         std::uint64_t room = matBytes_ - loc.offset;
         std::uint64_t chunk = std::min<std::uint64_t>(room, left);
-        auto part = mats_[loc.mat]->readBytes(loc.offset, chunk);
+        mats_[loc.mat]->readBytesInto(loc.offset, chunk, out);
         energy_.read(chunk);
-        out.insert(out.end(), part.begin(), part.end());
         pos += chunk;
         left -= chunk;
     }
 }
 
-std::vector<std::uint8_t>
+std::span<std::uint8_t>
 FunctionalSubarray::streamOut(std::uint64_t offset,
                               std::uint32_t size, Cycle &bus_cycles)
 {
@@ -127,32 +126,33 @@ FunctionalSubarray::streamOut(std::uint64_t offset,
     // bus (modeled as the same shift-domain cost).
     Location loc = locate(offset);
     Mat &src = *mats_[loc.mat];
-    std::vector<std::uint8_t> data;
+    std::span<std::uint8_t> data = arena_.alloc(size);
     if (src.hasTransferTracks()) {
-        data = src.copyOutViaTransferTracks(loc.offset, size);
+        src.copyOutViaTransferTracksInto(loc.offset, data);
     } else {
         Mat &xfer = *mats_[0];
         SPIM_ASSERT(xfer.hasTransferTracks(),
                     "no transfer-capable mat in subarray");
         // Functionally: read the values through the model (shift
         // domain), stage them on mat 0's transfer tracks.
-        data = src.shiftOutDestructive(loc.offset, size);
+        src.shiftOutDestructiveInto(loc.offset, data);
         src.shiftInFromBus(loc.offset, data); // restore (model)
     }
 
     // Push the replica through the functional segmented bus.
-    std::vector<std::uint64_t> words(data.begin(), data.end());
+    busWords_.assign(data.begin(), data.end());
     Cycle cycles = 0;
-    auto arrived =
-        bus_.transferAll(words, cycles, faults_, params_.busSegmentSize);
-    SPIM_ASSERT(arrived.size() == words.size(), "bus lost data");
+    bus_.transferAllInto(busWords_, busArrived_, cycles, faults_,
+                         params_.busSegmentSize);
+    SPIM_ASSERT(busArrived_.size() == busWords_.size(),
+                "bus lost data");
     bus_cycles += cycles;
     busTiming_.recordTransferEnergy(energy_, size);
     // The processor computes on what the bus delivered; a recovery
     // failure reaches it as a visibly displaced word, never as
     // silently wrong data.
     for (std::size_t i = 0; i < data.size(); ++i)
-        data[i] = std::uint8_t(arrived[i]);
+        data[i] = std::uint8_t(busArrived_[i]);
     return data;
 }
 
@@ -163,18 +163,19 @@ FunctionalSubarray::streamIn(std::uint64_t offset,
 {
     // Steps 4-5: results ride the bus back and shift into the
     // destination mat (no conversion).
-    std::vector<std::uint64_t> words(data.begin(), data.end());
+    busWords_.assign(data.begin(), data.end());
     Cycle cycles = 0;
-    auto arrived =
-        bus_.transferAll(words, cycles, faults_, params_.busSegmentSize);
-    SPIM_ASSERT(arrived.size() == words.size(), "bus lost data");
+    bus_.transferAllInto(busWords_, busArrived_, cycles, faults_,
+                         params_.busSegmentSize);
+    SPIM_ASSERT(busArrived_.size() == busWords_.size(),
+                "bus lost data");
     bus_cycles += cycles;
     busTiming_.recordTransferEnergy(energy_, data.size());
 
-    std::vector<std::uint8_t> delivered;
-    delivered.reserve(arrived.size());
-    for (auto w : arrived)
-        delivered.push_back(std::uint8_t(w));
+    std::span<std::uint8_t> delivered =
+        arena_.alloc(busArrived_.size());
+    for (std::size_t i = 0; i < busArrived_.size(); ++i)
+        delivered[i] = std::uint8_t(busArrived_[i]);
 
     Location loc = locate(offset);
     mats_[loc.mat]->shiftInFromBus(loc.offset, delivered);
@@ -185,8 +186,27 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
                                std::uint64_t src2, std::uint64_t dst,
                                std::uint32_t size)
 {
-    SPIM_ASSERT(size > 0, "zero-size VPC");
     SubarrayVpcResult res;
+    executeVpcInto(kind, src1, src2, dst, size, res);
+    return res;
+}
+
+void
+FunctionalSubarray::executeVpcInto(VpcKind kind, std::uint64_t src1,
+                                   std::uint64_t src2,
+                                   std::uint64_t dst,
+                                   std::uint32_t size,
+                                   SubarrayVpcResult &res)
+{
+    SPIM_ASSERT(size > 0, "zero-size VPC");
+    res.values.clear();
+    res.busCycles = 0;
+    res.pipelineCycles = 0;
+    res.overflow = false;
+    res.fault = VpcFaultInfo{};
+    // Per-VPC staging starts from an empty arena; spans handed out
+    // below live until the next VPC on this subarray.
+    arena_.reset();
 
     // Attribute every sampled fault of this execution to one VPC.
     // The system-level driver may already hold a scope spanning
@@ -204,46 +224,47 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
     const std::uint64_t remap_bytes_before =
         fallible ? faults_->stats().remapCopyBytes : 0;
 
-    std::vector<std::uint8_t> a =
+    std::span<std::uint8_t> a =
         streamOut(src1, size, res.busCycles);
-    std::vector<std::uint8_t> b;
+    std::span<std::uint8_t> b;
     if (kind != VpcKind::Tran)
         b = streamOut(src2, kind == VpcKind::Smul ? 1 : size,
                       res.busCycles);
 
     switch (kind) {
       case VpcKind::Mul: {
-        auto r = processor_->dotProduct(a, b);
-        res.values = r.values;
+        ProcessorResult &r = procScratch_;
+        processor_->dotProductInto(a, b, r);
+        res.values.assign(r.values.begin(), r.values.end());
         res.pipelineCycles = r.cycles;
         res.overflow = r.overflow;
         // The 32-bit accumulator streams back as 4 bytes.
-        std::vector<std::uint8_t> out(4);
+        std::span<std::uint8_t> out = arena_.alloc(4);
         for (int i = 0; i < 4; ++i)
             out[i] = std::uint8_t(r.values[0] >> (8 * i));
         streamIn(dst, out, res.busCycles);
         break;
       }
       case VpcKind::Smul: {
-        auto r = processor_->scalarVectorMul(b[0], a);
-        res.values = r.values;
+        ProcessorResult &r = procScratch_;
+        processor_->scalarVectorMulInto(b[0], a, r);
+        res.values.assign(r.values.begin(), r.values.end());
         res.pipelineCycles = r.cycles;
-        std::vector<std::uint8_t> out;
-        out.reserve(size);
-        for (auto v : r.values)
-            out.push_back(std::uint8_t(v)); // low byte stored
+        std::span<std::uint8_t> out = arena_.alloc(size);
+        for (std::uint32_t i = 0; i < size; ++i)
+            out[i] = std::uint8_t(r.values[i]); // low byte stored
         streamIn(dst, out, res.busCycles);
         break;
       }
       case VpcKind::Add: {
-        auto r = processor_->vectorAdd(a, b);
-        res.values = r.values;
+        ProcessorResult &r = procScratch_;
+        processor_->vectorAddInto(a, b, r);
+        res.values.assign(r.values.begin(), r.values.end());
         res.pipelineCycles = r.cycles;
         res.overflow = r.overflow;
-        std::vector<std::uint8_t> out;
-        out.reserve(size);
-        for (auto v : r.values)
-            out.push_back(std::uint8_t(v));
+        std::span<std::uint8_t> out = arena_.alloc(size);
+        for (std::uint32_t i = 0; i < size; ++i)
+            out[i] = std::uint8_t(r.values[i]);
         streamIn(dst, out, res.busCycles);
         break;
       }
@@ -271,7 +292,6 @@ FunctionalSubarray::executeVpc(VpcKind kind, std::uint64_t src1,
         res.fault = own_scope ? faults_->endVpc()
                               : faults_->currentInfo();
     }
-    return res;
 }
 
 } // namespace streampim

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bus/rm_bus.hh"
+#include "common/arena.hh"
 #include "mem/mat.hh"
 #include "processor/rm_processor.hh"
 #include "rm/energy.hh"
@@ -116,6 +117,17 @@ class FunctionalSubarray
                                  std::uint64_t dst,
                                  std::uint32_t size);
 
+    /**
+     * executeVpc writing into @p res, reusing its values storage.
+     * All staging buffers come from the subarray's bump arena and
+     * reused member vectors, so a warm subarray executes a VPC with
+     * zero heap allocations in the packed functional mode (the
+     * strict gate-netlist mode allocates BitVec scratch freely).
+     */
+    void executeVpcInto(VpcKind kind, std::uint64_t src1,
+                        std::uint64_t src2, std::uint64_t dst,
+                        std::uint32_t size, SubarrayVpcResult &res);
+
     const EnergyMeter &energy() const { return meter_; }
     const RmProcessor &processor() const { return *processor_; }
     Mat &mat(unsigned i);
@@ -146,10 +158,14 @@ class FunctionalSubarray
 
     Location locate(std::uint64_t offset) const;
 
-    /** Fetch a vector non-destructively onto the bus (steps 1-2). */
-    std::vector<std::uint8_t> streamOut(std::uint64_t offset,
-                                        std::uint32_t size,
-                                        Cycle &bus_cycles);
+    /**
+     * Fetch a vector non-destructively onto the bus (steps 1-2).
+     * The returned span lives in arena_ and is valid until the next
+     * executeVpcInto (which resets the arena).
+     */
+    std::span<std::uint8_t> streamOut(std::uint64_t offset,
+                                      std::uint32_t size,
+                                      Cycle &bus_cycles);
 
     /** Deposit a result vector into mats via shifts (steps 4-5). */
     void streamIn(std::uint64_t offset,
@@ -165,6 +181,14 @@ class FunctionalSubarray
     RmBus bus_;
     RmBusTiming busTiming_;
     FaultInjector *faults_ = nullptr;
+
+    /** Per-VPC staging buffers (reset/reused each executeVpcInto —
+     * the conflict-graph engine guarantees exclusive access). @{ */
+    BumpArena arena_;
+    std::vector<std::uint64_t> busWords_;
+    std::vector<std::uint64_t> busArrived_;
+    ProcessorResult procScratch_;
+    /** @} */
 };
 
 } // namespace streampim

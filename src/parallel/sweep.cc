@@ -7,6 +7,7 @@
 
 #include "common/config.hh"
 #include "common/log.hh"
+#include "common/simd.hh"
 #include "parallel/thread_pool.hh"
 
 namespace streampim
@@ -232,6 +233,11 @@ SweepRunner::report() const
     const double ops = functionalOps();
     if (ops > 0.0 || serialSeconds_ > 0.0) {
         Json perf = Json::object();
+        // Which word-kernel backend produced this run. Results are
+        // backend-invariant by construction (non-timing fields must
+        // diff byte-identical between scalar and avx2 CI legs);
+        // recording it here documents what actually ran.
+        perf["simd_backend"] = simd::backendName();
         perf["functional_ops"] = ops;
         perf["wall_seconds"] = wallSeconds_;
         perf["functional_ops_per_second"] =

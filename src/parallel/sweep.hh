@@ -38,9 +38,11 @@ namespace streampim
  * comparing mismatched shapes. History: 1 = the PR 1-3 shape
  * (implicit, no version field); 2 = schema_version added; 3 = perf
  * section may carry serial_seconds / speedup_vs_serial from
- * measureSerialReference().
+ * measureSerialReference(); 4 = perf section carries simd_backend,
+ * and micro_components modes gained an avx2 row plus per-mode
+ * allocations / bytes_allocated counters.
  */
-constexpr int kBenchReportSchemaVersion = 3;
+constexpr int kBenchReportSchemaVersion = 4;
 
 /**
  * Resolve the report path for bench @p name from its command line

@@ -53,9 +53,21 @@ class RmProcessor
     /**
      * Vector dot product: sum_i a[i]*b[i] (MUL VPC).
      * Operands are 8-bit; the result is the 32-bit accumulator.
+     *
+     * In the packed mode the whole pipeline reduces to a
+     * closed-form integer recurrence with one batched counter
+     * commit per call; STREAMPIM_STRICT_GATES walks the full
+     * component netlist. Values, counters, cycles and energy are
+     * identical in both modes.
      */
     ProcessorResult dotProduct(std::span<const std::uint8_t> a,
                                std::span<const std::uint8_t> b);
+
+    /** dotProduct writing into @p res, reusing its values storage
+     * (allocation-free once warm). */
+    void dotProductInto(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b,
+                        ProcessorResult &res);
 
     /**
      * Scalar-vector multiplication: scalar * v (SMUL VPC).
@@ -66,11 +78,21 @@ class RmProcessor
     ProcessorResult scalarVectorMul(std::uint8_t scalar,
                                     std::span<const std::uint8_t> v);
 
+    /** scalarVectorMul writing into @p res (reuses its storage). */
+    void scalarVectorMulInto(std::uint8_t scalar,
+                             std::span<const std::uint8_t> v,
+                             ProcessorResult &res);
+
     /**
      * Element-wise vector addition (ADD VPC); 9-bit sums returned.
      */
     ProcessorResult vectorAdd(std::span<const std::uint8_t> a,
                               std::span<const std::uint8_t> b);
+
+    /** vectorAdd writing into @p res (reuses its storage). */
+    void vectorAddInto(std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b,
+                       ProcessorResult &res);
 
     /** Cumulative logic-activity counters across all operations. */
     const LogicCounters &counters() const { return counters_; }

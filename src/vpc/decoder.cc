@@ -14,8 +14,17 @@ VpcDecoder::executingBank(const Vpc &vpc) const
 std::vector<BankCommand>
 VpcDecoder::decode(const Vpc &vpc) const
 {
-    SPIM_ASSERT(vpc.size > 0, "zero-size VPC");
     std::vector<BankCommand> cmds;
+    decodeInto(vpc, cmds);
+    return cmds;
+}
+
+void
+VpcDecoder::decodeInto(const Vpc &vpc,
+                       std::vector<BankCommand> &cmds) const
+{
+    SPIM_ASSERT(vpc.size > 0, "zero-size VPC");
+    cmds.clear();
 
     const auto src1 = map_.decode(vpc.src1);
     const unsigned exec_bank = src1.bank;
@@ -31,7 +40,7 @@ VpcDecoder::decode(const Vpc &vpc) const
         cmds.push_back({BankCommandKind::WriteBlock, dst.bank,
                         dst.subarray, vpc.dst, vpc.size,
                         VpcKind::Tran});
-        return cmds;
+        return;
     }
 
     // Operand collection: any operand outside the executing bank is
@@ -59,7 +68,6 @@ VpcDecoder::decode(const Vpc &vpc) const
                         dst.subarray, vpc.dst, result_bytes,
                         vpc.kind});
     }
-    return cmds;
 }
 
 std::vector<SubarrayOp>

@@ -82,6 +82,10 @@ class VpcDecoder
      */
     std::vector<BankCommand> decode(const Vpc &vpc) const;
 
+    /** decode filling @p cmds (cleared first; reuses capacity). */
+    void decodeInto(const Vpc &vpc,
+                    std::vector<BankCommand> &cmds) const;
+
     /**
      * Expand an ExecuteInBank command into the subarray operation
      * sequence of Fig. 13.

@@ -15,9 +15,10 @@
 #ifndef STREAMPIM_VPC_VPC_HH_
 #define STREAMPIM_VPC_VPC_HH_
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
@@ -80,6 +81,11 @@ struct Vpc
  * The device-side VPC queue of the asynchronous send-response
  * protocol (Sec. IV-B, Fig. 14): incoming commands buffer here; a
  * response is recorded when a VPC completes.
+ *
+ * Storage is a ring buffer that grows geometrically up to the queue
+ * capacity and never shrinks: a submit/drain cycle that fits the
+ * high-water mark performs no heap allocation (a deque would free
+ * and reallocate node blocks as its iterators sweep across them).
  */
 class VpcQueue
 {
@@ -89,9 +95,9 @@ class VpcQueue
         SPIM_ASSERT(capacity > 0, "VPC queue needs capacity");
     }
 
-    bool full() const { return queue_.size() >= capacity_; }
-    bool empty() const { return queue_.empty(); }
-    std::size_t depth() const { return queue_.size(); }
+    bool full() const { return count_ >= capacity_; }
+    bool empty() const { return count_ == 0; }
+    std::size_t depth() const { return count_; }
     std::size_t capacity() const { return capacity_; }
 
     /** Enqueue a command; @return false when the queue is full. */
@@ -100,7 +106,13 @@ class VpcQueue
     {
         if (full())
             return false;
-        queue_.push_back(vpc);
+        if (count_ == ring_.size())
+            grow();
+        std::size_t tail = head_ + count_;
+        if (tail >= ring_.size())
+            tail -= ring_.size();
+        ring_[tail] = vpc;
+        count_++;
         accepted_++;
         return true;
     }
@@ -109,9 +121,10 @@ class VpcQueue
     Vpc
     pop()
     {
-        SPIM_ASSERT(!queue_.empty(), "pop from an empty VPC queue");
-        Vpc v = queue_.front();
-        queue_.pop_front();
+        SPIM_ASSERT(count_ > 0, "pop from an empty VPC queue");
+        Vpc v = ring_[head_];
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        count_--;
         return v;
     }
 
@@ -129,8 +142,28 @@ class VpcQueue
     }
 
   private:
+    /** Double the ring (linearizing the live span), up to capacity. */
+    void
+    grow()
+    {
+        std::size_t want = ring_.empty() ? 16 : ring_.size() * 2;
+        want = std::min(want, capacity_);
+        want = std::max(want, count_ + 1);
+        std::vector<Vpc> next(want);
+        for (std::size_t i = 0; i < count_; ++i) {
+            std::size_t idx = head_ + i;
+            if (idx >= ring_.size())
+                idx -= ring_.size();
+            next[i] = ring_[idx];
+        }
+        ring_ = std::move(next);
+        head_ = 0;
+    }
+
     std::size_t capacity_;
-    std::deque<Vpc> queue_;
+    std::vector<Vpc> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::uint64_t accepted_ = 0;
     std::uint64_t responses_ = 0;
 };
