@@ -56,6 +56,7 @@ struct TimeBreakdown
     Tick shiftTicks = 0;   //!< in-subarray RM-bus/mat streaming
     Tick processTicks = 0; //!< RM processor pipelines
     Tick migrationTicks = 0; //!< health-policy operand migrations
+    Tick recoveryTicks = 0;  //!< recovery-ladder snapshot/rollback
 
     // Coverage view of the makespan (Fig. 19): wall-clock intervals
     // covered exclusively by data transfer, exclusively by

@@ -39,35 +39,49 @@ using CampaignHomes = std::array<std::uint32_t, 2>;
  * with sources drawn only from the read-only input regions of the
  * two home subarrays and one disjoint destination slice per VPC
  * (some remote, to exercise operand staging and store-out). */
+/** One program entry (index @p i) at the current region homes. */
+FaultCampaignVpc
+buildEntry(const FaultCampaignConfig &cfg, std::uint64_t per_sub,
+           const CampaignHomes &homes, unsigned i)
+{
+    const std::uint32_t n = cfg.vectorLen;
+    FaultCampaignVpc entry;
+    Vpc &v = entry.vpc;
+    v.kind = static_cast<VpcKind>(i % 4);
+    v.size = n;
+    v.src1 = homes[0] * per_sub +
+             (std::uint64_t(i) * 131) % (kInputBytes - n);
+    const std::uint32_t operand_len =
+        v.kind == VpcKind::Smul ? 1 : n;
+    const std::uint64_t src2_off =
+        (std::uint64_t(i) * 257 + 512) %
+        (kInputBytes - operand_len);
+    // Every third VPC stages its second operand from the other
+    // region (remote collection through read/write commands).
+    v.src2 = homes[i % 3 == 2 ? 1 : 0] * per_sub + src2_off;
+    entry.resultLen = v.kind == VpcKind::Mul ? 4 : n;
+    // Every fifth VPC stores out to the other region.
+    v.dst = homes[i % 5 == 4 ? 1 : 0] * per_sub + kDstBase +
+            std::uint64_t(i) * kDstStride;
+    return entry;
+}
+
 std::vector<FaultCampaignVpc>
 buildProgram(const FaultCampaignConfig &cfg, std::uint64_t per_sub,
              const CampaignHomes &homes)
 {
-    const std::uint32_t n = cfg.vectorLen;
     std::vector<FaultCampaignVpc> prog;
     prog.reserve(cfg.vpcs);
-    for (unsigned i = 0; i < cfg.vpcs; ++i) {
-        FaultCampaignVpc entry;
-        Vpc &v = entry.vpc;
-        v.kind = static_cast<VpcKind>(i % 4);
-        v.size = n;
-        v.src1 = homes[0] * per_sub +
-                 (std::uint64_t(i) * 131) % (kInputBytes - n);
-        const std::uint32_t operand_len =
-            v.kind == VpcKind::Smul ? 1 : n;
-        const std::uint64_t src2_off =
-            (std::uint64_t(i) * 257 + 512) %
-            (kInputBytes - operand_len);
-        // Every third VPC stages its second operand from the other
-        // region (remote collection through read/write commands).
-        v.src2 = homes[i % 3 == 2 ? 1 : 0] * per_sub + src2_off;
-        entry.resultLen = v.kind == VpcKind::Mul ? 4 : n;
-        // Every fifth VPC stores out to the other region.
-        v.dst = homes[i % 5 == 4 ? 1 : 0] * per_sub + kDstBase +
-                std::uint64_t(i) * kDstStride;
-        prog.push_back(entry);
-    }
+    for (unsigned i = 0; i < cfg.vpcs; ++i)
+        prog.push_back(buildEntry(cfg, per_sub, homes, i));
     return prog;
+}
+
+/** Bytes of one live region: inputs + every destination slice. */
+std::uint64_t
+regionBytes(const FaultCampaignConfig &cfg)
+{
+    return kDstBase + std::uint64_t(cfg.vpcs) * kDstStride;
 }
 
 void
@@ -231,6 +245,15 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
                         params.subarraysPerBank);
     policy.attachPlanner(&planner);
 
+    // The recovery ladder (runtime/recovery.hh): per-round batch
+    // journal + per-Failed-VPC escalation, serial and in submit
+    // order so the campaign stays one deterministic sample path.
+    RecoveryManager recovery(cfg.recovery, faulty, &policy);
+    BatchJournal journal;
+    std::vector<VpcRecoveryOutcome> outcomes;
+    /** Which region a Failed group's blame landed on (-1 unset). */
+    std::vector<int> blamedRegion;
+
     EnduranceCampaignResult res;
     res.perRound.reserve(cfg.rounds);
     // Deposit pulses committed up to and including each inspected
@@ -238,6 +261,7 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
     // unlike a round-end snapshot).
     std::uint64_t deposits_seen = 0;
     std::uint64_t migration_deposits = 0;
+    std::uint64_t recovery_deposits = 0;
     std::uint64_t remaps_prev = 0;
     std::uint64_t redeposits_prev = 0;
 
@@ -249,15 +273,131 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
                         "campaign program overflowed the VPC queue");
         }
         golden.processQueue(base.engineJobs);
-        auto faulty_records = faulty.processQueue(base.engineJobs);
+        std::vector<VpcExecutionRecord> faulty_records;
+        if (cfg.recovery.enabled) {
+            // Transactional drain: pre-batch snapshots of every
+            // write region land in the journal (fault-free, RNG
+            // streams untouched) before the batch executes.
+            faulty.processQueueInto(faulty_records, base.engineJobs,
+                                    journal);
+            recovery.noteBatch(journal);
+        } else {
+            faulty.processQueueInto(faulty_records, base.engineJobs);
+        }
         SPIM_ASSERT(faulty_records.size() == program.size(),
                     "campaign run lost VPCs");
+
+        EnduranceRound rr;
+        outcomes.assign(program.size(), VpcRecoveryOutcome{});
+        bool rehomed_this_round = false;
+
+        if (cfg.recovery.enabled) {
+            // The escalation ladder runs with injection still
+            // attached (re-executions sample faults honestly),
+            // serially, in submit order. Rollbacks and re-home
+            // copies inside it always run fault-free.
+            const std::uint64_t pulses_before =
+                faulty.totalFaultStats().depositPulses;
+            blamedRegion.assign(program.size(), -1);
+
+            RecoveryManager::Hooks hooks;
+            hooks.failingSubarray = [&](std::size_t g) {
+                // Blame the worst-worn home subarray the VPC
+                // touches (deposit failures concentrate where its
+                // writes land). Deterministic: total (wear..., id)
+                // order over at most three candidates.
+                const Vpc &v = program[g].vpc;
+                const auto wear = faulty.wearSummaries();
+                auto key = [&](std::uint32_t s) {
+                    const SubarrayWear &w = wear[s];
+                    return std::make_tuple(w.exhaustedMats,
+                                           w.sparesUsed,
+                                           w.maxTrackWear,
+                                           w.deposits, s);
+                };
+                std::uint32_t blamed =
+                    std::uint32_t(v.src1 / per_sub);
+                for (std::uint64_t addr : {v.src2, v.dst}) {
+                    const auto s = std::uint32_t(addr / per_sub);
+                    if (key(s) > key(blamed))
+                        blamed = s;
+                }
+                for (unsigned r = 0; r < homes.size(); ++r)
+                    if (homes[r] == blamed)
+                        blamedRegion[g] = int(r);
+                return blamed;
+            };
+            hooks.excluded = [&](std::uint32_t s) {
+                // Never re-home onto a live region's current home —
+                // the copy would clobber its data.
+                return s == homes[0] || s == homes[1];
+            };
+            hooks.rehome = [&](std::size_t g, std::uint32_t to,
+                               Vpc &out) {
+                const int r = blamedRegion[g];
+                if (r < 0)
+                    return false;
+                // Move the whole blamed region (inputs + every
+                // destination slice) on BOTH systems through the
+                // fault-free controller path. The golden copy
+                // replicates the reference bytes — including this
+                // round's already-computed outputs — at the new
+                // home, so the pair stays comparable there.
+                const std::uint64_t bytes = regionBytes(base);
+                const Addr from = std::uint64_t(homes[unsigned(r)]) *
+                                  per_sub;
+                const Addr dest = std::uint64_t(to) * per_sub;
+                golden.controllerCopy(from, dest, bytes);
+                faulty.controllerCopy(from, dest, bytes);
+                homes[unsigned(r)] = to;
+                // Only the failed entry is rewritten for this
+                // round's readout; every other entry's output
+                // already sits at its old (still valid) address.
+                program[g] = buildEntry(base, per_sub, homes,
+                                        unsigned(g));
+                out = program[g].vpc;
+                // Journal the rewritten destination so a further
+                // rollback of this group also restores it.
+                faulty.journalExtra(journal, g, out.dst,
+                                    program[g].resultLen);
+                rehomed_this_round = true;
+                return true;
+            };
+
+            for (std::size_t i = 0; i < faulty_records.size(); ++i) {
+                if (faulty_records[i].fault.status !=
+                    FaultStatus::Failed)
+                    continue;
+                outcomes[i] = recovery.recoverVpc(i, journal, hooks);
+                if (outcomes[i].recovered()) {
+                    rr.recoveredVpcs++;
+                    res.recovered++;
+                    switch (outcomes[i].rung) {
+                      case RecoveryRung::RetryInPlace:
+                        res.recoveredByRetry++;
+                        break;
+                      case RecoveryRung::Rehome:
+                        res.recoveredByRehome++;
+                        break;
+                      case RecoveryRung::Replan:
+                        res.recoveredByReplan++;
+                        break;
+                      default:
+                        break;
+                    }
+                } else {
+                    rr.unrecoverableVpcs++;
+                }
+            }
+            rr.recoveryDeposits =
+                faulty.totalFaultStats().depositPulses -
+                pulses_before;
+        }
 
         // Verification readout must not sample further faults (and
         // host reads do not wear tracks: only deposits do).
         faulty.disableFaultInjection();
 
-        EnduranceRound rr;
         for (std::size_t i = 0; i < program.size(); ++i) {
             const VpcFaultInfo &fault = faulty_records[i].fault;
             deposits_seen += fault.depositPulses;
@@ -289,11 +429,41 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
                 }
                 break;
             }
-            if (fault.status != FaultStatus::Failed && !exact)
+            // Post-ladder truth: a VPC is lost only when it came
+            // back Failed AND the ladder could not save it. With
+            // recovery disabled every Failed VPC is lost, so
+            // unrecoverable/firstUnrecoverable* mirror
+            // failed/firstFailed* exactly.
+            const bool lost = fault.status == FaultStatus::Failed &&
+                              !outcomes[i].recovered();
+            if (lost) {
+                res.unrecoverable++;
+                if (res.firstUnrecoverableVpc < 0) {
+                    res.firstUnrecoverableVpc =
+                        long(round) * long(program.size()) + long(i);
+                    res.firstUnrecoverableRound = long(round);
+                    // Ladder pulses of the current round are
+                    // accounted after the readout, so these match
+                    // firstFailedDeposits' accounting exactly.
+                    res.firstUnrecoverableDeposits = deposits_seen;
+                    res.firstUnrecoverableProgramDeposits =
+                        deposits_seen - migration_deposits -
+                        recovery_deposits;
+                }
+            }
+            if (!lost && !exact)
                 res.mismatchedRecovered++;
-            if (fault.status == FaultStatus::Failed && exact)
+            if (lost && exact)
                 res.failedButIntact++;
         }
+        deposits_seen += rr.recoveryDeposits;
+        recovery_deposits += rr.recoveryDeposits;
+
+        // Re-homes moved a whole region: rebuild the next round's
+        // program from the new homes (this round's readout above
+        // used the selectively-rewritten entries).
+        if (rehomed_this_round)
+            program = buildProgram(base, per_sub, homes);
 
         const FaultStats snap = faulty.totalFaultStats();
         rr.remaps = unsigned(snap.trackRemaps - remaps_prev);
@@ -389,6 +559,8 @@ runEnduranceCampaign(const EnduranceCampaignConfig &cfg)
     res.quarantinedSubarrays = policy.quarantinedCount();
     res.migrationDeposits = migration_deposits;
     res.finalHomes.assign(homes.begin(), homes.end());
+    res.recoveryStats = recovery.stats();
+    res.recoveryDeposits = recovery_deposits;
     return res;
 }
 

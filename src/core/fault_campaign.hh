@@ -34,6 +34,7 @@
 #include "core/stream_pim.hh"
 #include "rm/fault_injector.hh"
 #include "runtime/health_policy.hh"
+#include "runtime/recovery.hh"
 
 namespace streampim
 {
@@ -157,6 +158,24 @@ struct EnduranceCampaignConfig
      * separately so lifetime comparisons measure useful work.
      */
     HealthPolicyConfig adaptive;
+
+    /**
+     * Transactional recovery ladder (runtime/recovery.hh). With
+     * recovery.enabled == false (default) a Failed VPC stays
+     * terminal — the historical behaviour, bit-for-bit. Enabled,
+     * each round's batch is journaled (pre-batch snapshots of every
+     * write region) and Failed VPCs run the bounded escalation
+     * ladder with injection attached: retry in place, re-home the
+     * blamed operand region onto a strictly-healthier subarray
+     * (fault-free controller copies on BOTH systems, so the golden
+     * sibling keeps carrying the reference bytes at the new home),
+     * then quarantine-and-re-plan. Only exhausted budgets surface
+     * `unrecoverable` — rolled back to pre-batch bytes, never
+     * silently corrupt. `failed`/`firstFailed*` keep their
+     * PRE-recovery meaning; the post-ladder truth lands in
+     * `recovered`/`unrecoverable`/`firstUnrecoverable*`.
+     */
+    RecoveryConfig recovery;
 };
 
 /** One round's outcome inside an endurance campaign. */
@@ -186,6 +205,15 @@ struct EnduranceRound
     /** Deposit pulses spent executing this round's migrations. */
     std::uint64_t migrationDeposits = 0;
     unsigned newlyQuarantined = 0; //!< subarrays retired this round
+
+    // --- Recovery-ladder actions DURING this round (all zero when
+    // --- recovery is disabled; `failed` above stays pre-recovery).
+    unsigned recoveredVpcs = 0;     //!< Failed VPCs the ladder saved
+    unsigned unrecoverableVpcs = 0; //!< budgets exhausted, surfaced
+    /** Deposit pulses spent on this round's ladder (rollback writes
+     * are fault-free and thus wear-only; these are the sampled
+     * pulses of re-executions). */
+    std::uint64_t recoveryDeposits = 0;
 };
 
 /** Aggregate outcome of one endurance campaign. */
@@ -230,6 +258,32 @@ struct EnduranceCampaignResult
     /** Where each live operand region ended up (subarray ids;
      * {0, 1} when nothing migrated). */
     std::vector<std::uint32_t> finalHomes;
+
+    // --- Recovery-ladder summary. With recovery disabled,
+    // --- recovered* stay zero and unrecoverable/firstUnrecoverable*
+    // --- mirror failed/firstFailed* (every Failed VPC is lost).
+    /** Failed VPCs the ladder returned to a bit-exact state. */
+    unsigned recovered = 0;
+    unsigned recoveredByRetry = 0;
+    unsigned recoveredByRehome = 0;
+    unsigned recoveredByReplan = 0;
+    /** Failed VPCs that stayed lost after every budget. */
+    unsigned unrecoverable = 0;
+    /** Ladder-internal counters (snapshots, rollbacks, ...). */
+    RecoveryStats recoveryStats;
+    /**
+     * The honest lifetime metric under recovery: the first VPC the
+     * device actually LOST (post-ladder), not merely the first that
+     * needed the ladder. -1 when nothing was unrecoverable. With
+     * recovery disabled these mirror firstFailed* exactly.
+     */
+    long firstUnrecoverableVpc = -1;
+    long firstUnrecoverableRound = -1;
+    std::uint64_t firstUnrecoverableDeposits = 0;
+    /** ... minus migration + recovery pulses: useful-work volume. */
+    std::uint64_t firstUnrecoverableProgramDeposits = 0;
+    /** Deposit pulses spent on the ladder across the campaign. */
+    std::uint64_t recoveryDeposits = 0;
 
     unsigned rounds() const { return unsigned(perRound.size()); }
     bool invariantHolds() const { return mismatchedRecovered == 0; }

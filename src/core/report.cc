@@ -19,6 +19,7 @@ reportToStats(const ExecutionReport &report, StatGroup &group)
     group.counter("shift_ticks").inc(b.shiftTicks);
     group.counter("process_ticks").inc(b.processTicks);
     group.counter("migration_ticks").inc(b.migrationTicks);
+    group.counter("recovery_ticks").inc(b.recoveryTicks);
     group.counter("exclusive_transfer_ticks")
         .inc(b.exclusiveTransfer);
     group.counter("exclusive_process_ticks").inc(b.exclusiveProcess);

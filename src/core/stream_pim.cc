@@ -7,6 +7,7 @@
 #include "common/log.hh"
 #include "parallel/thread_pool.hh"
 #include "runtime/conflict_graph.hh"
+#include "runtime/recovery.hh"
 
 namespace streampim
 {
@@ -429,11 +430,181 @@ void
 StreamPimSystem::processQueueInto(
     std::vector<VpcExecutionRecord> &records, unsigned jobs)
 {
+    drainAndRun(records, jobs, nullptr);
+}
+
+void
+StreamPimSystem::processQueueInto(
+    std::vector<VpcExecutionRecord> &records, unsigned jobs,
+    BatchJournal &journal)
+{
+    drainAndRun(records, jobs, &journal);
+}
+
+std::size_t
+StreamPimSystem::journalVpc(BatchJournal &journal, const Vpc &vpc)
+{
+    const std::size_t group = journal.groupBegin_.size();
+    journal.groupBegin_.push_back(
+        std::uint32_t(journal.regions_.size()));
+    journal.vpcs_.push_back(vpc);
+
+    const bool was_attached = faultsAttached_;
+    if (was_attached)
+        disableFaultInjection();
+
+    auto snap = [&](Addr addr, std::uint64_t len) {
+        if (len == 0)
+            return;
+        BatchJournal::Region r;
+        r.addr = addr;
+        r.len = std::uint32_t(len);
+        r.bytes = journal.arena_.alloc(len).data();
+        std::size_t done = 0;
+        while (done < len) {
+            AddrPlace p = place(addr + done);
+            const std::uint64_t room =
+                params_.bytesPerSubarray() - p.offset;
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(room, len - done);
+            auto bytes = subarrays_[p.globalSubarray]->hostRead(
+                p.offset, chunk);
+            std::copy(bytes.begin(), bytes.end(), r.bytes + done);
+            done += chunk;
+        }
+        journal.regions_.push_back(r);
+        journal.snapshotBytes_ += len;
+    };
+
+    // Mirror executeOne()'s write set exactly: the destination
+    // range, plus the executing subarray's staging tail when
+    // operands/results are remote (those scratch bytes are part of
+    // device memory too, so a rollback restores them bit-exact).
+    if (vpc.kind == VpcKind::Tran) {
+        snap(vpc.dst, vpc.size);
+    } else {
+        const std::uint32_t operand_len =
+            vpc.kind == VpcKind::Smul ? 1 : vpc.size;
+        const std::uint32_t result_len =
+            vpc.kind == VpcKind::Mul ? 4 : vpc.size;
+        snap(vpc.dst, result_len);
+
+        const AddrPlace src1 = place(vpc.src1);
+        const std::uint64_t cap =
+            subarrays_[src1.globalSubarray]->capacityBytes();
+        const Addr sub_base =
+            Addr(src1.globalSubarray) * params_.bytesPerSubarray();
+        const bool remote_src2 =
+            place(vpc.src2).globalSubarray != src1.globalSubarray;
+        const bool remote_dst =
+            place(vpc.dst).globalSubarray != src1.globalSubarray;
+        if (remote_src2 && remote_dst)
+            snap(sub_base + cap - operand_len - result_len,
+                 std::uint64_t(operand_len) + result_len);
+        else if (remote_src2)
+            snap(sub_base + cap - operand_len, operand_len);
+        else if (remote_dst)
+            snap(sub_base + cap - operand_len - result_len,
+                 result_len);
+    }
+
+    if (was_attached)
+        resumeFaultInjection();
+    return group;
+}
+
+void
+StreamPimSystem::journalExtra(BatchJournal &journal,
+                              std::size_t group, Addr addr,
+                              std::uint64_t len)
+{
+    SPIM_ASSERT(group < journal.groupBegin_.size(),
+                "journalExtra: group ", group, " out of range");
+    if (len == 0)
+        return;
+    const bool was_attached = faultsAttached_;
+    if (was_attached)
+        disableFaultInjection();
+    BatchJournal::Region r;
+    r.addr = addr;
+    r.len = std::uint32_t(len);
+    r.bytes = journal.arena_.alloc(len).data();
+    std::vector<std::uint8_t> bytes = read(addr, len);
+    std::copy(bytes.begin(), bytes.end(), r.bytes);
+    journal.extras_.emplace_back(std::uint32_t(group), r);
+    journal.snapshotBytes_ += len;
+    if (was_attached)
+        resumeFaultInjection();
+}
+
+std::uint64_t
+StreamPimSystem::rollbackGroup(const BatchJournal &journal,
+                               std::size_t group)
+{
+    SPIM_ASSERT(group < journal.groupBegin_.size(),
+                "rollbackGroup: group ", group, " out of range");
+    const bool was_attached = faultsAttached_;
+    if (was_attached)
+        disableFaultInjection();
+    std::uint64_t restored = 0;
+    const std::size_t begin = journal.groupBegin_[group];
+    const std::size_t end = group + 1 < journal.groupBegin_.size()
+        ? journal.groupBegin_[group + 1]
+        : journal.regions_.size();
+    for (std::size_t i = begin; i < end; ++i) {
+        const BatchJournal::Region &r = journal.regions_[i];
+        write(r.addr, {r.bytes, r.len});
+        restored += r.len;
+    }
+    for (const auto &[g, r] : journal.extras_) {
+        if (g != group)
+            continue;
+        write(r.addr, {r.bytes, r.len});
+        restored += r.len;
+    }
+    if (was_attached)
+        resumeFaultInjection();
+    return restored;
+}
+
+VpcExecutionRecord
+StreamPimSystem::executeSingle(const Vpc &vpc)
+{
+    VpcExecutionRecord rec;
+    executeScoped(rec, vpc, touchMask(vpc), serialScratch_);
+    return rec;
+}
+
+void
+StreamPimSystem::controllerCopy(Addr src, Addr dst,
+                                std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const bool was_attached = faultsAttached_;
+    if (was_attached)
+        disableFaultInjection();
+    std::vector<std::uint8_t> data = read(src, bytes);
+    write(dst, data);
+    if (was_attached)
+        resumeFaultInjection();
+}
+
+void
+StreamPimSystem::drainAndRun(std::vector<VpcExecutionRecord> &records,
+                             unsigned jobs, BatchJournal *journal)
+{
     std::vector<Vpc> &batch = batchScratch_;
     batch.clear();
     batch.reserve(queue_.depth());
     while (!queue_.empty())
         batch.push_back(queue_.pop());
+
+    if (journal) {
+        journal->clear();
+        for (const Vpc &vpc : batch)
+            journalVpc(*journal, vpc);
+    }
 
     std::vector<std::uint64_t> &masks = maskScratch_;
     masks.resize(batch.size());

@@ -43,6 +43,7 @@ namespace streampim
 {
 
 class ThreadPool;
+class BatchJournal;
 
 /** A small functional geometry that is cheap to instantiate. */
 RmParams smallFunctionalParams();
@@ -131,6 +132,64 @@ class StreamPimSystem
      */
     void processQueueInto(std::vector<VpcExecutionRecord> &records,
                           unsigned jobs = 0);
+
+    /**
+     * Transactional drain (runtime/recovery.hh): like
+     * processQueueInto, but first journals the pre-batch bytes of
+     * every region the batch's VPCs will write into @p journal
+     * (cleared here), grouped per VPC in submit order. Snapshots go
+     * through the fault-free controller path — injection is
+     * detached and resumed around them, so the fault-injector RNG
+     * streams are untouched and records stay byte-identical with a
+     * journal-free drain at any job count.
+     */
+    void processQueueInto(std::vector<VpcExecutionRecord> &records,
+                          unsigned jobs, BatchJournal &journal);
+
+    /** Transactional-recovery primitives (runtime/recovery.hh). @{ */
+
+    /**
+     * Open a new journal group for @p vpc and snapshot its write
+     * regions (destination range, plus the executing subarray's
+     * staging tail when operands/results are remote). Fault-free.
+     * Returns the group index.
+     */
+    std::size_t journalVpc(BatchJournal &journal, const Vpc &vpc);
+
+    /**
+     * Snapshot [@p addr, @p addr + @p len) as an extra region of
+     * existing group @p group (e.g. the re-homed destination before
+     * a rung-2 re-execution). Fault-free.
+     */
+    void journalExtra(BatchJournal &journal, std::size_t group,
+                      Addr addr, std::uint64_t len);
+
+    /**
+     * Restore every region of group @p group (base regions first,
+     * then extras, each in snapshot order) through the fault-free
+     * controller path. Deposit wear still accrues — the restore
+     * writes are physically real — but no faults are sampled and no
+     * RNG stream advances. Returns bytes restored.
+     */
+    std::uint64_t rollbackGroup(const BatchJournal &journal,
+                                std::size_t group);
+
+    /**
+     * Execute @p vpc immediately (queue-less, serial, on the
+     * calling thread) under the system's current injection attach
+     * state. The recovery ladder re-executes rolled-back VPCs with
+     * this; ordinary workloads use submit + processQueue.
+     */
+    VpcExecutionRecord executeSingle(const Vpc &vpc);
+
+    /**
+     * Fault-free controller copy of @p bytes bytes from @p src to
+     * @p dst (spare-track-remap precedent: the controller's
+     * ECC-checked read/write path). Used by recovery to evacuate
+     * live data off a failing subarray. Wear accrues; no faults.
+     */
+    void controllerCopy(Addr src, Addr dst, std::uint64_t bytes);
+    /** @} */
 
     /** Responses delivered so far (send-response protocol). */
     std::uint64_t responses() const { return queue_.responses(); }
@@ -226,6 +285,10 @@ class StreamPimSystem
     /** Execute one VPC inside its fault-attribution scope. */
     void executeScoped(VpcExecutionRecord &rec, const Vpc &vpc,
                        std::uint64_t mask, VpcScratch &scratch);
+
+    /** Shared drain path: journal (optional), execute, respond. */
+    void drainAndRun(std::vector<VpcExecutionRecord> &records,
+                     unsigned jobs, BatchJournal *journal);
 
     /** Dependency-aware parallel execution of a drained batch. */
     void runParallel(const std::vector<Vpc> &batch,

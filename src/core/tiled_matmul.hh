@@ -36,6 +36,7 @@
 
 #include "core/stream_pim.hh"
 #include "rm/fault_injector.hh"
+#include "runtime/recovery.hh"
 
 namespace streampim
 {
@@ -58,6 +59,21 @@ struct TiledMatmulConfig
 
     /** Worker threads for processQueue (0 = resolve from env). */
     unsigned jobs = 0;
+
+    /**
+     * Transactional recovery ladder (DESIGN.md §10). When enabled the
+     * runner switches to a task-granular transactional dataflow: each
+     * k-slice task journals the only state it carries forward (the
+     * C-tile accumulator, plus the C rows on the collecting slice),
+     * drains per task, and on a Failed record rolls the accumulator
+     * back bit-exact and climbs the ladder — retry in place
+     * (retryBudget), then quarantine the blamed compute subarray,
+     * evacuate the in-flight accumulator onto the least-worn
+     * survivor, and capacity-adaptively re-tile the remaining
+     * k-range (replanBudget escalations per episode). Disabled (the
+     * default), the original bulk dataflow runs unchanged.
+     */
+    RecoveryConfig recovery;
 };
 
 /** What one runTiledMatmul call did (telemetry for tests/benches). */
@@ -69,8 +85,19 @@ struct TiledMatmulStats
     std::uint64_t rounds = 0;   //!< processQueue flushes
     /** Worst fault-recovery outcome over every VPC (Clean when
      * injection is off); anything short of Failed keeps the result
-     * bit-exact. */
+     * bit-exact. Under the recovery path a Failed that the ladder
+     * recovered also keeps it — the result is lost only when
+     * recovery.unrecoverable > 0. */
     FaultStatus worstFault = FaultStatus::Clean;
+
+    /** Ladder counters (all-zero unless config.recovery.enabled).
+     * failedVpcs counts slice-task episodes entering the ladder;
+     * retiles counts in-flight k-edge shrinks. */
+    RecoveryStats recovery;
+
+    /** k-edge the run ended with (== the starting tileK unless a
+     * quarantine-driven re-tile shrank it; 0 on the bulk path). */
+    std::uint32_t finalTileK = 0;
 };
 
 /**

@@ -76,10 +76,24 @@ SweepRunner::cell(const std::string &row,
                   const std::string &col) const
 {
     SPIM_ASSERT(ran_, "SweepRunner: cell() before run()");
+    if (const SweepCellResult *r = findCell(row, col))
+        return *r;
+    // A bench asked for a cell it never declared: a report-assembly
+    // bug. Name the bench and the missing coordinates and exit
+    // nonzero (SPIM_FATAL) so abl_* benches fail with a diagnostic
+    // instead of aborting mid-report.
+    SPIM_FATAL("SweepRunner(", name_, "): no cell (", row, ", ", col,
+               ") — the bench never declared this row/column pair");
+}
+
+const SweepCellResult *
+SweepRunner::findCell(const std::string &row,
+                      const std::string &col) const
+{
     for (const Cell &c : cells_)
         if (c.row == row && c.col == col)
-            return c.result;
-    SPIM_FATAL("SweepRunner: no cell (", row, ", ", col, ")");
+            return &c.result;
+    return nullptr;
 }
 
 double

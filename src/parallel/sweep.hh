@@ -40,9 +40,13 @@ namespace streampim
  * section may carry serial_seconds / speedup_vs_serial from
  * measureSerialReference(); 4 = perf section carries simd_backend,
  * and micro_components modes gained an avx2 row plus per-mode
- * allocations / bytes_allocated counters.
+ * allocations / bytes_allocated counters; 5 = recovery: fault
+ * campaigns carry recovered / unrecoverable / first_unrecoverable
+ * trajectories and recovery-ladder counters, executor reports carry
+ * recovery_ticks and the recovery energy category, and the
+ * abl_recovery bench joined the golden set.
  */
-constexpr int kBenchReportSchemaVersion = 4;
+constexpr int kBenchReportSchemaVersion = 5;
 
 /**
  * Resolve the report path for bench @p name from its command line
@@ -92,9 +96,19 @@ class SweepRunner
     /** Execute all cells on the pool and record wall time. */
     void run();
 
-    /** Cell result; panics when (row, col) was never declared. */
+    /**
+     * Cell result. When (row, col) was never declared, exits the
+     * process with status 1 and a diagnostic naming this bench and
+     * the missing (row, col) — a report-assembly bug in the bench,
+     * reported as an error message rather than an abort mid-report.
+     * Use findCell() to probe for a cell that may be absent.
+     */
     const SweepCellResult &cell(const std::string &row,
                                 const std::string &col) const;
+
+    /** Like cell(), but returns nullptr when never declared. */
+    const SweepCellResult *findCell(const std::string &row,
+                                    const std::string &col) const;
     /** Shorthand for cell(row, col).value. */
     double value(const std::string &row,
                  const std::string &col) const;

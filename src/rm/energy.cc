@@ -20,6 +20,7 @@ energyOpName(EnergyOp op)
       case EnergyOp::GuardSense: return "guard_sense";
       case EnergyOp::Redeposit: return "redeposit";
       case EnergyOp::Migration: return "migration";
+      case EnergyOp::Recovery: return "recovery";
       case EnergyOp::NumOps: break;
     }
     return "unknown";

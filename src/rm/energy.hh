@@ -37,6 +37,7 @@ enum class EnergyOp : unsigned
     GuardSense,     //!< guard-domain check (fault detection)
     Redeposit,      //!< re-driven deposit after nucleation failure
     Migration,      //!< health-policy operand migration copies
+    Recovery,       //!< recovery-ladder snapshot/rollback/re-execute
     NumOps,
 };
 
@@ -215,6 +216,20 @@ class RmEnergyModel
     migrationRow(std::uint64_t rows = 1)
     {
         meter_.record(EnergyOp::Migration,
+                      params_.readPj + params_.writePj, rows);
+    }
+
+    /**
+     * One row of recovery-ladder traffic (journal snapshot,
+     * rollback restore, or re-execution of a rolled-back VPC):
+     * the same read-then-write row quantum as a migration, charged
+     * to its own category so fault-recovery overhead stays visible
+     * next to useful work (runtime/recovery.hh).
+     */
+    void
+    recoveryRow(std::uint64_t rows = 1)
+    {
+        meter_.record(EnergyOp::Recovery,
                       params_.readPj + params_.writePj, rows);
     }
 

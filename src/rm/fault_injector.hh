@@ -145,6 +145,7 @@ struct FaultStats
     std::uint64_t uncorrectable = 0;    //!< |error| beyond guard range
     std::uint64_t budgetExhausted = 0;  //!< realign episodes given up
     std::uint64_t clampedAtWireEnd = 0; //!< faulty travel hit the wire end
+    std::uint64_t overtravelInterlocks = 0; //!< illegal intent pinned, not aborted
 
     // --- Write/endurance counters ---
     std::uint64_t depositPulses = 0;      //!< sampled deposit commits
@@ -170,6 +171,7 @@ struct FaultStats
         uncorrectable += o.uncorrectable;
         budgetExhausted += o.budgetExhausted;
         clampedAtWireEnd += o.clampedAtWireEnd;
+        overtravelInterlocks += o.overtravelInterlocks;
         depositPulses += o.depositPulses;
         writeFaultsInjected += o.writeFaultsInjected;
         redeposits += o.redeposits;
@@ -339,6 +341,22 @@ class FaultInjector
 
     /** Record faulty travel pinned at the physical wire end. */
     void noteClamped() { stats_.clampedAtWireEnd++; }
+
+    /**
+     * Record an overtravel interlock: a fallible shift whose
+     * *intended* target already lay outside the reserved region
+     * (the caller's view of the train position had drifted under
+     * injection). The drive interlock pins the train at the wire
+     * end instead of aborting, and the episode escalates to Failed
+     * — the data survived but its alignment contract is broken, so
+     * the scoped VPC must be recovered, never trusted.
+     */
+    void
+    noteOvertravel()
+    {
+        stats_.overtravelInterlocks++;
+        fail();
+    }
 
     /** Write/endurance fault hooks (deposit commits on save tracks).
      * @{ */

@@ -50,14 +50,16 @@ Nanowire::tryShift(ShiftDir dir, unsigned steps, FaultInjector *faults)
     const int delta =
         (dir == ShiftDir::TowardLower) ? -int(steps) : int(steps);
     const int intended = offset_ + delta;
-    // The intended target must be legal — violating it is a caller
-    // bug exactly as with shift(); only the sampled fault may push
-    // the train past it.
-    if (intended < -int(reserved_) || intended > int(reserved_))
-        SPIM_PANIC("over-shift: attempted offset ", intended,
-                   " (shift by ", delta, " from offset ", offset_,
-                   ") outside reserved region [-", reserved_, ", ",
-                   reserved_, "]");
+    // An intended target outside the reserved region is a caller
+    // bug on the infallible path (shift() panics above and in the
+    // !faults branch). Under live injection, though, the caller's
+    // view of the train position may itself have drifted because
+    // of earlier sampled faults, so the same intent must never
+    // abort the process: the drive interlock pins travel at the
+    // wire end, flags the attempt, and escalates the scoped VPC to
+    // Failed so the recovery ladder — not a panic — handles it.
+    const bool overtravel =
+        intended < -int(reserved_) || intended > int(reserved_);
 
     att.outcome = faults->samplePulse(steps);
     int error = 0;
@@ -72,6 +74,10 @@ Nanowire::tryShift(ShiftDir dir, unsigned steps, FaultInjector *faults)
         break;
     }
     int next = intended + error;
+    if (overtravel) {
+        att.overtravel = true;
+        faults->noteOvertravel();
+    }
     // A faulty single-position overtravel is pinned at the physical
     // wire end: the reserved overhead domains absorb it, so data
     // survives (misaligned) instead of falling off.

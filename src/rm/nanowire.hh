@@ -42,6 +42,15 @@ struct ShiftAttempt
     ShiftOutcome outcome = ShiftOutcome::Exact;
     int applied = 0;      //!< signed positions the train moved
     bool clamped = false; //!< faulty travel pinned at the wire end
+    /**
+     * The *intended* target was already outside the reserved region
+     * — the caller's view of the train had drifted under injection.
+     * The drive interlock pinned travel at the wire end instead of
+     * panicking and escalated the scoped VPC to Failed (see
+     * FaultInjector::noteOvertravel); without a live injector the
+     * same intent is a caller bug and still panics.
+     */
+    bool overtravel = false;
 };
 
 /** A single racetrack: data domains + reserved overhead domains. */

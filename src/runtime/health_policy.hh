@@ -166,6 +166,25 @@ class HealthPolicy
         return sub < quarantined_.size() && quarantined_[sub];
     }
 
+    /**
+     * Quarantine @p sub immediately (recovery-ladder rung 3,
+     * runtime/recovery.hh): the failing subarray is proven bad by a
+     * Failed VPC, so the ladder does not wait for the next cadence
+     * point. Sticky like evaluate()'s quarantines and pruned from
+     * an attached planner the same way. Returns false when @p sub
+     * was already quarantined (idempotent).
+     */
+    bool
+    forceQuarantine(std::uint32_t sub)
+    {
+        if (sub >= quarantined_.size() || quarantined_[sub])
+            return false;
+        quarantined_[sub] = true;
+        if (planner_)
+            planner_->applyQuarantine({sub});
+        return true;
+    }
+
     /** Number of quarantined subarrays so far. */
     unsigned quarantinedCount() const;
 

@@ -106,6 +106,19 @@ Planner::planMigration(
     return sched;
 }
 
+VpcSchedule
+Planner::planRecovery(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &moves,
+    std::uint64_t bytes) const
+{
+    VpcSchedule sched = planMigration(moves, bytes);
+    for (auto &b : sched.batches) {
+        b.migration = false;
+        b.recovery = true;
+    }
+    return sched;
+}
+
 std::uint32_t
 Planner::rowsOnSlot(std::uint32_t rows, std::uint32_t slot) const
 {

@@ -123,6 +123,19 @@ class Planner
                       std::pair<std::uint32_t, std::uint32_t>> &moves,
                   std::uint64_t bytes) const;
 
+    /**
+     * Same lowering as planMigration but for recovery-ladder traffic
+     * (runtime/recovery.hh): journal snapshots, rollback restores,
+     * and re-home copies of a Failed VPC's operands. Batches carry
+     * the recovery flag so the executor charges them under the
+     * Recovery energy/cycle category (EnergyOp::Recovery,
+     * TimeBreakdown::recoveryTicks) instead of Migration.
+     */
+    VpcSchedule
+    planRecovery(const std::vector<
+                     std::pair<std::uint32_t, std::uint32_t>> &moves,
+                 std::uint64_t bytes) const;
+
   private:
     struct LowerCtx
     {

@@ -70,6 +70,15 @@ struct VpcBatch
      */
     bool migration = false;
 
+    /**
+     * This batch is recovery-ladder traffic (runtime/recovery.hh):
+     * a journal snapshot/rollback copy or the re-execution of a
+     * rolled-back VPC. The executor accounts it under the separate
+     * Recovery energy and cycle category so fault-recovery overhead
+     * never blends into workload traffic.
+     */
+    bool recovery = false;
+
     /** Total elements touched by the batch. */
     std::uint64_t
     elements() const

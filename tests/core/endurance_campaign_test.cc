@@ -141,6 +141,142 @@ TEST(EnduranceCampaign, SameConfigSameSamplePath)
     }
 }
 
+TEST(EnduranceCampaign, RecoveryLadderRecoversStaticBaselineLosses)
+{
+    // The static baseline loses VPCs at this operating point; the
+    // same config with the ladder enabled must save some of them,
+    // and every Failed VPC must be accounted recovered-or-lost.
+    EnduranceCampaignConfig base = wearOutConfig(0);
+    auto baseline = runEnduranceCampaign(base);
+    ASSERT_GT(baseline.failed, 0u);
+
+    EnduranceCampaignConfig cfg = wearOutConfig(0);
+    cfg.recovery.enabled = true;
+    auto res = runEnduranceCampaign(cfg);
+    ASSERT_GT(res.failed, 0u);
+    EXPECT_TRUE(res.invariantHolds());
+    EXPECT_GT(res.recovered, 0u);
+    EXPECT_EQ(res.recovered + res.unrecoverable, res.failed);
+    EXPECT_EQ(res.recovered, res.recoveredByRetry +
+                                 res.recoveredByRehome +
+                                 res.recoveredByReplan);
+    EXPECT_EQ(res.recoveryStats.failedVpcs, res.failed);
+    EXPECT_GT(res.recoveryStats.snapshots, 0u);
+    EXPECT_GT(res.recoveryStats.snapshotBytes, 0u);
+    // The ladder only engages AFTER a failure, so the trajectory up
+    // to the first Failed VPC is the baseline's, bit for bit.
+    EXPECT_EQ(res.firstFailedVpc, baseline.firstFailedVpc);
+    EXPECT_EQ(res.firstFailedRound, baseline.firstFailedRound);
+    EXPECT_EQ(res.firstFailedDeposits, baseline.firstFailedDeposits);
+    // The honest lifetime metric: nothing lost => -1; otherwise the
+    // first loss cannot precede the first ladder entry.
+    if (res.unrecoverable == 0) {
+        EXPECT_EQ(res.firstUnrecoverableVpc, -1);
+        EXPECT_EQ(res.firstUnrecoverableRound, -1);
+    } else {
+        EXPECT_GE(res.firstUnrecoverableVpc, res.firstFailedVpc);
+        EXPECT_GE(res.firstUnrecoverableDeposits,
+                  res.firstFailedDeposits);
+    }
+    // Re-executions spend sampled pulses, tracked separately.
+    EXPECT_GT(res.recoveryDeposits, 0u);
+    std::uint64_t per_round_recovered = 0;
+    std::uint64_t per_round_deposits = 0;
+    for (const EnduranceRound &r : res.perRound) {
+        per_round_recovered += r.recoveredVpcs;
+        per_round_deposits += r.recoveryDeposits;
+    }
+    EXPECT_EQ(per_round_recovered, res.recovered);
+    EXPECT_EQ(per_round_deposits, res.recoveryDeposits);
+}
+
+TEST(EnduranceCampaign, RecoveryDisabledMirrorsLegacyMetrics)
+{
+    // Disabled recovery must be the historical campaign bit-for-bit:
+    // every Failed VPC is lost and the unrecoverable metrics mirror
+    // the legacy firstFailed* ones exactly.
+    auto res = runEnduranceCampaign(wearOutConfig(0));
+    ASSERT_GT(res.failed, 0u);
+    EXPECT_EQ(res.recovered, 0u);
+    EXPECT_EQ(res.unrecoverable, res.failed);
+    EXPECT_EQ(res.firstUnrecoverableVpc, res.firstFailedVpc);
+    EXPECT_EQ(res.firstUnrecoverableRound, res.firstFailedRound);
+    EXPECT_EQ(res.firstUnrecoverableDeposits,
+              res.firstFailedDeposits);
+    EXPECT_EQ(res.recoveryDeposits, 0u);
+    EXPECT_EQ(res.recoveryStats.batches, 0u);
+    EXPECT_EQ(res.recoveryStats.snapshots, 0u);
+    EXPECT_EQ(res.recoveryStats.rollbacks, 0u);
+    EXPECT_EQ(res.recoveryStats.retries, 0u);
+}
+
+TEST(EnduranceCampaign, RecoveryCampaignByteIdenticalAcrossEngineJobs)
+{
+    // The ladder runs serially in submit order after each round's
+    // drain, so results must not depend on engine parallelism.
+    EnduranceCampaignConfig cfg = wearOutConfig(0);
+    cfg.recovery.enabled = true;
+    EnduranceCampaignResult first;
+    bool have_first = false;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        cfg.base.engineJobs = jobs;
+        auto res = runEnduranceCampaign(cfg);
+        EXPECT_TRUE(res.invariantHolds()) << "jobs " << jobs;
+        if (!have_first) {
+            first = res;
+            have_first = true;
+            ASSERT_GT(first.failed, 0u);
+            continue;
+        }
+        EXPECT_EQ(first.failed, res.failed) << jobs;
+        EXPECT_EQ(first.recovered, res.recovered) << jobs;
+        EXPECT_EQ(first.recoveredByRetry, res.recoveredByRetry)
+            << jobs;
+        EXPECT_EQ(first.recoveredByRehome, res.recoveredByRehome)
+            << jobs;
+        EXPECT_EQ(first.recoveredByReplan, res.recoveredByReplan)
+            << jobs;
+        EXPECT_EQ(first.unrecoverable, res.unrecoverable) << jobs;
+        EXPECT_EQ(first.firstUnrecoverableVpc,
+                  res.firstUnrecoverableVpc)
+            << jobs;
+        EXPECT_EQ(first.recoveryDeposits, res.recoveryDeposits)
+            << jobs;
+        EXPECT_EQ(first.recoveryStats.rollbacks,
+                  res.recoveryStats.rollbacks)
+            << jobs;
+        EXPECT_EQ(first.recoveryStats.rollbackBytes,
+                  res.recoveryStats.rollbackBytes)
+            << jobs;
+        EXPECT_EQ(first.stats.depositPulses, res.stats.depositPulses)
+            << jobs;
+        EXPECT_EQ(first.stats.writeFaultsInjected,
+                  res.stats.writeFaultsInjected)
+            << jobs;
+        EXPECT_EQ(first.stats.trackRemaps, res.stats.trackRemaps)
+            << jobs;
+        ASSERT_EQ(first.rounds(), res.rounds());
+        for (unsigned r = 0; r < first.rounds(); ++r) {
+            EXPECT_EQ(first.perRound[r].failed, res.perRound[r].failed)
+                << "jobs " << jobs << " round " << r;
+            EXPECT_EQ(first.perRound[r].recoveredVpcs,
+                      res.perRound[r].recoveredVpcs)
+                << "jobs " << jobs << " round " << r;
+            EXPECT_EQ(first.perRound[r].recoveryDeposits,
+                      res.perRound[r].recoveryDeposits)
+                << "jobs " << jobs << " round " << r;
+        }
+        ASSERT_EQ(first.wear.size(), res.wear.size());
+        for (std::size_t i = 0; i < first.wear.size(); ++i) {
+            EXPECT_EQ(first.wear[i].deposits, res.wear[i].deposits)
+                << "jobs " << jobs << " sub " << i;
+            EXPECT_EQ(first.wear[i].maxTrackWear,
+                      res.wear[i].maxTrackWear)
+                << "jobs " << jobs << " sub " << i;
+        }
+    }
+}
+
 /** Small endurance grid shared by the parallelism test. */
 SweepRunner
 enduranceGrid()

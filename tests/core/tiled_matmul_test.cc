@@ -224,6 +224,135 @@ TEST(TiledMatmul, NonFailedFaultStatusesStayBitExact)
     EXPECT_EQ(c, hostMatmulReference(a, b, s.n, s.k, s.m));
 }
 
+/** Geometry with no remap headroom: one re-deposit exhaustion
+ * escalates straight to Failed. */
+RmParams
+noSpareParams()
+{
+    RmParams p = smallFunctionalParams();
+    p.spareTracksPerMat = 0;
+    return p;
+}
+
+/** Pre-wears compute subarray 0 to the brink (saturated Weibull
+ * hazard over the tile working set) while every other subarray
+ * stays pristine: slices homed on subarray 0 come back Failed,
+ * everywhere else stays healthy. */
+void
+preWearComputeSubZero(StreamPimSystem &sys)
+{
+    const auto junk = randomBytes(4096, 3);
+    for (int w = 0; w < 800; ++w)
+        sys.write(0, junk);
+}
+
+FaultConfig
+wearOutFaults()
+{
+    // One full write of a 512-byte track-group window wears each of
+    // its 8 bit-plane tracks by 512, so a slice deposits ~512 wear
+    // per touched track per attempt. eta sits far above that (a
+    // pristine subarray survives the whole run at the p0 floor) but
+    // far below the pre-worn subarray's ~410k wear, whose Weibull
+    // hazard is then ~1: subarray 0 fails deterministically, the
+    // rest stay healthy.
+    FaultConfig fc;
+    fc.pStep = 0.0; // endurance-driven failures only
+    fc.pWrite0 = 1e-4;
+    fc.writeEndurance = 50000.0;
+    fc.weibullShape = 6.0;
+    fc.redepositRetryBudget = 2;
+    fc.seed = 5;
+    return fc;
+}
+
+TEST(TiledMatmul, RecoveryLadderSurvivesQuarantineDrivenRetile)
+{
+    // End-to-end ladder exercise: the first tile is homed on the
+    // doomed subarray 0 and its first k-slice Fails; retry-in-place
+    // fails again (wear only grows), so the runner quarantines the
+    // culprit, evacuates the in-flight accumulator onto pristine
+    // subarray 1, and re-tiles the remaining k-range at the derated
+    // edge — after which the whole product completes bit-exact.
+    const Shape s = {24, 48, 20};
+    const auto a = randomBytes(std::uint64_t(s.n) * s.k, 61);
+    const auto b = randomBytes(std::uint64_t(s.k) * s.m, 62);
+    const auto want = hostMatmulReference(a, b, s.n, s.k, s.m);
+
+    StreamPimSystem sys(noSpareParams());
+    preWearComputeSubZero(sys);
+    sys.enableFaultInjection(wearOutFaults());
+    TiledMatmulConfig cfg;
+    cfg.recovery.enabled = true;
+    TiledMatmulStats st;
+    const auto c = runTiledMatmul(sys, a, b, s.n, s.k, s.m, cfg, &st);
+    sys.disableFaultInjection();
+
+    ASSERT_GT(st.recovery.failedVpcs, 0u)
+        << "operating point never failed — retune the test";
+    EXPECT_EQ(c, want) << "recovered run must stay bit-exact";
+    EXPECT_EQ(st.recovery.unrecoverable, 0u);
+    EXPECT_GT(st.recovery.recovered, 0u);
+    EXPECT_GE(st.recovery.retiles, 1u) << "expected an in-flight re-tile";
+    EXPECT_GE(st.recovery.recoveredByRetile, 1u);
+    EXPECT_GT(st.recovery.rehomes, 0u) << "accumulator evacuation";
+    EXPECT_GT(st.recovery.rollbackBytes, 0u);
+    EXPECT_LT(st.finalTileK, 32u) << "k-edge should have derated";
+    EXPECT_EQ(st.worstFault, FaultStatus::Failed)
+        << "raw fault telemetry stays honest about the transient";
+}
+
+TEST(TiledMatmul, RecoveryPathByteIdenticalAcrossJobCounts)
+{
+    // The ladder runs serially after each slice drains and its
+    // decisions are pure functions of wear telemetry, so the whole
+    // recovered run — result and full device memory — is
+    // byte-identical at any engine job count.
+    const Shape s = {24, 48, 20};
+    const auto a = randomBytes(std::uint64_t(s.n) * s.k, 61);
+    const auto b = randomBytes(std::uint64_t(s.k) * s.m, 62);
+
+    std::vector<std::uint8_t> ref_c, ref_mem;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        StreamPimSystem sys(noSpareParams());
+        preWearComputeSubZero(sys);
+        sys.enableFaultInjection(wearOutFaults());
+        TiledMatmulConfig cfg;
+        cfg.recovery.enabled = true;
+        cfg.jobs = jobs;
+        TiledMatmulStats st;
+        const auto c =
+            runTiledMatmul(sys, a, b, s.n, s.k, s.m, cfg, &st);
+        sys.disableFaultInjection();
+        ASSERT_GT(st.recovery.failedVpcs, 0u);
+        const auto mem = sys.read(0, sys.capacityBytes());
+        if (jobs == 1) {
+            ref_c = c;
+            ref_mem = mem;
+        } else {
+            EXPECT_EQ(c, ref_c) << "jobs " << jobs;
+            EXPECT_EQ(mem, ref_mem) << "jobs " << jobs;
+        }
+    }
+}
+
+TEST(TiledMatmul, RecoveryDisabledKeepsBulkDataflow)
+{
+    // The recovery knob must not perturb the default dataflow: a
+    // clean system with recovery disabled produces the same stats
+    // shape as before (tileTasks precomputed, finalTileK unset).
+    const Shape s = {24, 24, 24};
+    const auto a = randomBytes(std::uint64_t(s.n) * s.k, 91);
+    const auto b = randomBytes(std::uint64_t(s.k) * s.m, 92);
+    StreamPimSystem sys;
+    TiledMatmulStats st;
+    const auto c = runTiledMatmul(sys, a, b, s.n, s.k, s.m, {}, &st);
+    EXPECT_EQ(c, hostMatmulReference(a, b, s.n, s.k, s.m));
+    EXPECT_EQ(st.recovery.batches, 0u);
+    EXPECT_EQ(st.recovery.failedVpcs, 0u);
+    EXPECT_EQ(st.finalTileK, 0u);
+}
+
 TEST(TiledMatmulDeath, OversizeGeometryIsRejected)
 {
     // The functional device (and with it the 64-bit conflict-graph

@@ -48,6 +48,28 @@ TEST(SweepRunner, RunsCellsAndKeepsDeclarationOrder)
               (std::vector<double>{20.0, 20.0}));
 }
 
+TEST(SweepRunner, FindCellReturnsNullForUndeclaredPair)
+{
+    SweepRunner sweep = makeGrid();
+    sweep.run();
+    EXPECT_NE(sweep.findCell("atax", "StPIM"), nullptr);
+    EXPECT_EQ(sweep.findCell("atax", "NoSuchCol"), nullptr);
+    EXPECT_EQ(sweep.findCell("nope", "StPIM"), nullptr);
+}
+
+TEST(SweepRunnerDeath, UndeclaredCellExitsWithDiagnostic)
+{
+    // cell() on a never-declared (row, col) must exit nonzero with
+    // a message naming the bench and the missing coordinates — not
+    // abort mid-report.
+    SweepRunner sweep = makeGrid();
+    sweep.run();
+    EXPECT_EXIT(sweep.cell("atax", "NoSuchCol"),
+                ::testing::ExitedWithCode(1),
+                "SweepRunner\\(unit_grid\\): no cell \\(atax, "
+                "NoSuchCol\\)");
+}
+
 TEST(SweepRunner, CellsMayRunOnOtherThreads)
 {
     // Smoke-test the concurrency path: many slow-ish cells, results

@@ -150,13 +150,46 @@ TEST(Nanowire, TryShiftClampsFaultyTravelAtWireEnd)
     EXPECT_EQ(inj.stats().clampedAtWireEnd, 1u);
 }
 
-TEST(NanowireDeath, TryShiftStillPanicsOnIllegalIntent)
+TEST(Nanowire, TryShiftIllegalIntentUnderInjectionIsRecoverable)
 {
+    // With a live injector, an intended target outside the reserved
+    // region (the caller's position view drifted under injection)
+    // must never abort the process: the interlock pins travel at
+    // the wire end and escalates the scoped VPC to Failed so the
+    // recovery ladder handles it.
     FaultConfig cfg;
-    cfg.pStep = 0.5;
+    // Injection live (pStep > 0) but vanishingly unlikely to fire,
+    // so the pulse itself deterministically lands exactly.
+    cfg.pStep = 1e-12;
     FaultInjector inj(cfg);
     Nanowire w(128, 64);
-    EXPECT_DEATH(w.tryShift(ShiftDir::TowardLower, 65, &inj),
+    inj.beginVpc();
+    ShiftAttempt att = w.tryShift(ShiftDir::TowardLower, 65, &inj);
+    VpcFaultInfo info = inj.endVpc();
+    EXPECT_TRUE(att.overtravel);
+    EXPECT_TRUE(att.clamped);
+    EXPECT_EQ(w.offset(), -64); // pinned at the wire end
+    EXPECT_EQ(att.applied, -64);
+    EXPECT_EQ(inj.stats().overtravelInterlocks, 1u);
+    EXPECT_EQ(inj.stats().clampedAtWireEnd, 1u);
+    EXPECT_EQ(info.status, FaultStatus::Failed);
+    // The wire remains usable after the interlock fired.
+    w.shift(ShiftDir::TowardHigher, 64);
+    EXPECT_EQ(w.offset(), 0);
+}
+
+TEST(NanowireDeath, ShiftIllegalIntentWithoutInjectorStillPanics)
+{
+    // Without a live injector the same intent cannot come from a
+    // fault sample — it is a true caller bug and must keep
+    // panicking (both the plain and the fallible entry points).
+    Nanowire w(128, 64);
+    EXPECT_DEATH(w.shift(ShiftDir::TowardLower, 65), "over-shift");
+    FaultConfig cfg;
+    cfg.pStep = 0.0; // disabled injector: the fallible entry point
+    FaultInjector inj(cfg); // degrades to the infallible shift()
+    Nanowire w2(128, 64);
+    EXPECT_DEATH(w2.tryShift(ShiftDir::TowardLower, 65, &inj),
                  "over-shift");
 }
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/executor.hh"
@@ -530,6 +531,58 @@ TEST(Planner, ApplyQuarantineShrinksSetsGracefully)
     // Plans over the shrunk set stay well-formed (re-tiling over
     // the survivors happens automatically in lowering).
     checkWellFormed(p.plan(tinyMatVec()), cfg);
+}
+
+TEST(Planner, ApplyQuarantineRepeatedlyDownToSurvivorFloor)
+{
+    // The recovery ladder quarantines one subarray at a time across
+    // repeated rungs; the planner must shrink monotonically to the
+    // >= 1-survivor floor and then hold there, staying plannable
+    // after every step.
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    const auto initial = p.computeSet();
+    ASSERT_GT(initial.size(), 1u);
+
+    for (std::uint32_t victim : initial) {
+        const std::size_t before = p.computeSet().size();
+        p.applyQuarantine({victim});
+        const std::size_t after = p.computeSet().size();
+        if (before > 1) {
+            EXPECT_EQ(after, before - 1);
+            EXPECT_EQ(std::count(p.computeSet().begin(),
+                                 p.computeSet().end(), victim),
+                      0);
+        } else {
+            // Floor: the last survivor keeps serving even when it
+            // is itself the quarantine target.
+            EXPECT_EQ(after, 1u);
+        }
+        ASSERT_GE(p.stagingSet().size(), 1u);
+        checkWellFormed(p.plan(tinyMatVec()), cfg);
+    }
+    ASSERT_EQ(p.computeSet().size(), 1u);
+    // Idempotent at the floor: repeated application cannot empty
+    // the set.
+    const auto floor_set = p.computeSet();
+    p.applyQuarantine(floor_set);
+    p.applyQuarantine(floor_set);
+    EXPECT_EQ(p.computeSet(), floor_set);
+}
+
+TEST(Planner, PlanRecoveryEmitsRecoveryFlaggedTrans)
+{
+    SystemConfig cfg = cfgWith(OptLevel::Distribute);
+    Planner p(cfg);
+    VpcSchedule s = p.planRecovery({{0, 2}, {1, 3}}, 4096);
+    ASSERT_EQ(s.batches.size(), 2u);
+    for (const VpcBatch &b : s.batches) {
+        EXPECT_EQ(b.kind, VpcKind::Tran);
+        EXPECT_TRUE(b.recovery);
+        EXPECT_FALSE(b.migration);
+        EXPECT_EQ(b.vpcCount, 1u);
+        EXPECT_EQ(b.vectorLen, 4096u);
+    }
 }
 
 TEST(Planner, PlanMigrationEmitsFlaggedIndependentTrans)

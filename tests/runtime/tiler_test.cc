@@ -24,6 +24,36 @@ TEST(Tiler, TileEdgeForBudgetIsLargestFittingPowerOfTwo)
     EXPECT_EQ(Tiler::tileEdgeForBudget(1, 4), 1u);
 }
 
+TEST(Tiler, TileEdgeBudgetBelowOneMinimalTileFloorsAtOne)
+{
+    // Edge 1 needs (2*1)^2 * bpe = 4*bpe bytes. Budgets strictly
+    // below that cannot hold even the minimal tile, but the edge
+    // floors at 1 (a usable, if oversubscribed, tile) rather than
+    // returning 0 and breaking every downstream division.
+    EXPECT_EQ(Tiler::tileEdgeForBudget(4 * 4 - 1, 4), 1u);
+    EXPECT_EQ(Tiler::tileEdgeForBudget(0, 8), 1u);
+    EXPECT_EQ(Tiler::tileEdgeForBudget(3, 1), 1u);
+    // At exactly 4*bpe the minimal tile fits and doubles once.
+    EXPECT_EQ(Tiler::tileEdgeForBudget(4 * 1, 1), 2u);
+}
+
+TEST(Tiler, TileEdgeDoublesAtExactCapacityThreshold)
+{
+    // The loop doubles while (2*edge)^2 * bpe <= budget, so a
+    // budget exactly equal to the doubled edge's footprint still
+    // takes the doubling — the threshold is inclusive.
+    // (2*4)^2 * 8 = 512: edge 4 at 511, edge 8 at 512.
+    EXPECT_EQ(Tiler::tileEdgeForBudget(511, 8), 4u);
+    EXPECT_EQ(Tiler::tileEdgeForBudget(512, 8), 8u);
+    // One byte past the threshold does not reach the next power.
+    EXPECT_EQ(Tiler::tileEdgeForBudget(513, 8), 8u);
+    // The same inclusivity at the operating point the functional
+    // geometry uses (8 B/elem): doubling 16 -> 32 needs
+    // (2*16)^2 * 8 = 8192 bytes, inclusively.
+    EXPECT_EQ(Tiler::tileEdgeForBudget(8192 - 1, 8), 16u);
+    EXPECT_EQ(Tiler::tileEdgeForBudget(8192, 8), 32u);
+}
+
 TEST(Tiler, DefaultGeometryDerivesMatSizedTiles)
 {
     SystemConfig cfg;
