@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/config.hh"
 #include "common/json.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
@@ -357,6 +358,8 @@ main(int argc, char **argv)
         // the default (packed) rows actually ran on.
         Json perf = Json::object();
         perf["simd_backend"] = simd::backendName();
+        perf["devices"] =
+            std::int64_t(Config::envInt("STREAMPIM_DEVICES", 1));
         doc["perf"] = std::move(perf);
         std::ofstream out(json_path);
         if (!out) {

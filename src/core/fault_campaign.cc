@@ -5,7 +5,9 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "core/sharded_system.hh"
 #include "core/system_config.hh"
+#include "parallel/thread_pool.hh"
 
 namespace streampim
 {
@@ -139,6 +141,52 @@ campaignFaultConfig(const FaultCampaignConfig &cfg)
     return fault_cfg;
 }
 
+/**
+ * Post-run verification readout of one golden/faulty pair: per-VPC
+ * destination comparison against the golden bytes plus the status
+ * tally. The caller must have disabled the faulty system's
+ * injection first — host reads must not sample further faults.
+ */
+FaultCampaignResult
+verifyCampaign(StreamPimSystem &golden, StreamPimSystem &faulty,
+               std::vector<FaultCampaignVpc> program,
+               const std::vector<VpcExecutionRecord> &records)
+{
+    SPIM_ASSERT(records.size() == program.size(),
+                "campaign run lost VPCs");
+    FaultCampaignResult res;
+    res.stats = faulty.totalFaultStats();
+    res.health = faulty.bankHealth();
+    res.perVpc = std::move(program);
+    for (std::size_t i = 0; i < res.perVpc.size(); ++i) {
+        FaultCampaignVpc &entry = res.perVpc[i];
+        entry.fault = records[i].fault;
+        entry.status = entry.fault.status;
+        auto g = golden.read(entry.vpc.dst, entry.resultLen);
+        auto f = faulty.read(entry.vpc.dst, entry.resultLen);
+        entry.bitExact = g == f;
+        switch (entry.status) {
+          case FaultStatus::Clean:
+            res.clean++;
+            break;
+          case FaultStatus::Corrected:
+            res.corrected++;
+            break;
+          case FaultStatus::Retried:
+            res.retried++;
+            break;
+          case FaultStatus::Failed:
+            res.failed++;
+            break;
+        }
+        if (entry.status != FaultStatus::Failed && !entry.bitExact)
+            res.mismatchedRecovered++;
+        if (entry.status == FaultStatus::Failed && entry.bitExact)
+            res.failedButIntact++;
+    }
+    return res;
+}
+
 } // namespace
 
 FaultCampaignResult
@@ -169,41 +217,122 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     }
     golden.processQueue(cfg.engineJobs);
     auto faulty_records = faulty.processQueue(cfg.engineJobs);
-    SPIM_ASSERT(faulty_records.size() == program.size(),
-                "campaign run lost VPCs");
 
     // Verification readout must not sample further faults.
     faulty.disableFaultInjection();
 
-    FaultCampaignResult res;
-    res.stats = faulty.totalFaultStats();
-    res.health = faulty.bankHealth();
-    res.perVpc = std::move(program);
-    for (std::size_t i = 0; i < res.perVpc.size(); ++i) {
-        FaultCampaignVpc &entry = res.perVpc[i];
-        entry.fault = faulty_records[i].fault;
-        entry.status = entry.fault.status;
-        auto g = golden.read(entry.vpc.dst, entry.resultLen);
-        auto f = faulty.read(entry.vpc.dst, entry.resultLen);
-        entry.bitExact = g == f;
-        switch (entry.status) {
-          case FaultStatus::Clean:
-            res.clean++;
-            break;
-          case FaultStatus::Corrected:
-            res.corrected++;
-            break;
-          case FaultStatus::Retried:
-            res.retried++;
-            break;
-          case FaultStatus::Failed:
-            res.failed++;
-            break;
+    return verifyCampaign(golden, faulty, std::move(program),
+                          faulty_records);
+}
+
+ShardedFaultCampaignResult
+runShardedFaultCampaign(const ShardedCampaignConfig &cfg)
+{
+    const FaultCampaignConfig &base = cfg.base;
+    SPIM_ASSERT(base.vpcs >= 1 && base.vpcs <= 128,
+                "campaign program size out of range");
+    SPIM_ASSERT(base.vectorLen >= 1 && base.vectorLen <= 48,
+                "vector length must fit a destination slice");
+    SPIM_ASSERT(cfg.devices >= 1 && cfg.devices <= 64,
+                "sharded campaign device count out of range");
+
+    RmParams params = campaignParams(base);
+    const std::uint64_t per_sub = params.bytesPerSubarray();
+    const CampaignHomes homes = {0, 1};
+    const auto program = buildProgram(base, per_sub, homes);
+
+    // Two fleets, drained through the two-level engine. The faulty
+    // fleet's enableFaultInjection derives device d's injector seeds
+    // from deviceSeed(base.seed, d): device 0 IS runFaultCampaign's
+    // single device, and every device's sample path is a pure
+    // function of (base config, d) — never of the fleet size or the
+    // (deviceJobs x engineJobs) schedule.
+    ShardedSystem golden(params, cfg.devices);
+    ShardedSystem faulty(params, cfg.devices);
+    for (unsigned d = 0; d < cfg.devices; ++d) {
+        stageInputs(golden.device(d), per_sub, base.seed, homes);
+        stageInputs(faulty.device(d), per_sub, base.seed, homes);
+        for (const auto &entry : program) {
+            bool ok = golden.submit(d, entry.vpc);
+            ok = faulty.submit(d, entry.vpc) && ok;
+            SPIM_ASSERT(ok,
+                        "campaign program overflowed the VPC queue");
         }
-        if (entry.status != FaultStatus::Failed && !entry.bitExact)
-            res.mismatchedRecovered++;
-        if (entry.status == FaultStatus::Failed && entry.bitExact)
-            res.failedButIntact++;
+    }
+    faulty.enableFaultInjection(campaignFaultConfig(base));
+
+    std::vector<std::vector<VpcExecutionRecord>> golden_records;
+    std::vector<std::vector<VpcExecutionRecord>> faulty_records;
+    golden.processAll(golden_records, cfg.deviceJobs,
+                      base.engineJobs);
+    faulty.processAll(faulty_records, cfg.deviceJobs,
+                      base.engineJobs);
+
+    // Verification readout must not sample further faults.
+    faulty.disableFaultInjection();
+
+    ShardedFaultCampaignResult res;
+    res.perDevice.reserve(cfg.devices);
+    for (unsigned d = 0; d < cfg.devices; ++d) {
+        res.perDevice.push_back(
+            verifyCampaign(golden.device(d), faulty.device(d),
+                           program, faulty_records[d]));
+        const FaultCampaignResult &dev = res.perDevice.back();
+        res.clean += dev.clean;
+        res.corrected += dev.corrected;
+        res.retried += dev.retried;
+        res.failed += dev.failed;
+        res.mismatchedRecovered += dev.mismatchedRecovered;
+        res.failedButIntact += dev.failedButIntact;
+    }
+    res.stats = faulty.totalFaultStats();
+    return res;
+}
+
+ShardedEnduranceCampaignResult
+runShardedEnduranceCampaign(const EnduranceCampaignConfig &cfg,
+                            unsigned devices, unsigned deviceJobs)
+{
+    SPIM_ASSERT(devices >= 1 && devices <= 64,
+                "sharded campaign device count out of range");
+
+    // Each device's golden/faulty pair is a self-contained lifetime
+    // protocol (wear accrues inside the pair), so the fleet variant
+    // is D independent sample paths fanned across the device-level
+    // pool, each seeded with deviceSeed(base.seed, d).
+    const ThreadPool::JobSplit split = ShardedSystem::resolveSplit(
+        devices, deviceJobs, cfg.base.engineJobs);
+
+    ShardedEnduranceCampaignResult res;
+    res.perDevice.resize(devices);
+
+    auto runOne = [&](unsigned d) {
+        EnduranceCampaignConfig dev_cfg = cfg;
+        dev_cfg.base.seed =
+            ShardedSystem::deviceSeed(cfg.base.seed, d);
+        dev_cfg.base.engineJobs = split.inner;
+        res.perDevice[d] = runEnduranceCampaign(dev_cfg);
+    };
+
+    if (split.outer == 1) {
+        for (unsigned d = 0; d < devices; ++d)
+            runOne(d);
+    } else {
+        ThreadPool pool(split.outer);
+        for (unsigned d = 0; d < devices; ++d)
+            pool.submit([&runOne, d] { runOne(d); });
+        pool.wait();
+    }
+
+    for (const EnduranceCampaignResult &dev : res.perDevice) {
+        res.clean += dev.clean;
+        res.corrected += dev.corrected;
+        res.retried += dev.retried;
+        res.failed += dev.failed;
+        res.mismatchedRecovered += dev.mismatchedRecovered;
+        res.recovered += dev.recovered;
+        res.unrecoverable += dev.unrecoverable;
+        res.stats.merge(dev.stats);
     }
     return res;
 }

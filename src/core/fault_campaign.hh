@@ -293,6 +293,96 @@ struct EnduranceCampaignResult
 EnduranceCampaignResult
 runEnduranceCampaign(const EnduranceCampaignConfig &cfg);
 
+/**
+ * A fleet-level fault campaign routed through ShardedSystem: the
+ * same program runs on every device of a D-device golden fleet and
+ * a D-device faulty fleet, the faulty fleet's injectors seeded per
+ * device with ShardedSystem::deviceSeed(base.seed, d), and both
+ * fleets drain through the two-level (device x subarray) engine.
+ */
+struct ShardedCampaignConfig
+{
+    /** Per-device program + fault knobs (engineJobs is the inner
+     * level of the two-level drain budget). */
+    FaultCampaignConfig base;
+    /**
+     * Fleet size (>= 1). Device 0 keeps the master seed, so
+     * perDevice[0] reproduces runFaultCampaign(base) bit-exact; and
+     * because device d's seed depends only on (base.seed, d), its
+     * whole trajectory is invariant under fleet resizing.
+     */
+    unsigned devices = 1;
+    /** Device-level fan-out of the drain (0 = derive the split). */
+    unsigned deviceJobs = 0;
+};
+
+/** Aggregate outcome of one sharded fault campaign. */
+struct ShardedFaultCampaignResult
+{
+    /** Full per-device campaign results, in device order. */
+    std::vector<FaultCampaignResult> perDevice;
+
+    // --- Fleet totals (sums over perDevice). ---
+    unsigned clean = 0;
+    unsigned corrected = 0;
+    unsigned retried = 0;
+    unsigned failed = 0;
+    unsigned mismatchedRecovered = 0;
+    unsigned failedButIntact = 0;
+    /** Sampled-fault statistics merged over the faulty fleet. */
+    FaultStats stats;
+
+    unsigned devices() const { return unsigned(perDevice.size()); }
+
+    /** The recovery invariant held on EVERY device. */
+    bool invariantHolds() const { return mismatchedRecovered == 0; }
+};
+
+/**
+ * Run one sharded campaign cell. Deterministic in @p cfg — results
+ * are byte-identical at any (deviceJobs x engineJobs), and each
+ * device's result is invariant under the fleet size.
+ */
+ShardedFaultCampaignResult
+runShardedFaultCampaign(const ShardedCampaignConfig &cfg);
+
+/** Aggregate outcome of one sharded endurance campaign. */
+struct ShardedEnduranceCampaignResult
+{
+    /** Full per-device campaign results, in device order. */
+    std::vector<EnduranceCampaignResult> perDevice;
+
+    // --- Fleet totals (sums over perDevice). ---
+    unsigned clean = 0;
+    unsigned corrected = 0;
+    unsigned retried = 0;
+    unsigned failed = 0;
+    unsigned mismatchedRecovered = 0;
+    unsigned recovered = 0;
+    unsigned unrecoverable = 0;
+    /** Sampled-fault statistics merged over the faulty fleet. */
+    FaultStats stats;
+
+    unsigned devices() const { return unsigned(perDevice.size()); }
+
+    bool invariantHolds() const { return mismatchedRecovered == 0; }
+};
+
+/**
+ * Run @p cfg's endurance campaign once per device of a @p devices
+ * fleet, fanned across the device-level pool (each device's golden/
+ * faulty pair is a self-contained lifetime protocol, so the fleet
+ * variant runs D independent sample paths). Device d's campaign
+ * runs with seed ShardedSystem::deviceSeed(cfg.base.seed, d) —
+ * perDevice[0] reproduces runEnduranceCampaign(cfg) bit-exact and
+ * each device's path is invariant under fleet resizing. @p
+ * deviceJobs as in ShardedCampaignConfig.
+ */
+ShardedEnduranceCampaignResult
+runShardedEnduranceCampaign(const EnduranceCampaignConfig &cfg,
+                            unsigned devices,
+                            unsigned deviceJobs = 0);
+
 } // namespace streampim
 
 #endif // STREAMPIM_CORE_FAULT_CAMPAIGN_HH_

@@ -157,6 +157,24 @@ SweepRunner::note(const std::string &key, Json value)
     summary_[key] = std::move(value);
 }
 
+void
+SweepRunner::perfNote(const std::string &key, Json value)
+{
+    perfExtras_[key] = std::move(value);
+}
+
+double
+SweepRunner::cellSeconds(const std::string &row,
+                         const std::string &col) const
+{
+    SPIM_ASSERT(ran_, "SweepRunner: cellSeconds() before run()");
+    for (const Cell &c : cells_)
+        if (c.row == row && c.col == col)
+            return c.seconds;
+    SPIM_FATAL("SweepRunner(", name_, "): no cell (", row, ", ", col,
+               ") — the bench never declared this row/column pair");
+}
+
 bool
 SweepRunner::measureSerialReference(bool force)
 {
@@ -245,13 +263,19 @@ SweepRunner::report() const
     // is timing — tooling diffing runs must strip these; all other
     // fields are deterministic at any STREAMPIM_JOBS.
     const double ops = functionalOps();
-    if (ops > 0.0 || serialSeconds_ > 0.0) {
+    if (ops > 0.0 || serialSeconds_ > 0.0 ||
+        perfExtras_.size() > 0) {
         Json perf = Json::object();
         // Which word-kernel backend produced this run. Results are
         // backend-invariant by construction (non-timing fields must
         // diff byte-identical between scalar and avx2 CI legs);
         // recording it here documents what actually ran.
         perf["simd_backend"] = simd::backendName();
+        // Fleet size this run simulated with (device-count
+        // invariance: non-timing fields must diff byte-identical
+        // across STREAMPIM_DEVICES too).
+        perf["devices"] =
+            std::int64_t(Config::envInt("STREAMPIM_DEVICES", 1));
         perf["functional_ops"] = ops;
         perf["wall_seconds"] = wallSeconds_;
         perf["functional_ops_per_second"] =
@@ -260,6 +284,8 @@ SweepRunner::report() const
             perf["serial_seconds"] = serialSeconds_;
             perf["speedup_vs_serial"] = speedupVsSerial();
         }
+        for (const auto &[k, v] : perfExtras_.members())
+            perf[k] = v;
         doc["perf"] = std::move(perf);
     }
     doc["summary"] = summary_;

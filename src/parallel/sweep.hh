@@ -44,9 +44,13 @@ namespace streampim
  * campaigns carry recovered / unrecoverable / first_unrecoverable
  * trajectories and recovery-ladder counters, executor reports carry
  * recovery_ticks and the recovery energy category, and the
- * abl_recovery bench joined the golden set.
+ * abl_recovery bench joined the golden set; 6 = sharding: the perf
+ * section always carries `devices` (STREAMPIM_DEVICES), benches can
+ * merge extra perf objects via perfNote() (abl_sharding records
+ * per-device utilization, merge_seconds and speedup_vs_one_device
+ * there), and the abl_sharding bench joined the golden set.
  */
-constexpr int kBenchReportSchemaVersion = 5;
+constexpr int kBenchReportSchemaVersion = 6;
 
 /**
  * Resolve the report path for bench @p name from its command line
@@ -123,6 +127,21 @@ class SweepRunner
     /** Attach a summary entry (paper references, shape notes...). */
     void note(const std::string &key, Json value);
 
+    /**
+     * Attach an entry to the report's PERF section instead of the
+     * summary. Everything in perf is timing telemetry that CI
+     * differs strip wholesale — the home for wall-clock-derived
+     * observations (utilization, speedups) that must never leak
+     * into the deterministic cells/summary, where
+     * measureSerialReference() and the byte-identity diffs would
+     * reject them.
+     */
+    void perfNote(const std::string &key, Json value);
+
+    /** Wall seconds one cell took in run() (valid after run()). */
+    double cellSeconds(const std::string &row,
+                       const std::string &col) const;
+
     /** Worker count run() will use / used. */
     unsigned jobs() const { return jobs_; }
 
@@ -178,6 +197,7 @@ class SweepRunner
     unsigned jobs_;
     std::vector<Cell> cells_;
     Json summary_ = Json::object();
+    Json perfExtras_ = Json::object();
     double wallSeconds_ = 0.0;
     double serialSeconds_ = 0.0;
     bool ran_ = false;

@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/config.hh"
@@ -38,6 +39,25 @@ ThreadPool::resolveJobs(unsigned requested)
     if (serial_depth > 0)
         return 1;
     return requested > 0 ? requested : defaultJobs();
+}
+
+ThreadPool::JobSplit
+ThreadPool::splitJobs(unsigned fanout, unsigned requested)
+{
+    if (fanout == 0)
+        fanout = 1;
+    const unsigned budget = resolveJobs(requested);
+    unsigned outer = budget;
+    const auto env = Config::envInt("STREAMPIM_DEVICE_JOBS", 0);
+    if (env > 0)
+        outer = unsigned(env);
+    outer = std::min(outer, fanout);
+    outer = std::min(outer, budget);
+    JobSplit split;
+    split.outer = std::max(outer, 1u);
+    // Integer share: outer * inner <= budget by construction.
+    split.inner = std::max(budget / split.outer, 1u);
+    return split;
 }
 
 ThreadPool::ThreadPool(unsigned jobs)

@@ -1,0 +1,62 @@
+#include "runtime/shard.hh"
+
+#include "common/log.hh"
+#include "runtime/tiler.hh"
+
+namespace streampim
+{
+
+ShardPlanner::ShardPlanner(unsigned devices) : devices_(devices)
+{
+    SPIM_ASSERT(devices >= 1, "ShardPlanner needs >= 1 device");
+}
+
+std::vector<RowBlock>
+ShardPlanner::partitionRows(std::uint32_t n, unsigned devices)
+{
+    SPIM_ASSERT(devices >= 1, "partitionRows needs >= 1 device");
+    std::vector<RowBlock> blocks(devices);
+    if (n == 0)
+        return blocks;
+    // Reuse the tiler's remainder geometry: the partition is the
+    // i-axis of a MatmulTiling whose tile edge is ceil(n / devices),
+    // so rowsOf() hands the last live block its remainder and both
+    // layers agree on what "row block i" means.
+    MatmulTiling t;
+    t.n = n;
+    t.tileRows = (n + devices - 1) / devices;
+    t.iTiles = (n + t.tileRows - 1) / t.tileRows;
+    SPIM_ASSERT(t.iTiles <= devices,
+                "row partition produced more blocks than devices");
+    for (std::uint32_t i = 0; i < t.iTiles; ++i)
+        blocks[i] = RowBlock{i * t.tileRows, t.rowsOf(i)};
+    return blocks;
+}
+
+MatmulShardPlan
+ShardPlanner::planMatmul(std::uint32_t n, std::uint32_t k,
+                         std::uint32_t m) const
+{
+    SPIM_ASSERT(n > 0 && k > 0 && m > 0,
+                "degenerate matmul shape ", n, "x", k, "x", m);
+    MatmulShardPlan plan;
+    plan.n = n;
+    plan.k = k;
+    plan.m = m;
+    plan.blocks = partitionRows(n, devices_);
+    return plan;
+}
+
+ElementwiseShardPlan
+ShardPlanner::planElementwise(std::uint64_t elements) const
+{
+    SPIM_ASSERT(elements <= 0xFFFFFFFFull,
+                "element-wise shard plans cap at 32-bit ranges");
+    ElementwiseShardPlan plan;
+    plan.elements = elements;
+    plan.blocks =
+        partitionRows(std::uint32_t(elements), devices_);
+    return plan;
+}
+
+} // namespace streampim

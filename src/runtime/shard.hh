@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ShardPlanner: row-block partitioning of matrix workloads across
+ * multiple StreamPIM devices.
+ *
+ * A single StreamPimSystem exploits parallelism inside one device
+ * (PR 5's subarray conflict graph). The next axis up is *across*
+ * devices/channels — CHIME-style hierarchical concurrency: a
+ * workload is split into per-device shards that execute on
+ * independent devices concurrently, and the shards' outputs merge
+ * back in a deterministic order. The ShardPlanner is the top-level
+ * planner of that scheme: it carves the row dimension of a matmul
+ * (or the element range of an element-wise kernel) into one
+ * contiguous row block per device, remainder-aware with the same
+ * ceil-division geometry as the tiler's MatmulTiling (the last live
+ * block takes the remainder; devices past the row count idle).
+ *
+ * Row blocks are the natural shard unit for C = A x B: device d
+ * needs only the A rows of its block plus a full replica of B, and
+ * its C block is exactly rows [begin, begin + rows) of the result —
+ * merging is concatenation, byte-identical at any device count
+ * because every C row is computed bit-exactly by exactly one device
+ * regardless of the partition (see DESIGN.md §11).
+ */
+
+#ifndef STREAMPIM_RUNTIME_SHARD_HH_
+#define STREAMPIM_RUNTIME_SHARD_HH_
+
+#include <cstdint>
+#include <vector>
+
+namespace streampim
+{
+
+/** One device's contiguous row range (rows == 0: idle shard). */
+struct RowBlock
+{
+    std::uint32_t begin = 0;
+    std::uint32_t rows = 0;
+
+    bool idle() const { return rows == 0; }
+};
+
+/** A sharded matmul: per-device row blocks over an N x K x M. */
+struct MatmulShardPlan
+{
+    std::uint32_t n = 0, k = 0, m = 0;
+    /** One block per device, in device order; trailing devices may
+     * be idle when n < devices. */
+    std::vector<RowBlock> blocks;
+
+    /** Devices with at least one row. */
+    unsigned
+    activeDevices() const
+    {
+        unsigned live = 0;
+        for (const RowBlock &b : blocks)
+            live += !b.idle();
+        return live;
+    }
+
+    /** A-slice bytes device @p d stages (its rows x K). */
+    std::uint64_t
+    aBytes(unsigned d) const
+    {
+        return std::uint64_t(blocks[d].rows) * k;
+    }
+
+    /** B replica bytes every active device stages (K x M). */
+    std::uint64_t
+    bBytes() const
+    {
+        return std::uint64_t(k) * m;
+    }
+
+    /** C-block bytes device @p d produces (its rows x M). */
+    std::uint64_t
+    cBytes(unsigned d) const
+    {
+        return std::uint64_t(blocks[d].rows) * m;
+    }
+};
+
+/** A sharded element-wise kernel: per-device element ranges. */
+struct ElementwiseShardPlan
+{
+    std::uint64_t elements = 0;
+    /** One range per device (begin/rows in elements). */
+    std::vector<RowBlock> blocks;
+
+    unsigned
+    activeDevices() const
+    {
+        unsigned live = 0;
+        for (const RowBlock &b : blocks)
+            live += !b.idle();
+        return live;
+    }
+};
+
+/**
+ * Partitions workloads by row blocks across a fixed device count.
+ *
+ * All methods are pure functions of (shape, devices): the plan —
+ * and therefore the device-to-rows mapping, the merge order and the
+ * merged bytes — is deterministic, independent of any thread
+ * scheduling.
+ */
+class ShardPlanner
+{
+  public:
+    /** @param devices target device count (>= 1). */
+    explicit ShardPlanner(unsigned devices);
+
+    unsigned devices() const { return devices_; }
+
+    /**
+     * Carve @p n rows into @p devices contiguous blocks with the
+     * tiler's ceil-division remainder geometry: every live block
+     * has ceil(n / devices) rows except the last, which takes the
+     * remainder; blocks past the row count are idle (rows == 0).
+     * n == 0 yields all-idle blocks.
+     */
+    static std::vector<RowBlock> partitionRows(std::uint32_t n,
+                                               unsigned devices);
+
+    /** Row-block shard plan of an N x K x M matmul. */
+    MatmulShardPlan planMatmul(std::uint32_t n, std::uint32_t k,
+                               std::uint32_t m) const;
+
+    /**
+     * Element-range shard plan of an element-wise kernel over
+     * @p elements elements (ranges capped at 32-bit row maths; the
+     * functional devices are far smaller than that).
+     */
+    ElementwiseShardPlan planElementwise(std::uint64_t elements) const;
+
+  private:
+    unsigned devices_;
+};
+
+} // namespace streampim
+
+#endif // STREAMPIM_RUNTIME_SHARD_HH_

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "parallel/thread_pool.hh"
@@ -168,4 +171,79 @@ TEST(ThreadPool, SerialSectionIsThreadLocal)
     });
     probe.join();
     EXPECT_FALSE(other_thread_serial);
+}
+
+TEST(ThreadPool, SplitJobsSharesTheBudgetAcrossLevels)
+{
+    // gtest_discover_tests runs each TEST in its own process, so
+    // mutating the environment here cannot leak into other tests.
+    setenv("STREAMPIM_JOBS", "8", 1);
+    unsetenv("STREAMPIM_DEVICE_JOBS");
+
+    // Fan-out smaller than the budget: every device runs, and the
+    // leftover budget becomes engine jobs inside each.
+    ThreadPool::JobSplit s = ThreadPool::splitJobs(4);
+    EXPECT_EQ(s.outer, 4u);
+    EXPECT_EQ(s.inner, 2u);
+
+    // Fan-out larger than the budget: outer caps at the budget.
+    s = ThreadPool::splitJobs(16);
+    EXPECT_EQ(s.outer, 8u);
+    EXPECT_EQ(s.inner, 1u);
+
+    // Zero fan-out degenerates to one device with the full budget.
+    s = ThreadPool::splitJobs(0);
+    EXPECT_EQ(s.outer, 1u);
+    EXPECT_EQ(s.inner, 8u);
+
+    unsetenv("STREAMPIM_JOBS");
+}
+
+TEST(ThreadPool, SplitJobsHonorsDeviceJobsCap)
+{
+    setenv("STREAMPIM_JOBS", "8", 1);
+    setenv("STREAMPIM_DEVICE_JOBS", "2", 1);
+
+    const ThreadPool::JobSplit s = ThreadPool::splitJobs(4);
+    EXPECT_EQ(s.outer, 2u);
+    EXPECT_EQ(s.inner, 4u);
+
+    unsetenv("STREAMPIM_DEVICE_JOBS");
+    unsetenv("STREAMPIM_JOBS");
+}
+
+TEST(ThreadPool, SplitJobsNeverOversubscribes)
+{
+    // outer * inner <= resolveJobs(requested) at every combination
+    // of fan-out, explicit request and DEVICE_JOBS cap.
+    for (unsigned env_dev : {0u, 1u, 3u, 16u}) {
+        if (env_dev == 0)
+            unsetenv("STREAMPIM_DEVICE_JOBS");
+        else
+            setenv("STREAMPIM_DEVICE_JOBS",
+                   std::to_string(env_dev).c_str(), 1);
+        for (unsigned requested : {1u, 2u, 5u, 8u})
+            for (unsigned fanout : {1u, 2u, 4u, 9u}) {
+                const ThreadPool::JobSplit s =
+                    ThreadPool::splitJobs(fanout, requested);
+                EXPECT_GE(s.outer, 1u);
+                EXPECT_GE(s.inner, 1u);
+                EXPECT_LE(s.outer, std::max(fanout, 1u));
+                EXPECT_LE(s.outer * s.inner,
+                          ThreadPool::resolveJobs(requested))
+                    << "dev=" << env_dev << " req=" << requested
+                    << " fanout=" << fanout;
+            }
+    }
+    unsetenv("STREAMPIM_DEVICE_JOBS");
+}
+
+TEST(ThreadPool, SplitJobsCollapsesInSerialSection)
+{
+    setenv("STREAMPIM_JOBS", "8", 1);
+    ThreadPool::SerialSection serial;
+    const ThreadPool::JobSplit s = ThreadPool::splitJobs(4);
+    EXPECT_EQ(s.outer, 1u);
+    EXPECT_EQ(s.inner, 1u);
+    unsetenv("STREAMPIM_JOBS");
 }

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "runtime/shard.hh"
+
+using namespace streampim;
+
+namespace
+{
+
+/** Blocks must tile [0, n) exactly: contiguous, in order, no
+ * overlap, no gap, and idle shards only at the tail. */
+void
+expectExactCover(const std::vector<RowBlock> &blocks,
+                 std::uint32_t n, unsigned devices)
+{
+    ASSERT_EQ(blocks.size(), devices);
+    std::uint32_t next = 0;
+    bool tail_idle = false;
+    for (const RowBlock &b : blocks) {
+        if (b.idle()) {
+            tail_idle = true;
+            continue;
+        }
+        ASSERT_FALSE(tail_idle)
+            << "live block after an idle one";
+        EXPECT_EQ(b.begin, next);
+        next += b.rows;
+    }
+    EXPECT_EQ(next, n);
+}
+
+} // namespace
+
+TEST(ShardPlanner, RemainderLandsOnTheLastLiveBlock)
+{
+    // 10 rows over 4 devices: ceil(10/4) = 3 per block, the last
+    // live block takes the remainder 1.
+    const auto blocks = ShardPlanner::partitionRows(10, 4);
+    expectExactCover(blocks, 10, 4);
+    EXPECT_EQ(blocks[0].begin, 0u);
+    EXPECT_EQ(blocks[0].rows, 3u);
+    EXPECT_EQ(blocks[1].begin, 3u);
+    EXPECT_EQ(blocks[1].rows, 3u);
+    EXPECT_EQ(blocks[2].begin, 6u);
+    EXPECT_EQ(blocks[2].rows, 3u);
+    EXPECT_EQ(blocks[3].begin, 9u);
+    EXPECT_EQ(blocks[3].rows, 1u);
+}
+
+TEST(ShardPlanner, EvenSplitFillsEveryDevice)
+{
+    const auto blocks = ShardPlanner::partitionRows(8, 4);
+    expectExactCover(blocks, 8, 4);
+    for (unsigned d = 0; d < 4; ++d) {
+        EXPECT_EQ(blocks[d].begin, d * 2u);
+        EXPECT_EQ(blocks[d].rows, 2u);
+    }
+}
+
+TEST(ShardPlanner, FewerRowsThanDevicesIdlesTheTail)
+{
+    // 3 rows over 8 devices: ceil(3/8) = 1 row per block, devices
+    // 3..7 idle.
+    const auto blocks = ShardPlanner::partitionRows(3, 8);
+    expectExactCover(blocks, 3, 8);
+    for (unsigned d = 0; d < 3; ++d) {
+        EXPECT_EQ(blocks[d].begin, d);
+        EXPECT_EQ(blocks[d].rows, 1u);
+    }
+    for (unsigned d = 3; d < 8; ++d)
+        EXPECT_TRUE(blocks[d].idle());
+}
+
+TEST(ShardPlanner, SingleRowUsesExactlyOneDevice)
+{
+    const auto blocks = ShardPlanner::partitionRows(1, 4);
+    expectExactCover(blocks, 1, 4);
+    EXPECT_EQ(blocks[0].rows, 1u);
+    for (unsigned d = 1; d < 4; ++d)
+        EXPECT_TRUE(blocks[d].idle());
+}
+
+TEST(ShardPlanner, OneDeviceTakesEverything)
+{
+    const auto blocks = ShardPlanner::partitionRows(37, 1);
+    expectExactCover(blocks, 37, 1);
+    EXPECT_EQ(blocks[0].begin, 0u);
+    EXPECT_EQ(blocks[0].rows, 37u);
+}
+
+TEST(ShardPlanner, ZeroRowsYieldsAllIdleBlocks)
+{
+    const auto blocks = ShardPlanner::partitionRows(0, 4);
+    ASSERT_EQ(blocks.size(), 4u);
+    for (const RowBlock &b : blocks)
+        EXPECT_TRUE(b.idle());
+}
+
+TEST(ShardPlanner, ExactCoverAcrossShapesAndFleets)
+{
+    for (std::uint32_t n : {1u, 2u, 5u, 31u, 32u, 33u, 97u, 256u})
+        for (unsigned devices : {1u, 2u, 3u, 4u, 7u, 8u, 64u}) {
+            SCOPED_TRACE(testing::Message()
+                         << "n=" << n << " devices=" << devices);
+            expectExactCover(
+                ShardPlanner::partitionRows(n, devices), n,
+                devices);
+        }
+}
+
+TEST(ShardPlanner, MatmulPlanCarriesShapeAndByteCounts)
+{
+    const ShardPlanner planner(4);
+    const MatmulShardPlan plan = planner.planMatmul(10, 6, 5);
+    EXPECT_EQ(plan.n, 10u);
+    EXPECT_EQ(plan.k, 6u);
+    EXPECT_EQ(plan.m, 5u);
+    EXPECT_EQ(plan.activeDevices(), 4u);
+    EXPECT_EQ(plan.bBytes(), 30u);
+    EXPECT_EQ(plan.aBytes(0), 18u); // 3 rows x 6
+    EXPECT_EQ(plan.aBytes(3), 6u);  // remainder row x 6
+    EXPECT_EQ(plan.cBytes(0), 15u); // 3 rows x 5
+    EXPECT_EQ(plan.cBytes(3), 5u);
+    std::uint64_t a_total = 0, c_total = 0;
+    for (unsigned d = 0; d < 4; ++d) {
+        a_total += plan.aBytes(d);
+        c_total += plan.cBytes(d);
+    }
+    EXPECT_EQ(a_total, 60u); // the whole A, exactly once
+    EXPECT_EQ(c_total, 50u); // the whole C, exactly once
+}
+
+TEST(ShardPlanner, ElementwisePlanCountsActiveDevices)
+{
+    const ShardPlanner planner(8);
+    const ElementwiseShardPlan plan = planner.planElementwise(3);
+    EXPECT_EQ(plan.elements, 3u);
+    EXPECT_EQ(plan.activeDevices(), 3u);
+    expectExactCover(plan.blocks, 3, 8);
+}
